@@ -1,0 +1,125 @@
+// Experiments E3 and E10 (Sections 2.1 and 2.4): the versioned semantics
+// against the comparator semantics the paper discusses.
+//
+//  * E3 — the plain salary raise: versioned evaluation terminates in 2
+//    rounds; the naive in-place semantics re-applies forever (measured
+//    with a fixed round budget, so the numbers are comparable).
+//  * E10 — the full enterprise update: versioned (control from VID
+//    structure) vs Logres-style modules with hand-written guards
+//    (the "manual means for control" of Section 2.4).
+//
+// Expected shape: comparable per-object cost, with the versioned run
+// doing extra state copies but needing no guard facts and no module
+// ordering; the naive run burns its whole round budget.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/baselines.h"
+#include "bench_common.h"
+
+namespace verso::bench {
+namespace {
+
+constexpr const char* kRaiseRule =
+    "raise: mod[E].sal -> (S, S2) <- E.isa -> empl, E.sal -> S, "
+    "S2 = S * 1.1.";
+
+void BM_RaiseVersioned(benchmark::State& state) {
+  const size_t employees = static_cast<size_t>(state.range(0));
+  std::unique_ptr<World> world = MakeEnterpriseWorld(employees, kRaiseRule);
+  uint32_t rounds = 0;
+  for (auto _ : state) {
+    RunOutcome outcome = MustRun(*world, state);
+    rounds = outcome.stats.total_rounds();
+    benchmark::DoNotOptimize(outcome.new_base);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(employees));
+  state.counters["rounds"] = rounds;
+  state.counters["terminated"] = 1;
+}
+BENCHMARK(BM_RaiseVersioned)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_RaiseNaiveInPlace(benchmark::State& state) {
+  const size_t employees = static_cast<size_t>(state.range(0));
+  std::unique_ptr<World> world = MakeEnterpriseWorld(employees, kRaiseRule);
+  InPlaceOptions options;
+  options.max_rounds = 12;  // stays below exact-rational overflow
+  bool diverged = false;
+  uint32_t rounds = 0;
+  for (auto _ : state) {
+    Result<InPlaceOutcome> outcome =
+        RunNaiveUpdate(world->program, world->base, world->engine->symbols(),
+                       world->engine->versions(), options);
+    if (!outcome.ok()) {
+      state.SkipWithError(outcome.status().ToString().c_str());
+      return;
+    }
+    diverged = outcome->diverged;
+    rounds = outcome->rounds;
+    benchmark::DoNotOptimize(outcome->base);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(employees));
+  state.counters["rounds"] = rounds;
+  state.counters["terminated"] = diverged ? 0 : 1;
+}
+BENCHMARK(BM_RaiseNaiveInPlace)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_EnterpriseVersioned(benchmark::State& state) {
+  const size_t employees = static_cast<size_t>(state.range(0));
+  std::unique_ptr<World> world =
+      MakeEnterpriseWorld(employees, kEnterpriseProgramText);
+  for (auto _ : state) {
+    RunOutcome outcome = MustRun(*world, state);
+    benchmark::DoNotOptimize(outcome.new_base);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(employees));
+}
+BENCHMARK(BM_EnterpriseVersioned)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_EnterpriseModularGuarded(benchmark::State& state) {
+  const size_t employees = static_cast<size_t>(state.range(0));
+  auto world = std::make_unique<World>();
+  world->base = world->engine->MakeBase();
+  EnterpriseOptions options;
+  options.employees = employees;
+  MakeEnterprise(options, *world->engine, world->base);
+
+  std::vector<Program> modules;
+  auto add = [&](const char* text) {
+    Result<Program> m = ParseProgram(text, *world->engine);
+    if (m.ok()) modules.push_back(std::move(m).value());
+  };
+  add("m1a: mod[E].sal -> (S, S2) <- E.isa -> empl / pos -> mgr / sal -> S,"
+      " not E.raised -> yes, S2 = S * 1.1 + 200."
+      "m1b: mod[E].sal -> (S, S2) <- E.isa -> empl / sal -> S,"
+      " not E.pos -> mgr, not E.raised -> yes, S2 = S * 1.1."
+      "m1c: ins[E].raised -> yes <- E.isa -> empl.");
+  add("m2: del[E].* <- E.isa -> empl / boss -> B / sal -> SE,"
+      " B.isa -> empl / sal -> SB, SE > SB.");
+  add("m3: ins[E].isa -> hpe <- E.isa -> empl / sal -> S, S > 4500.");
+  if (modules.size() != 3) {
+    state.SkipWithError("module parse failed");
+    return;
+  }
+  for (auto _ : state) {
+    Result<InPlaceOutcome> outcome = RunModularUpdate(
+        modules, world->base, world->engine->symbols(),
+        world->engine->versions());
+    if (!outcome.ok() || outcome->diverged) {
+      state.SkipWithError("modular baseline failed");
+      return;
+    }
+    benchmark::DoNotOptimize(outcome->base);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(employees));
+}
+BENCHMARK(BM_EnterpriseModularGuarded)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace verso::bench
+
+BENCHMARK_MAIN();

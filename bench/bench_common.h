@@ -1,0 +1,58 @@
+#ifndef VERSO_BENCH_BENCH_COMMON_H_
+#define VERSO_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/engine.h"
+#include "parser/parser.h"
+#include "workloads/workloads.h"
+
+namespace verso::bench {
+
+/// Per-benchmark world: an engine, a generated object base, and a parsed
+/// program; constructed once per benchmark (outside the timing loop).
+struct World {
+  std::unique_ptr<Engine> engine = std::make_unique<Engine>();
+  ObjectBase base;
+  Program program;
+
+  World() : base(ObjectBase(MethodId(), nullptr)) {}
+};
+
+inline std::unique_ptr<World> MakeEnterpriseWorld(size_t employees,
+                                                  const char* program_text,
+                                                  size_t bystanders = 0,
+                                                  uint64_t seed = 42) {
+  auto world = std::make_unique<World>();
+  world->base = world->engine->MakeBase();
+  EnterpriseOptions options;
+  options.employees = employees;
+  options.bystanders = bystanders;
+  options.seed = seed;
+  MakeEnterprise(options, *world->engine, world->base);
+  Result<Program> program = ParseProgram(program_text, *world->engine);
+  if (!program.ok()) {
+    throw std::runtime_error(program.status().ToString());
+  }
+  world->program = std::move(program).value();
+  return world;
+}
+
+/// Runs the program and aborts the benchmark on error.
+inline RunOutcome MustRun(World& world, benchmark::State& state,
+                          EvalOptions options = EvalOptions()) {
+  Result<RunOutcome> outcome =
+      world.engine->Run(world.program, world.base, options);
+  if (!outcome.ok()) {
+    state.SkipWithError(outcome.status().ToString().c_str());
+    return RunOutcome{world.engine->MakeBase(), world.engine->MakeBase(), {},
+                      {}};
+  }
+  return std::move(outcome).value();
+}
+
+}  // namespace verso::bench
+
+#endif  // VERSO_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,56 @@
+// Experiment E4 (Section 2.3, Example 2): hypothetical reasoning — raise
+// every salary, revise the raise right away, and answer `richest` from
+// the middle versions.
+//
+// Each employee contributes three versions (e, mod(e), mod(mod(e))), so
+// the expected shape is linear with a ~3x version constant relative to
+// the plain raise; strata count is fixed at 4.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace verso::bench {
+namespace {
+
+void BM_HypotheticalRaise(benchmark::State& state) {
+  const size_t employees = static_cast<size_t>(state.range(0));
+  auto world = std::make_unique<World>();
+  world->base = world->engine->MakeBase();
+  Rng rng(17);
+  for (size_t i = 0; i < employees; ++i) {
+    std::string name = "e" + std::to_string(i);
+    world->engine->AddFact(world->base, name, "isa", "empl");
+    world->engine->AddFact(world->base, name, "sal",
+                           static_cast<int64_t>(100 + rng.Below(900)));
+    world->engine->AddFact(world->base, name, "factor",
+                           static_cast<int64_t>(1 + rng.Below(4)));
+  }
+  Result<Program> program = ParseProgram(
+      HypotheticalProgramText("e0"), *world->engine);
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  world->program = std::move(program).value();
+
+  EvalStats stats;
+  for (auto _ : state) {
+    RunOutcome outcome = MustRun(*world, state);
+    stats = outcome.stats;
+    benchmark::DoNotOptimize(outcome.result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(employees));
+  state.counters["employees"] = static_cast<double>(employees);
+  state.counters["versions"] =
+      static_cast<double>(stats.versions_materialized);
+  state.counters["strata"] = static_cast<double>(stats.strata.size());
+}
+BENCHMARK(BM_HypotheticalRaise)->Arg(2)->Arg(64)->Arg(256)->Arg(1024)
+    ->Arg(4096);
+
+}  // namespace
+}  // namespace verso::bench
+
+BENCHMARK_MAIN();

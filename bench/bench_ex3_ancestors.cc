@@ -1,0 +1,80 @@
+// Experiment E5 (Section 2.3, Example 3): the recursive set-valued `anc`
+// program over random genealogies. The recursive stratum iterates once
+// per generation, so the expected shape is O(closure size) work with
+// rounds tracking the forest depth.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace verso::bench {
+namespace {
+
+void BM_RecursiveAncestors(benchmark::State& state) {
+  const size_t persons = static_cast<size_t>(state.range(0));
+  auto world = std::make_unique<World>();
+  world->base = world->engine->MakeBase();
+  GenealogyOptions options;
+  options.persons = persons;
+  options.max_parents = 2;
+  Genealogy g = MakeGenealogy(options, *world->engine, world->base);
+  size_t closure_size = 0;
+  for (const auto& row : g.AncestorClosure()) closure_size += row.size();
+
+  Result<Program> program =
+      ParseProgram(kAncestorsProgramText, *world->engine);
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  world->program = std::move(program).value();
+
+  EvalStats stats;
+  for (auto _ : state) {
+    RunOutcome outcome = MustRun(*world, state);
+    stats = outcome.stats;
+    benchmark::DoNotOptimize(outcome.new_base);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(closure_size));
+  state.counters["persons"] = static_cast<double>(persons);
+  state.counters["closure_facts"] = static_cast<double>(closure_size);
+  state.counters["rounds"] = static_cast<double>(stats.total_rounds());
+}
+BENCHMARK(BM_RecursiveAncestors)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+// Worst-case chain genealogy: depth == persons, quadratic closure.
+void BM_AncestorsChain(benchmark::State& state) {
+  const size_t persons = static_cast<size_t>(state.range(0));
+  auto world = std::make_unique<World>();
+  world->base = world->engine->MakeBase();
+  for (size_t i = 0; i < persons; ++i) {
+    std::string name = "p" + std::to_string(i);
+    world->engine->AddFact(world->base, name, "isa", "person");
+    if (i + 1 < persons) {
+      world->engine->AddFact(
+          world->base, name, "parents",
+          world->engine->symbols().Symbol("p" + std::to_string(i + 1)));
+    }
+  }
+  Result<Program> program =
+      ParseProgram(kAncestorsProgramText, *world->engine);
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  world->program = std::move(program).value();
+  for (auto _ : state) {
+    RunOutcome outcome = MustRun(*world, state);
+    benchmark::DoNotOptimize(outcome.new_base);
+  }
+  state.counters["persons"] = static_cast<double>(persons);
+  state.counters["closure_facts"] =
+      static_cast<double>(persons * (persons - 1) / 2);
+}
+BENCHMARK(BM_AncestorsChain)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+}  // namespace verso::bench
+
+BENCHMARK_MAIN();

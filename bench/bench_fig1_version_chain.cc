@@ -1,0 +1,96 @@
+// Experiment E1 (paper Figure 1): an object undergoing k consecutive
+// groups of basic updates accumulates the version chain
+// o, θ1(o), θ2(θ1(o)), ..., θk(...θ1(o)...).
+//
+// The paper illustrates the chain; here we *measure* it: cost of running
+// a k-stage update pipeline (each stage modifies the previous stage's
+// version) as k grows, plus the VID-interning cost in isolation. Expected
+// shape: linear in k — each stage copies one state and rewrites one fact.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.h"
+
+namespace verso::bench {
+namespace {
+
+/// Builds a program whose stage i modifies version mod^i(o):
+///   mod[o].v -> (V, V2) <- o.v -> V, V2 = V + 1.
+///   mod[mod(o)].v -> (V, V2) <- mod(o).v -> V, V2 = V + 1.   ... etc.
+std::string ChainProgram(int stages) {
+  std::string text;
+  std::string version = "o";
+  for (int i = 0; i < stages; ++i) {
+    text += "s" + std::to_string(i) + ": mod[" + version +
+            "].v -> (V, V2) <- " + version + ".v -> V, V2 = V + 1.\n";
+    version = "mod(" + version + ")";
+  }
+  return text;
+}
+
+void BM_VersionChain(benchmark::State& state) {
+  const int stages = static_cast<int>(state.range(0));
+  Engine engine;
+  ObjectBase base = engine.MakeBase();
+  engine.AddFact(base, "o", "v", int64_t{0});
+  Result<Program> program = ParseProgram(ChainProgram(stages), engine);
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  size_t versions = 0;
+  for (auto _ : state) {
+    Result<RunOutcome> outcome = engine.Run(*program, base);
+    if (!outcome.ok()) {
+      state.SkipWithError(outcome.status().ToString().c_str());
+      return;
+    }
+    versions = outcome->stats.versions_materialized;
+    benchmark::DoNotOptimize(outcome->new_base);
+  }
+  state.counters["stages"] = stages;
+  state.counters["versions_materialized"] = static_cast<double>(versions);
+}
+BENCHMARK(BM_VersionChain)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Arg(64);
+
+// VID interning in isolation: Child() chains of depth k for n objects.
+void BM_VidInterning(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SymbolTable symbols;
+    VersionTable versions;
+    for (int o = 0; o < 256; ++o) {
+      Vid vid = versions.OfOid(symbols.Symbol("o" + std::to_string(o)));
+      for (int d = 0; d < depth; ++d) {
+        vid = versions.Child(
+            vid, static_cast<UpdateKind>(d % 3));
+      }
+      benchmark::DoNotOptimize(vid);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * depth);
+}
+BENCHMARK(BM_VidInterning)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// Subterm tests (the primitive behind linearity checks and commit):
+// cost is O(depth difference).
+void BM_SubtermCheck(benchmark::State& state) {
+  SymbolTable symbols;
+  VersionTable versions;
+  Vid root = versions.OfOid(symbols.Symbol("o"));
+  Vid deep = root;
+  for (int d = 0; d < 64; ++d) deep = versions.Child(deep, UpdateKind::kModify);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(versions.IsSubterm(root, deep));
+    benchmark::DoNotOptimize(versions.IsSubterm(deep, root));
+  }
+}
+BENCHMARK(BM_SubtermCheck);
+
+}  // namespace
+}  // namespace verso::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Experiment E2 (paper Figure 2 / Section 2.3 Example 1): the running
+// enterprise update — raise salaries, fire over-earners, group the
+// well-paid into hpe — scaled over synthetic enterprises.
+//
+// Regenerates Figure 2's process at the paper's own instance (2
+// employees) and sweeps enterprise size; counters expose the per-run
+// process metrics (updates derived, versions materialized, facts copied).
+// Expected shape: near-linear in the number of employees; exactly 3
+// strata with 2 fixpoint rounds each, independent of size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace verso::bench {
+namespace {
+
+void BM_EnterpriseUpdate(benchmark::State& state) {
+  const size_t employees = static_cast<size_t>(state.range(0));
+  std::unique_ptr<World> world =
+      MakeEnterpriseWorld(employees, kEnterpriseProgramText);
+  EvalStats stats;
+  size_t committed_facts = 0;
+  for (auto _ : state) {
+    RunOutcome outcome = MustRun(*world, state);
+    stats = outcome.stats;
+    committed_facts = outcome.new_base.fact_count();
+    benchmark::DoNotOptimize(outcome.new_base);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(employees));
+  state.counters["employees"] = static_cast<double>(employees);
+  state.counters["strata"] = static_cast<double>(stats.strata.size());
+  state.counters["rounds"] = static_cast<double>(stats.total_rounds());
+  state.counters["t1_updates"] = static_cast<double>(stats.total_t1_updates());
+  state.counters["versions"] =
+      static_cast<double>(stats.versions_materialized);
+  state.counters["committed_facts"] = static_cast<double>(committed_facts);
+}
+BENCHMARK(BM_EnterpriseUpdate)
+    ->Arg(2)       // the paper's exact instance size
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096);
+
+// The same update with the process trace attached, to price the
+// observability hooks used to print Figure 2.
+void BM_EnterpriseUpdateTraced(benchmark::State& state) {
+  const size_t employees = static_cast<size_t>(state.range(0));
+  std::unique_ptr<World> world =
+      MakeEnterpriseWorld(employees, kEnterpriseProgramText);
+  for (auto _ : state) {
+    RecordingTrace trace(world->engine->symbols(), world->engine->versions());
+    Result<RunOutcome> outcome = world->engine->Run(
+        world->program, world->base, EvalOptions(), &trace);
+    if (!outcome.ok()) {
+      state.SkipWithError(outcome.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(trace.lines());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(employees));
+}
+BENCHMARK(BM_EnterpriseUpdateTraced)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace verso::bench
+
+BENCHMARK_MAIN();

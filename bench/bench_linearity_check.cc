@@ -1,0 +1,44 @@
+// Experiment E8 (Section 5): "version-linearity can be easily checked
+// during evaluation ... its realization seems to be not expensive."
+//
+// Same update-program run with and without the incremental linearity
+// check; the difference prices the check. Expected shape: a small,
+// size-independent relative overhead (one subterm walk per
+// materialization).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace verso::bench {
+namespace {
+
+void RunWithOptions(benchmark::State& state, bool check) {
+  const size_t employees = static_cast<size_t>(state.range(0));
+  std::unique_ptr<World> world =
+      MakeEnterpriseWorld(employees, kEnterpriseProgramText);
+  EvalOptions options;
+  options.check_version_linearity = check;
+  for (auto _ : state) {
+    RunOutcome outcome = MustRun(*world, state, options);
+    benchmark::DoNotOptimize(outcome.new_base);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(employees));
+  state.counters["employees"] = static_cast<double>(employees);
+}
+
+void BM_WithLinearityCheck(benchmark::State& state) {
+  RunWithOptions(state, true);
+}
+BENCHMARK(BM_WithLinearityCheck)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_WithoutLinearityCheck(benchmark::State& state) {
+  RunWithOptions(state, false);
+}
+BENCHMARK(BM_WithoutLinearityCheck)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+}  // namespace verso::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Experiment E11: front-end throughput — lexing/parsing update-programs
+// and object bases, and the printer round-trip. Linear in input size.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.h"
+#include "core/pretty.h"
+#include "parser/lexer.h"
+
+namespace verso::bench {
+namespace {
+
+std::string BigProgram(int rules) {
+  std::string text;
+  for (int i = 0; i < rules; ++i) {
+    std::string c = "c" + std::to_string(i);
+    text += "r" + std::to_string(i) +
+            ": mod[E].sal -> (S, S2) <- E.isa -> " + c +
+            " / pos -> mgr / sal -> S, not E.tag -> done, "
+            "S2 = S * 1.1 + 200.\n";
+  }
+  return text;
+}
+
+std::string BigBase(int objects) {
+  std::string text;
+  for (int i = 0; i < objects; ++i) {
+    std::string name = "o" + std::to_string(i);
+    text += name + ".isa -> empl / sal -> " + std::to_string(1000 + i) +
+            " / boss -> o0.\n";
+  }
+  return text;
+}
+
+void BM_LexProgram(benchmark::State& state) {
+  std::string text = BigProgram(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Result<std::vector<Token>> tokens = Lex(text);
+    if (!tokens.ok()) {
+      state.SkipWithError("lex failed");
+      return;
+    }
+    benchmark::DoNotOptimize(*tokens);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_LexProgram)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_ParseProgram(benchmark::State& state) {
+  std::string text = BigProgram(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    SymbolTable symbols;
+    Result<Program> program = ParseProgram(text, symbols);
+    if (!program.ok()) {
+      state.SkipWithError("parse failed");
+      return;
+    }
+    benchmark::DoNotOptimize(*program);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_ParseProgram)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_ParseObjectBase(benchmark::State& state) {
+  std::string text = BigBase(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Engine engine;
+    Result<ObjectBase> base = ParseObjectBase(text, engine);
+    if (!base.ok()) {
+      state.SkipWithError("parse failed");
+      return;
+    }
+    benchmark::DoNotOptimize(*base);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_ParseObjectBase)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_PrintObjectBase(benchmark::State& state) {
+  Engine engine;
+  Result<ObjectBase> base =
+      ParseObjectBase(BigBase(static_cast<int>(state.range(0))), engine);
+  if (!base.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  for (auto _ : state) {
+    std::string printed =
+        ObjectBaseToString(*base, engine.symbols(), engine.versions());
+    benchmark::DoNotOptimize(printed);
+  }
+}
+BENCHMARK(BM_PrintObjectBase)->Arg(64)->Arg(512)->Arg(4096);
+
+}  // namespace
+}  // namespace verso::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,171 @@
+// Experiment E12: persistence substrate throughput — codec encode/decode,
+// snapshot write/read, WAL append, delta compute/apply, and full
+// database transactions with recovery.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "bench_common.h"
+#include "storage/codec.h"
+#include "storage/database.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+#include "util/io.h"
+
+namespace verso::bench {
+namespace {
+
+std::string BenchDir() {
+  std::string dir = std::filesystem::temp_directory_path().string() +
+                    "/verso_bench_storage";
+  std::filesystem::remove_all(dir);
+  EnsureDirectory(dir).ok();
+  return dir;
+}
+
+std::unique_ptr<World> BaseWorld(size_t employees) {
+  return MakeEnterpriseWorld(employees, kEnterpriseProgramText);
+}
+
+void BM_EncodeObjectBase(benchmark::State& state) {
+  std::unique_ptr<World> world = BaseWorld(static_cast<size_t>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string payload = EncodeObjectBase(
+        world->base, world->engine->symbols(), world->engine->versions());
+    bytes = payload.size();
+    benchmark::DoNotOptimize(payload);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+  state.counters["facts"] = static_cast<double>(world->base.fact_count());
+}
+BENCHMARK(BM_EncodeObjectBase)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_DecodeObjectBase(benchmark::State& state) {
+  std::unique_ptr<World> world = BaseWorld(static_cast<size_t>(state.range(0)));
+  std::string payload = EncodeObjectBase(
+      world->base, world->engine->symbols(), world->engine->versions());
+  for (auto _ : state) {
+    Engine engine;
+    ObjectBase decoded = engine.MakeBase();
+    Status s = DecodeObjectBaseInto(payload, engine.symbols(),
+                                    engine.versions(), decoded);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_DecodeObjectBase)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SnapshotWriteRead(benchmark::State& state) {
+  std::unique_ptr<World> world = BaseWorld(static_cast<size_t>(state.range(0)));
+  std::string dir = BenchDir();
+  std::string path = dir + "/bench.vsnp";
+  for (auto _ : state) {
+    Status w = WriteSnapshot(path, world->base, world->engine->symbols(),
+                             world->engine->versions());
+    if (!w.ok()) {
+      state.SkipWithError(w.ToString().c_str());
+      return;
+    }
+    Engine engine;
+    ObjectBase loaded = engine.MakeBase();
+    Status r = ReadSnapshotInto(path, engine.symbols(), engine.versions(),
+                                loaded);
+    if (!r.ok()) {
+      state.SkipWithError(r.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(loaded);
+  }
+}
+BENCHMARK(BM_SnapshotWriteRead)->Arg(256)->Arg(1024);
+
+void BM_DeltaComputeApply(benchmark::State& state) {
+  std::unique_ptr<World> world = BaseWorld(static_cast<size_t>(state.range(0)));
+  Result<RunOutcome> outcome = world->engine->Run(world->program, world->base);
+  if (!outcome.ok()) {
+    state.SkipWithError("run failed");
+    return;
+  }
+  ObjectBase sealed = world->base;
+  sealed.SealExistence();
+  size_t delta_size = 0;
+  for (auto _ : state) {
+    FactDelta delta = ComputeDelta(sealed, outcome->new_base);
+    delta_size = delta.added.size() + delta.removed.size();
+    ObjectBase patched = sealed;
+    ApplyDelta(delta, patched);
+    benchmark::DoNotOptimize(patched);
+  }
+  state.counters["delta_facts"] = static_cast<double>(delta_size);
+}
+BENCHMARK(BM_DeltaComputeApply)->Arg(256)->Arg(1024);
+
+void BM_WalAppend(benchmark::State& state) {
+  std::string dir = BenchDir();
+  WalWriter wal(dir + "/bench.log");
+  std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    Status s = wal.Append(payload);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+  RemoveFile(dir + "/bench.log").ok();
+}
+BENCHMARK(BM_WalAppend)->Arg(128)->Arg(4096)->Arg(65536);
+
+void BM_DatabaseTransaction(benchmark::State& state) {
+  const size_t employees = static_cast<size_t>(state.range(0));
+  std::string dir = BenchDir() + "/db";
+  Engine engine;
+  Result<std::unique_ptr<Database>> db = Database::Open(dir, engine);
+  if (!db.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  ObjectBase base = engine.MakeBase();
+  EnterpriseOptions options;
+  options.employees = employees;
+  MakeEnterprise(options, engine, base);
+  if (!(*db)->ImportBase(base).ok()) {
+    state.SkipWithError("import failed");
+    return;
+  }
+  // A self-inverting transaction keeps the database size stable across
+  // iterations: double every salary, then halve it.
+  Result<Program> doubling = ParseProgram(
+      "r: mod[E].sal -> (S, S2) <- E.isa -> empl, E.sal -> S, S2 = S * 2.",
+      engine);
+  Result<Program> halving = ParseProgram(
+      "r: mod[E].sal -> (S, S2) <- E.isa -> empl, E.sal -> S, S2 = S / 2.",
+      engine);
+  if (!doubling.ok() || !halving.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  for (auto _ : state) {
+    if (!(*db)->Execute(*doubling).ok() || !(*db)->Execute(*halving).ok()) {
+      state.SkipWithError("execute failed");
+      return;
+    }
+  }
+  state.counters["wal_records"] =
+      static_cast<double>((*db)->wal_records_since_checkpoint());
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_DatabaseTransaction)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace verso::bench
+
+BENCHMARK_MAIN();

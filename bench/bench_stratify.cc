@@ -1,0 +1,81 @@
+// Experiment E6: stratification analysis cost (conditions (a)-(d) of
+// Section 4) as the program grows. The analysis is quadratic in the rule
+// count (pairwise unification tests) with tiny constants; the bench
+// verifies that shape and prices the paper's own 4-rule program.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.h"
+#include "core/stratify.h"
+
+namespace verso::bench {
+namespace {
+
+/// A layered program: layer i modifies objects tagged by layer i-1's
+/// version, giving a deep stratification.
+std::string LayeredProgram(int layers) {
+  std::string text;
+  std::string version = "E";
+  for (int i = 0; i < layers; ++i) {
+    text += "l" + std::to_string(i) + ": ins[" + version + "].t" +
+            std::to_string(i) + " -> yes <- " + version + ".isa -> empl.\n";
+    version = "ins(" + version + ")";
+  }
+  return text;
+}
+
+/// A wide program: n independent rule pairs (writer below reader).
+std::string WideProgram(int pairs) {
+  std::string text;
+  for (int i = 0; i < pairs; ++i) {
+    std::string cls = "c" + std::to_string(i);
+    text += "w" + std::to_string(i) + ": mod[E].sal -> (S, S2) <- E.isa -> " +
+            cls + ", E.sal -> S, S2 = S + 1.\n";
+    text += "r" + std::to_string(i) + ": ins[mod(E)].seen -> yes <- "
+            "mod(E).isa -> " + cls + ".\n";
+  }
+  return text;
+}
+
+void RunStratifyBench(benchmark::State& state, const std::string& text) {
+  SymbolTable symbols;
+  Result<Program> program = ParseProgram(text, symbols);
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  size_t strata = 0;
+  for (auto _ : state) {
+    Result<Stratification> s = Stratify(*program);
+    if (!s.ok()) {
+      state.SkipWithError(s.status().ToString().c_str());
+      return;
+    }
+    strata = s->stratum_count();
+    benchmark::DoNotOptimize(*s);
+  }
+  state.counters["rules"] = static_cast<double>(program->rules.size());
+  state.counters["strata"] = static_cast<double>(strata);
+}
+
+void BM_StratifyLayered(benchmark::State& state) {
+  RunStratifyBench(state, LayeredProgram(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_StratifyLayered)->Arg(4)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_StratifyWide(benchmark::State& state) {
+  RunStratifyBench(state, WideProgram(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_StratifyWide)->Arg(4)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_StratifyPaperProgram(benchmark::State& state) {
+  RunStratifyBench(state, kEnterpriseProgramText);
+}
+BENCHMARK(BM_StratifyPaperProgram);
+
+}  // namespace
+}  // namespace verso::bench
+
+BENCHMARK_MAIN();

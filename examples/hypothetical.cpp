@@ -1,0 +1,71 @@
+// Hypothetical reasoning (paper Section 2.3, Example 2): "would peter be
+// the richest employee after a (non-linear) salary raise?"
+//
+// The raise is performed on version mod(e) and *revised right away* on
+// mod(mod(e)); the answer is derived from the middle (hypothetical)
+// versions while the committed object base keeps the original salaries.
+// Demonstrates querying result(P) for intermediate versions.
+
+#include <iostream>
+
+#include "core/engine.h"
+#include "core/pretty.h"
+#include "parser/parser.h"
+
+int main() {
+  verso::Engine engine;
+
+  verso::Result<verso::ObjectBase> base = verso::ParseObjectBase(R"(
+      peter.isa -> empl.  peter.sal -> 100.  peter.factor -> 3.
+      anna.isa -> empl.   anna.sal -> 200.   anna.factor -> 1.
+      felix.isa -> empl.  felix.sal -> 120.  felix.factor -> 2.
+  )", engine);
+
+  verso::Result<verso::Program> program = verso::ParseProgram(R"(
+      % r1: the hypothetical (non-linear) raise ...
+      r1: mod[E].sal -> (S, S2) <- E.sal -> S / factor -> F, S2 = S * F.
+      % r2: ... revised right away: mod(mod(e)) equals the e-version again.
+      r2: mod[mod(E)].sal -> (S2, S) <- mod(E).sal -> S2, E.sal -> S.
+      % r3/r4: answer `richest` from the middle version.
+      r3: ins[mod(mod(peter))].richest -> no <-
+          mod(E).sal -> SE, mod(peter).sal -> SP, SE > SP.
+      r4: ins[ins(mod(mod(peter)))].richest -> yes <-
+          not ins(mod(mod(peter))).richest -> no.
+  )", engine);
+
+  if (!base.ok() || !program.ok()) {
+    std::cerr << (base.ok() ? program.status() : base.status()).ToString()
+              << "\n";
+    return 1;
+  }
+
+  verso::Result<verso::RunOutcome> outcome = engine.Run(*program, *base);
+  if (!outcome.ok()) {
+    std::cerr << outcome.status().ToString() << "\n";
+    return 1;
+  }
+
+  // Inspect the hypothetical stage directly in result(P): mod(peter)
+  // carries the raised salary, mod(mod(peter)) the restored one.
+  verso::SymbolTable& sym = engine.symbols();
+  verso::VersionTable& ver = engine.versions();
+  verso::Vid peter = ver.OfOid(sym.Symbol("peter"));
+  verso::Vid mod_peter = ver.Child(peter, verso::UpdateKind::kModify);
+
+  auto salary_of = [&](verso::Vid vid) -> std::string {
+    const verso::VersionState* state = outcome->result.StateOf(vid);
+    if (state == nullptr) return "<no version>";
+    const std::vector<verso::GroundApp>* apps =
+        state->Find(sym.FindMethod("sal"));
+    if (apps == nullptr || apps->empty()) return "<no sal>";
+    return sym.OidToString(apps->front().result);
+  };
+
+  std::cout << "peter's salary, hypothetically raised (mod(peter)):   "
+            << salary_of(mod_peter) << "\n"
+            << "peter's salary, revised (mod(mod(peter))):            "
+            << salary_of(ver.Child(mod_peter, verso::UpdateKind::kModify))
+            << "\n\n== committed object base (raises revised away) ==\n"
+            << ObjectBaseToString(outcome->new_base, sym, ver);
+  return 0;
+}

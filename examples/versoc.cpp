@@ -1,0 +1,165 @@
+// versoc — command-line driver for verso update-programs.
+//
+// Usage:
+//   versoc <object-base.vob> <program.vup> [options]
+//
+// Options:
+//   --trace            print the update-process (rule firings, copies)
+//   --strata           print the stratification (Section 4)
+//   --result           print result(P) — all object versions — not ob'
+//   --stats            print evaluation statistics
+//   --history          print per-object version histories with diffs
+//   --schema <file>    validate base and program against a schema file
+//
+// Prints the updated object base ob' (canonical, sorted) to stdout.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/engine.h"
+#include "core/pretty.h"
+#include "core/trace.h"
+#include "history/history.h"
+#include "parser/parser.h"
+#include "schema/schema.h"
+#include "util/io.h"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: versoc <object-base.vob> <program.vup> "
+         "[--trace] [--strata] [--result] [--stats] [--history] "
+         "[--schema <file>]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string base_path = argv[1];
+  std::string program_path = argv[2];
+  bool want_trace = false;
+  bool want_strata = false;
+  bool want_result = false;
+  bool want_stats = false;
+  bool want_history = false;
+  std::string schema_path;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      want_trace = true;
+    } else if (std::strcmp(argv[i], "--strata") == 0) {
+      want_strata = true;
+    } else if (std::strcmp(argv[i], "--result") == 0) {
+      want_result = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      want_stats = true;
+    } else if (std::strcmp(argv[i], "--history") == 0) {
+      want_history = true;
+    } else if (std::strcmp(argv[i], "--schema") == 0 && i + 1 < argc) {
+      schema_path = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+
+  verso::Engine engine;
+
+  verso::Result<std::string> base_text = verso::ReadFile(base_path);
+  if (!base_text.ok()) {
+    std::cerr << base_text.status().ToString() << "\n";
+    return 1;
+  }
+  verso::Result<verso::ObjectBase> base =
+      verso::ParseObjectBase(*base_text, engine);
+  if (!base.ok()) {
+    std::cerr << base_path << ": " << base.status().ToString() << "\n";
+    return 1;
+  }
+
+  verso::Result<std::string> program_text = verso::ReadFile(program_path);
+  if (!program_text.ok()) {
+    std::cerr << program_text.status().ToString() << "\n";
+    return 1;
+  }
+  verso::Result<verso::Program> program =
+      verso::ParseProgram(*program_text, engine);
+  if (!program.ok()) {
+    std::cerr << program_path << ": " << program.status().ToString() << "\n";
+    return 1;
+  }
+
+  verso::Schema schema;
+  if (!schema_path.empty()) {
+    verso::Result<std::string> schema_text = verso::ReadFile(schema_path);
+    if (!schema_text.ok()) {
+      std::cerr << schema_text.status().ToString() << "\n";
+      return 1;
+    }
+    verso::Result<verso::Schema> parsed =
+        verso::Schema::Parse(*schema_text, engine.symbols());
+    if (!parsed.ok()) {
+      std::cerr << schema_path << ": " << parsed.status().ToString() << "\n";
+      return 1;
+    }
+    schema = std::move(parsed).value();
+    verso::Status base_check =
+        schema.CheckBase(*base, engine.symbols(), engine.versions());
+    if (!base_check.ok()) {
+      std::cerr << base_path << ": " << base_check.ToString() << "\n";
+      return 1;
+    }
+    verso::Status program_check =
+        schema.CheckProgram(*program, engine.symbols());
+    if (!program_check.ok()) {
+      std::cerr << program_path << ": " << program_check.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  verso::StreamTrace trace(std::cerr, engine.symbols(), engine.versions());
+  verso::Result<verso::RunOutcome> outcome =
+      engine.Run(*program, *base, verso::EvalOptions(),
+                 want_trace ? &trace : nullptr);
+  if (!outcome.ok()) {
+    std::cerr << outcome.status().ToString() << "\n";
+    return 1;
+  }
+  if (!schema_path.empty()) {
+    verso::Status post_check = schema.CheckBase(
+        outcome->new_base, engine.symbols(), engine.versions());
+    if (!post_check.ok()) {
+      std::cerr << "post-update schema violation: " << post_check.ToString()
+                << "\n";
+      return 1;
+    }
+  }
+  if (want_history) {
+    verso::Result<std::vector<verso::ObjectHistory>> histories =
+        AllHistories(outcome->result, engine.symbols(), engine.versions());
+    if (histories.ok()) {
+      for (const verso::ObjectHistory& history : *histories) {
+        std::cerr << HistoryToString(history, engine.symbols(),
+                                     engine.versions());
+      }
+    }
+  }
+
+  if (want_strata) {
+    std::cerr << StratificationToString(outcome->stratification, *program);
+  }
+  if (want_stats) {
+    const verso::EvalStats& stats = outcome->stats;
+    std::cerr << "strata=" << outcome->stratification.stratum_count()
+              << " rounds=" << stats.total_rounds()
+              << " updates=" << stats.total_t1_updates()
+              << " versions=" << stats.versions_materialized << "\n";
+  }
+  const verso::ObjectBase& to_print =
+      want_result ? outcome->result : outcome->new_base;
+  std::cout << ObjectBaseToString(to_print, engine.symbols(),
+                                  engine.versions());
+  return 0;
+}

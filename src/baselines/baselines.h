@@ -1,0 +1,62 @@
+#ifndef VERSO_BASELINES_BASELINES_H_
+#define VERSO_BASELINES_BASELINES_H_
+
+#include <vector>
+
+#include "core/object_base.h"
+#include "core/program.h"
+#include "core/symbol_table.h"
+#include "core/version_table.h"
+#include "util/result.h"
+
+namespace verso {
+
+/// Comparator semantics discussed in Section 2.4 of the paper. Both
+/// baselines interpret update-rules *without* object versioning: the head
+/// `mod[E].sal -> (S,S2)` mutates E's state in place. This is the
+/// behaviour the paper's versioning is designed to improve on — the naive
+/// semantics loops on the salary-raise rule (each round sees the already
+/// raised salary and raises it again), and ordering effects must be
+/// hand-controlled by splitting rules into modules (Logres-style).
+///
+/// Restrictions: bodies must not contain update-terms (they have no
+/// meaning without versions), and version-id-terms must be plain
+/// object-id-terms (no ins/del/mod functors).
+
+struct InPlaceOptions {
+  /// Round bound; reaching it reports divergence instead of an error so
+  /// benchmarks can measure "does not terminate" programs.
+  uint32_t max_rounds = 64;
+};
+
+struct InPlaceOutcome {
+  ObjectBase base;
+  uint32_t rounds = 0;
+  bool diverged = false;        // hit max_rounds while still changing
+  size_t updates_applied = 0;   // state-changing fact mutations
+};
+
+/// Checks the baseline restrictions and runs AnalyzeRule on every rule.
+Status ValidateInPlaceProgram(Program& program, const SymbolTable& symbols);
+
+/// Naive non-versioned semantics: apply all rules' updates in place,
+/// round after round, until nothing changes or `max_rounds` is reached.
+Result<InPlaceOutcome> RunNaiveUpdate(Program& program,
+                                      const ObjectBase& input,
+                                      SymbolTable& symbols,
+                                      VersionTable& versions,
+                                      const InPlaceOptions& options = {});
+
+/// Logres-style modular semantics: modules are evaluated in the given
+/// order, each to its own in-place fixpoint. Control that verso derives
+/// from VID structure must here be supplied manually by the module split
+/// (the "flexible, however manual means for control" of Section 2.4).
+Result<InPlaceOutcome> RunModularUpdate(std::vector<Program>& modules,
+                                        const ObjectBase& input,
+                                        SymbolTable& symbols,
+                                        VersionTable& versions,
+                                        const InPlaceOptions& options = {});
+
+}  // namespace verso
+
+#endif  // VERSO_BASELINES_BASELINES_H_

@@ -1,0 +1,91 @@
+#ifndef VERSO_CORE_ATOM_H_
+#define VERSO_CORE_ATOM_H_
+
+#include <vector>
+
+#include "core/expr.h"
+#include "core/ids.h"
+#include "core/term.h"
+
+namespace verso {
+
+/// Pattern form of a method application: `m@A1,...,Ak -> R` with
+/// object-id-terms in argument and result positions.
+struct AppPattern {
+  MethodId method;
+  std::vector<ObjTerm> args;
+  ObjTerm result;
+};
+
+/// A version-term: `V.m@A1..Ak -> R` — refers to a version asking for a
+/// property (paper Section 2.1). Performs no update.
+struct VersionAtom {
+  VidTerm version;
+  AppPattern app;
+};
+
+/// An update-term: `ins[V].m->R`, `del[V].m->R`, or `mod[V].m->(R,R')`.
+/// In a rule head it initiates a state transition from V to kind(V);
+/// in a rule body it asks whether that transition has occurred
+/// (truth definitions in Section 3 of the paper).
+struct UpdateAtom {
+  UpdateKind kind = UpdateKind::kInsert;
+  VidTerm version;  // V: the version being updated
+  /// `del[V].*` — delete every method-application of the version (heads
+  /// only; the paper writes this as `del[...]:`). `app`/`new_result`
+  /// are ignored when set.
+  bool delete_all = false;
+  AppPattern app;
+  ObjTerm new_result;  // R' — modify only
+
+  /// The version-id-term denoting the update's target version kind(V):
+  /// the `[V] -> (V)` replacement used by stratification and matching.
+  VidTerm TargetTerm() const { return VidTerm::Wrap(kind, version); }
+};
+
+/// A built-in comparison between two arithmetic expressions.
+struct BuiltinAtom {
+  CmpOp op = CmpOp::kEq;
+  ExprId lhs;
+  ExprId rhs;
+};
+
+/// A body literal: possibly negated version-term, update-term, or built-in.
+struct Literal {
+  enum class Kind : uint8_t { kVersion, kUpdate, kBuiltin };
+
+  Kind kind = Kind::kVersion;
+  bool negated = false;
+  // Exactly one of the following is meaningful, selected by `kind`.
+  // (A tagged union would save bytes; rules are small and long-lived, so
+  // we keep the representation simple and copyable.)
+  VersionAtom version;
+  UpdateAtom update;
+  BuiltinAtom builtin;
+
+  static Literal Version(VersionAtom atom, bool negated = false) {
+    Literal l;
+    l.kind = Kind::kVersion;
+    l.negated = negated;
+    l.version = std::move(atom);
+    return l;
+  }
+  static Literal Update(UpdateAtom atom, bool negated = false) {
+    Literal l;
+    l.kind = Kind::kUpdate;
+    l.negated = negated;
+    l.update = std::move(atom);
+    return l;
+  }
+  static Literal Builtin(BuiltinAtom atom, bool negated = false) {
+    Literal l;
+    l.kind = Kind::kBuiltin;
+    l.negated = negated;
+    l.builtin = atom;
+    return l;
+  }
+};
+
+}  // namespace verso
+
+#endif  // VERSO_CORE_ATOM_H_

@@ -1,0 +1,53 @@
+#include "core/commit.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace verso {
+
+Result<ObjectBase> BuildNewObjectBase(const ObjectBase& result,
+                                      const SymbolTable& symbols,
+                                      VersionTable& versions) {
+  // Group the materialized versions of each object and find the deepest.
+  std::unordered_map<Oid, std::vector<Vid>> by_object;
+  for (const auto& [vid, state] : result.versions()) {
+    by_object[versions.root(vid)].push_back(vid);
+  }
+
+  ObjectBase fresh(result.exists_method(), result.version_table());
+  for (const auto& [root, vids] : by_object) {
+    Vid final_version = vids.front();
+    for (Vid vid : vids) {
+      if (versions.depth(vid) > versions.depth(final_version)) {
+        final_version = vid;
+      }
+    }
+    // Linearity: every version must be a stage on the way to the final
+    // one. The evaluator normally guarantees this; re-checking here keeps
+    // BuildNewObjectBase safe for object bases assembled by hand.
+    for (Vid vid : vids) {
+      if (!versions.IsSubterm(vid, final_version)) {
+        return Status::NotVersionLinear(
+            "object '" + symbols.OidToString(root) +
+            "' has incomparable versions " +
+            versions.ToString(vid, symbols) + " and " +
+            versions.ToString(final_version, symbols));
+      }
+    }
+    const VersionState* state = result.StateOf(final_version);
+    if (state == nullptr || state->OnlyExists(result.exists_method())) {
+      // All information about the object was deleted: it does not appear
+      // in the new object base.
+      continue;
+    }
+    Vid plain = versions.OfOid(root);
+    for (const auto& [method, apps] : state->methods()) {
+      for (const GroundApp& app : apps) {
+        fresh.Insert(plain, method, app);
+      }
+    }
+  }
+  return fresh;
+}
+
+}  // namespace verso

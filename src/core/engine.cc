@@ -1,0 +1,50 @@
+#include "core/engine.h"
+
+namespace verso {
+
+void Engine::AddFact(ObjectBase& base, std::string_view object,
+                     std::string_view method, std::initializer_list<Oid> args,
+                     Oid result) {
+  Vid vid = versions_.OfOid(symbols_.Symbol(object));
+  GroundApp app;
+  app.args.assign(args.begin(), args.end());
+  app.result = result;
+  base.Insert(vid, symbols_.Method(method), std::move(app));
+}
+
+void Engine::AddFact(ObjectBase& base, std::string_view object,
+                     std::string_view method, Oid result) {
+  AddFact(base, object, method, {}, result);
+}
+
+void Engine::AddFact(ObjectBase& base, std::string_view object,
+                     std::string_view method, std::string_view result) {
+  AddFact(base, object, method, {}, symbols_.Symbol(result));
+}
+
+void Engine::AddFact(ObjectBase& base, std::string_view object,
+                     std::string_view method, int64_t result) {
+  AddFact(base, object, method, {}, symbols_.Int(result));
+}
+
+Result<RunOutcome> Engine::Run(Program& program, const ObjectBase& input,
+                               const EvalOptions& options, TraceSink* trace) {
+  VERSO_RETURN_IF_ERROR(program.Analyze(symbols_));
+  VERSO_ASSIGN_OR_RETURN(Stratification stratification, Stratify(program));
+
+  ObjectBase working = input;
+  working.SealExistence();
+
+  Evaluator evaluator(symbols_, versions_, options, trace);
+  VERSO_ASSIGN_OR_RETURN(EvalStats stats,
+                         evaluator.Run(program, stratification, working));
+
+  VERSO_ASSIGN_OR_RETURN(ObjectBase fresh,
+                         BuildNewObjectBase(working, symbols_, versions_));
+
+  RunOutcome outcome{std::move(working), std::move(fresh),
+                     std::move(stratification), std::move(stats)};
+  return outcome;
+}
+
+}  // namespace verso

@@ -1,0 +1,78 @@
+#ifndef VERSO_CORE_ENGINE_H_
+#define VERSO_CORE_ENGINE_H_
+
+#include <optional>
+
+#include "core/commit.h"
+#include "core/evaluator.h"
+#include "core/object_base.h"
+#include "core/program.h"
+#include "core/stratify.h"
+#include "core/symbol_table.h"
+#include "core/trace.h"
+#include "core/version_table.h"
+#include "util/result.h"
+
+namespace verso {
+
+/// Everything a run of an update-program produces.
+struct RunOutcome {
+  /// result(P): the fixpoint with all intermediate versions, queryable
+  /// for hypothetical reasoning (Section 2.3, Example 2).
+  ObjectBase result;
+  /// ob': the new object base built from the final versions (Section 5).
+  ObjectBase new_base;
+  Stratification stratification;
+  EvalStats stats;
+};
+
+/// Facade tying the pipeline together:
+///   validate + analyze -> stratify -> seal exists -> evaluate -> commit.
+/// An Engine owns the OID/VID universe; every object base it manipulates
+/// must have been created through MakeBase() (or the parser bound to the
+/// same engine).
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+  VersionTable& versions() { return versions_; }
+  const VersionTable& versions() const { return versions_; }
+
+  /// An empty object base bound to this engine's universe.
+  ObjectBase MakeBase() const {
+    return ObjectBase(symbols_.exists_method(), &versions_);
+  }
+
+  /// Convenience for assembling object bases in code and tests:
+  /// adds `object.method@args -> result` (all symbols interned).
+  void AddFact(ObjectBase& base, std::string_view object,
+               std::string_view method, std::initializer_list<Oid> args,
+               Oid result);
+  void AddFact(ObjectBase& base, std::string_view object,
+               std::string_view method, Oid result);
+  /// Result given as a symbol name.
+  void AddFact(ObjectBase& base, std::string_view object,
+               std::string_view method, std::string_view result);
+  /// Result given as an integer value.
+  void AddFact(ObjectBase& base, std::string_view object,
+               std::string_view method, int64_t result);
+
+  /// Runs `program` against `input` (untouched; the engine works on a
+  /// copy sealed with exists-facts). Analyze() is applied to the program
+  /// if it has not been already (execution orders are recomputed).
+  Result<RunOutcome> Run(Program& program, const ObjectBase& input,
+                         const EvalOptions& options = EvalOptions(),
+                         TraceSink* trace = nullptr);
+
+ private:
+  SymbolTable symbols_;
+  mutable VersionTable versions_;
+};
+
+}  // namespace verso
+
+#endif  // VERSO_CORE_ENGINE_H_

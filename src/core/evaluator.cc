@@ -1,0 +1,84 @@
+#include "core/evaluator.h"
+
+namespace verso {
+
+Status Evaluator::NoteMaterialized(
+    Vid vid, std::unordered_map<Oid, Vid>& deepest) const {
+  Oid root = versions_.root(vid);
+  auto it = deepest.find(root);
+  if (it == deepest.end()) {
+    deepest.emplace(root, vid);
+    return Status::Ok();
+  }
+  if (versions_.IsSubterm(it->second, vid)) {
+    it->second = vid;
+    return Status::Ok();
+  }
+  if (versions_.IsSubterm(vid, it->second)) return Status::Ok();
+  return Status::NotVersionLinear(
+      "object '" + symbols_.OidToString(root) + "' has incomparable versions " +
+      versions_.ToString(it->second, symbols_) + " and " +
+      versions_.ToString(vid, symbols_) +
+      " (neither is a subterm of the other; Section 5 requires a linear "
+      "version order)");
+}
+
+Result<EvalStats> Evaluator::Run(const Program& program,
+                                 const Stratification& stratification,
+                                 ObjectBase& base) {
+  EvalStats stats;
+  stats.strata.resize(stratification.stratum_count());
+
+  std::unordered_map<Oid, Vid> deepest;
+  if (options_.check_version_linearity) {
+    for (const auto& [vid, state] : base.versions()) {
+      VERSO_RETURN_IF_ERROR(NoteMaterialized(vid, deepest));
+    }
+  }
+
+  TpOperator tp(symbols_, versions_);
+  for (uint32_t stratum = 0; stratum < stratification.stratum_count();
+       ++stratum) {
+    const std::vector<uint32_t>& rules = stratification.strata[stratum];
+    if (trace_ != nullptr) trace_->OnStratumBegin(stratum, rules.size());
+    StratumStats& sstats = stats.strata[stratum];
+
+    for (uint32_t round = 0;; ++round) {
+      if (round >= options_.max_rounds_per_stratum) {
+        return Status::Divergence(
+            "stratum " + std::to_string(stratum) + " did not reach a "
+            "fixpoint within " +
+            std::to_string(options_.max_rounds_per_stratum) + " rounds");
+      }
+      if (trace_ != nullptr) trace_->OnRoundBegin(stratum, round);
+      VERSO_ASSIGN_OR_RETURN(TpResult tp_result,
+                             tp.Apply(program, rules, base, trace_));
+      sstats.t1_updates += tp_result.t1_updates;
+      sstats.copied_facts += tp_result.t2_copied_facts;
+
+      bool changed = false;
+      for (auto& [target, state] : tp_result.new_states) {
+        bool was_materialized = base.StateOf(target) != nullptr;
+        bool replaced = base.ReplaceVersion(target, std::move(state));
+        if (replaced) {
+          changed = true;
+          ++sstats.states_replaced;
+        }
+        if (!was_materialized && base.StateOf(target) != nullptr) {
+          ++stats.versions_materialized;
+          if (options_.check_version_linearity) {
+            VERSO_RETURN_IF_ERROR(NoteMaterialized(target, deepest));
+          }
+        }
+      }
+      sstats.rounds = round + 1;
+      if (!changed) break;
+    }
+    if (trace_ != nullptr) {
+      trace_->OnStratumFixpoint(stratum, sstats.rounds);
+    }
+  }
+  return stats;
+}
+
+}  // namespace verso

@@ -1,0 +1,83 @@
+#ifndef VERSO_CORE_EVALUATOR_H_
+#define VERSO_CORE_EVALUATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/object_base.h"
+#include "core/program.h"
+#include "core/stratify.h"
+#include "core/tp_operator.h"
+#include "core/trace.h"
+#include "util/result.h"
+
+namespace verso {
+
+struct EvalOptions {
+  /// Hard bound on T_P applications per stratum; safe rules always
+  /// converge, so hitting this indicates a bug or an adversarial program.
+  uint32_t max_rounds_per_stratum = 1u << 20;
+
+  /// Run the incremental version-linearity check of Section 5 while
+  /// evaluating (the paper recommends a run-time check; turning it off is
+  /// exercised by the linearity ablation benchmark).
+  bool check_version_linearity = true;
+};
+
+struct StratumStats {
+  uint32_t rounds = 0;
+  size_t t1_updates = 0;
+  size_t states_replaced = 0;
+  size_t copied_facts = 0;
+};
+
+struct EvalStats {
+  std::vector<StratumStats> strata;
+  size_t versions_materialized = 0;
+
+  uint32_t total_rounds() const {
+    uint32_t n = 0;
+    for (const StratumStats& s : strata) n += s.rounds;
+    return n;
+  }
+  size_t total_t1_updates() const {
+    size_t n = 0;
+    for (const StratumStats& s : strata) n += s.t1_updates;
+    return n;
+  }
+};
+
+/// Bottom-up evaluation of an update-program (Section 4): iterate T_P
+/// stratum by stratum until each stratum reaches its fixpoint, evolving
+/// `base` into result(P). Applying one T_P result replaces the states of
+/// the relevant VIDs (the classical union for inserts; the copy-then-
+/// update reading for deletes and modifies).
+class Evaluator {
+ public:
+  Evaluator(SymbolTable& symbols, VersionTable& versions,
+            EvalOptions options = EvalOptions(), TraceSink* trace = nullptr)
+      : symbols_(symbols),
+        versions_(versions),
+        options_(options),
+        trace_(trace) {}
+
+  /// Evolves `base` (the object base ob, exists-sealed) into result(P).
+  Result<EvalStats> Run(const Program& program,
+                        const Stratification& stratification,
+                        ObjectBase& base);
+
+ private:
+  SymbolTable& symbols_;
+  VersionTable& versions_;
+  EvalOptions options_;
+  TraceSink* trace_;
+
+  /// Incremental linearity check: deepest materialized VID per object.
+  Status NoteMaterialized(Vid vid,
+                          std::unordered_map<Oid, Vid>& deepest) const;
+};
+
+}  // namespace verso
+
+#endif  // VERSO_CORE_EVALUATOR_H_

@@ -1,0 +1,164 @@
+#include "core/expr.h"
+
+namespace verso {
+
+ExprId ExprPool::Const(Oid value) {
+  ExprId id(static_cast<uint32_t>(nodes_.size()));
+  Expr node{};
+  node.kind = Expr::Kind::kConst;
+  node.constant = value;
+  nodes_.push_back(node);
+  return id;
+}
+
+ExprId ExprPool::Var(VarId var) {
+  ExprId id(static_cast<uint32_t>(nodes_.size()));
+  Expr node{};
+  node.kind = Expr::Kind::kVar;
+  node.var = var;
+  nodes_.push_back(node);
+  return id;
+}
+
+ExprId ExprPool::Binary(Expr::Kind kind, ExprId lhs, ExprId rhs) {
+  ExprId id(static_cast<uint32_t>(nodes_.size()));
+  Expr node{};
+  node.kind = kind;
+  node.lhs = lhs;
+  node.rhs = rhs;
+  nodes_.push_back(node);
+  return id;
+}
+
+ExprId ExprPool::Neg(ExprId operand) {
+  ExprId id(static_cast<uint32_t>(nodes_.size()));
+  Expr node{};
+  node.kind = Expr::Kind::kNeg;
+  node.lhs = operand;
+  nodes_.push_back(node);
+  return id;
+}
+
+void ExprPool::CollectVars(ExprId id, std::vector<VarId>* out) const {
+  const Expr& node = at(id);
+  switch (node.kind) {
+    case Expr::Kind::kConst:
+      return;
+    case Expr::Kind::kVar:
+      out->push_back(node.var);
+      return;
+    case Expr::Kind::kNeg:
+      CollectVars(node.lhs, out);
+      return;
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kSub:
+    case Expr::Kind::kMul:
+    case Expr::Kind::kDiv:
+      CollectVars(node.lhs, out);
+      CollectVars(node.rhs, out);
+      return;
+  }
+}
+
+bool ExprPool::IsVarRef(ExprId id, VarId* var) const {
+  const Expr& node = at(id);
+  if (node.kind != Expr::Kind::kVar) return false;
+  *var = node.var;
+  return true;
+}
+
+Result<Oid> EvalExpr(const ExprPool& pool, ExprId id, const Bindings& bindings,
+                     SymbolTable& symbols) {
+  const Expr& node = pool.at(id);
+  switch (node.kind) {
+    case Expr::Kind::kConst:
+      return node.constant;
+    case Expr::Kind::kVar: {
+      Oid bound = bindings[node.var.value];
+      if (!bound.valid()) {
+        return Status::Internal("expression references unbound variable");
+      }
+      return bound;
+    }
+    case Expr::Kind::kNeg: {
+      VERSO_ASSIGN_OR_RETURN(Oid operand,
+                             EvalExpr(pool, node.lhs, bindings, symbols));
+      if (!symbols.IsNumber(operand)) {
+        return Status::InvalidArgument("negation of a non-number");
+      }
+      VERSO_ASSIGN_OR_RETURN(Numeric value,
+                             Numeric::Neg(symbols.NumberValue(operand)));
+      return symbols.Number(value);
+    }
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kSub:
+    case Expr::Kind::kMul:
+    case Expr::Kind::kDiv: {
+      VERSO_ASSIGN_OR_RETURN(Oid lhs,
+                             EvalExpr(pool, node.lhs, bindings, symbols));
+      VERSO_ASSIGN_OR_RETURN(Oid rhs,
+                             EvalExpr(pool, node.rhs, bindings, symbols));
+      if (!symbols.IsNumber(lhs) || !symbols.IsNumber(rhs)) {
+        return Status::InvalidArgument(
+            "arithmetic on non-numeric operands: " + symbols.OidToString(lhs) +
+            ", " + symbols.OidToString(rhs));
+      }
+      const Numeric& a = symbols.NumberValue(lhs);
+      const Numeric& b = symbols.NumberValue(rhs);
+      Result<Numeric> value = [&]() {
+        switch (node.kind) {
+          case Expr::Kind::kAdd:
+            return Numeric::Add(a, b);
+          case Expr::Kind::kSub:
+            return Numeric::Sub(a, b);
+          case Expr::Kind::kMul:
+            return Numeric::Mul(a, b);
+          default:
+            return Numeric::Div(a, b);
+        }
+      }();
+      if (!value.ok()) return value.status();
+      return symbols.Number(*value);
+    }
+  }
+  return Status::Internal("corrupt expression node");
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCmp(CmpOp op, Oid lhs, Oid rhs, const SymbolTable& symbols) {
+  if (op == CmpOp::kEq) return lhs == rhs;
+  if (op == CmpOp::kNe) return lhs != rhs;
+  int cmp = symbols.Compare(lhs, rhs);
+  if (cmp == SymbolTable::kIncomparable) return false;
+  switch (op) {
+    case CmpOp::kLt:
+      return cmp < 0;
+    case CmpOp::kLe:
+      return cmp <= 0;
+    case CmpOp::kGt:
+      return cmp > 0;
+    case CmpOp::kGe:
+      return cmp >= 0;
+    default:
+      return false;
+  }
+}
+
+}  // namespace verso

@@ -1,0 +1,78 @@
+#ifndef VERSO_CORE_EXPR_H_
+#define VERSO_CORE_EXPR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/symbol_table.h"
+#include "util/result.h"
+
+namespace verso {
+
+/// Handle to a node in an ExprPool.
+struct ExprId {
+  uint32_t value = UINT32_MAX;
+
+  constexpr ExprId() = default;
+  constexpr explicit ExprId(uint32_t v) : value(v) {}
+  constexpr bool valid() const { return value != UINT32_MAX; }
+};
+
+/// Arithmetic expression node. Rules own a pool of these for their
+/// built-in atoms (e.g. `S2 = S * 1.1 + 200`).
+struct Expr {
+  enum class Kind : uint8_t { kConst, kVar, kAdd, kSub, kMul, kDiv, kNeg };
+
+  Kind kind;
+  Oid constant;  // kConst
+  VarId var;     // kVar
+  ExprId lhs;    // binary ops, kNeg
+  ExprId rhs;    // binary ops
+};
+
+/// Arena of expression nodes for one rule.
+class ExprPool {
+ public:
+  ExprId Const(Oid value);
+  ExprId Var(VarId var);
+  ExprId Binary(Expr::Kind kind, ExprId lhs, ExprId rhs);
+  ExprId Neg(ExprId operand);
+
+  const Expr& at(ExprId id) const { return nodes_[id.value]; }
+  size_t size() const { return nodes_.size(); }
+
+  /// Appends every variable occurring under `id` to `out`.
+  void CollectVars(ExprId id, std::vector<VarId>* out) const;
+
+  /// True iff the node is exactly a variable reference (used by the
+  /// safety analysis to recognize binding occurrences of `X = expr`).
+  bool IsVarRef(ExprId id, VarId* var) const;
+
+ private:
+  std::vector<Expr> nodes_;
+};
+
+/// Environment mapping rule variables to OIDs; invalid Oid = unbound.
+using Bindings = std::vector<Oid>;
+
+/// Evaluates an expression under `bindings`. Constants and bound
+/// variables evaluate to themselves; arithmetic requires numeric operands
+/// (the paper folds values into O; we type-check at evaluation time).
+/// New numeric OIDs are interned into `symbols`.
+Result<Oid> EvalExpr(const ExprPool& pool, ExprId id, const Bindings& bindings,
+                     SymbolTable& symbols);
+
+/// Comparison operators available in built-in atoms.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpName(CmpOp op);
+
+/// Applies a comparison to two OIDs. Equality/disequality are identity on
+/// interned OIDs (numbers are canonical, so identity is numeric equality);
+/// ordering comparisons between different payload kinds are false.
+bool EvalCmp(CmpOp op, Oid lhs, Oid rhs, const SymbolTable& symbols);
+
+}  // namespace verso
+
+#endif  // VERSO_CORE_EXPR_H_

@@ -1,0 +1,112 @@
+#ifndef VERSO_CORE_IDS_H_
+#define VERSO_CORE_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "util/hash.h"
+
+namespace verso {
+
+/// Object identity (paper: elements of O). Values — numbers, strings — are
+/// specific OIDs, exactly as in Section 2.1. Dense handle into SymbolTable.
+struct Oid {
+  uint32_t value = UINT32_MAX;
+
+  constexpr Oid() = default;
+  constexpr explicit Oid(uint32_t v) : value(v) {}
+  constexpr bool valid() const { return value != UINT32_MAX; }
+  friend constexpr bool operator==(Oid a, Oid b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Oid a, Oid b) { return a.value != b.value; }
+  friend constexpr bool operator<(Oid a, Oid b) { return a.value < b.value; }
+};
+
+/// Method name handle (paper: elements of M).
+struct MethodId {
+  uint32_t value = UINT32_MAX;
+
+  constexpr MethodId() = default;
+  constexpr explicit MethodId(uint32_t v) : value(v) {}
+  constexpr bool valid() const { return value != UINT32_MAX; }
+  friend constexpr bool operator==(MethodId a, MethodId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(MethodId a, MethodId b) {
+    return a.value != b.value;
+  }
+  friend constexpr bool operator<(MethodId a, MethodId b) {
+    return a.value < b.value;
+  }
+};
+
+/// Version identity (paper: elements of O_V). Dense handle into
+/// VersionTable; depth-0 VIDs coincide with OIDs (O is a subset of O_V).
+struct Vid {
+  uint32_t value = UINT32_MAX;
+
+  constexpr Vid() = default;
+  constexpr explicit Vid(uint32_t v) : value(v) {}
+  constexpr bool valid() const { return value != UINT32_MAX; }
+  friend constexpr bool operator==(Vid a, Vid b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Vid a, Vid b) { return a.value != b.value; }
+  friend constexpr bool operator<(Vid a, Vid b) { return a.value < b.value; }
+};
+
+/// Rule-local variable handle (paper: elements of V, quantified over O).
+struct VarId {
+  uint32_t value = UINT32_MAX;
+
+  constexpr VarId() = default;
+  constexpr explicit VarId(uint32_t v) : value(v) {}
+  constexpr bool valid() const { return value != UINT32_MAX; }
+  friend constexpr bool operator==(VarId a, VarId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(VarId a, VarId b) {
+    return a.value != b.value;
+  }
+};
+
+/// The function symbols F = {ins, del, mod} denoting update types.
+enum class UpdateKind : uint8_t {
+  kInsert = 0,
+  kDelete = 1,
+  kModify = 2,
+};
+
+/// "ins" / "del" / "mod" — exactly the paper's functor spelling.
+constexpr std::string_view UpdateKindName(UpdateKind kind) {
+  switch (kind) {
+    case UpdateKind::kInsert:
+      return "ins";
+    case UpdateKind::kDelete:
+      return "del";
+    case UpdateKind::kModify:
+      return "mod";
+  }
+  return "?";
+}
+
+}  // namespace verso
+
+template <>
+struct std::hash<verso::Oid> {
+  size_t operator()(verso::Oid id) const {
+    return std::hash<uint32_t>()(id.value);
+  }
+};
+template <>
+struct std::hash<verso::MethodId> {
+  size_t operator()(verso::MethodId id) const {
+    return std::hash<uint32_t>()(id.value);
+  }
+};
+template <>
+struct std::hash<verso::Vid> {
+  size_t operator()(verso::Vid id) const {
+    return std::hash<uint32_t>()(id.value);
+  }
+};
+
+#endif  // VERSO_CORE_IDS_H_

@@ -1,0 +1,56 @@
+#ifndef VERSO_CORE_MATCH_H_
+#define VERSO_CORE_MATCH_H_
+
+#include <functional>
+
+#include "core/object_base.h"
+#include "core/rule.h"
+#include "core/symbol_table.h"
+#include "core/version_table.h"
+#include "util/result.h"
+
+namespace verso {
+
+/// Shared mutable context for matching: the symbol table interns numbers
+/// produced by arithmetic, the version table interns VIDs resolved from
+/// version-id-terms. The object base is read-only during matching.
+struct MatchContext {
+  SymbolTable& symbols;
+  VersionTable& versions;
+  const ObjectBase& base;
+};
+
+/// Resolves a version-id-term whose base is a constant or a bound
+/// variable to a concrete (interned) VID. Returns an invalid Vid when the
+/// base variable is unbound.
+Vid ResolveVid(const VidTerm& term, const Bindings& bindings,
+               VersionTable& versions);
+
+/// Resolves a fully bound AppPattern to a ground application.
+/// Precondition (guaranteed by safety analysis): every variable bound.
+GroundApp ResolveApp(const AppPattern& app, const Bindings& bindings);
+
+/// Evaluates the paper's truth definition (Section 3) for a ground
+/// literal: version-terms by membership; body update-terms by the
+/// ins/del/mod transition conditions; built-ins by evaluation. The
+/// literal's negation flag is applied.
+Result<bool> GroundLiteralTruth(const Rule& rule, const Literal& literal,
+                                const Bindings& bindings, MatchContext& ctx);
+
+/// Enumerates every binding of the rule's variables that satisfies the
+/// body (in the order planned by AnalyzeRule), invoking `sink` once per
+/// satisfying binding. `sink` may return an error to abort enumeration.
+Status ForEachBodyMatch(const Rule& rule, MatchContext& ctx,
+                        const std::function<Status(const Bindings&)>& sink);
+
+/// Variant for semi-naive evaluation: starts from `initial` bindings and
+/// skips the body literal at index `skip_literal` (which the caller has
+/// already matched against a delta fact). `initial` must bind every
+/// variable the skipped literal would have bound.
+Status ForEachBodyMatchFrom(const Rule& rule, MatchContext& ctx,
+                            const Bindings& initial, int skip_literal,
+                            const std::function<Status(const Bindings&)>& sink);
+
+}  // namespace verso
+
+#endif  // VERSO_CORE_MATCH_H_

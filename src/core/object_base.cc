@@ -1,0 +1,158 @@
+#include "core/object_base.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace verso {
+
+bool VersionState::Insert(MethodId method, GroundApp app) {
+  std::vector<GroundApp>& apps = methods_[method];
+  auto it = std::lower_bound(apps.begin(), apps.end(), app);
+  if (it != apps.end() && *it == app) return false;
+  apps.insert(it, std::move(app));
+  ++fact_count_;
+  return true;
+}
+
+bool VersionState::Erase(MethodId method, const GroundApp& app) {
+  auto mit = methods_.find(method);
+  if (mit == methods_.end()) return false;
+  std::vector<GroundApp>& apps = mit->second;
+  auto it = std::lower_bound(apps.begin(), apps.end(), app);
+  if (it == apps.end() || !(*it == app)) return false;
+  apps.erase(it);
+  --fact_count_;
+  if (apps.empty()) methods_.erase(mit);
+  return true;
+}
+
+bool VersionState::Contains(MethodId method, const GroundApp& app) const {
+  auto mit = methods_.find(method);
+  if (mit == methods_.end()) return false;
+  const std::vector<GroundApp>& apps = mit->second;
+  auto it = std::lower_bound(apps.begin(), apps.end(), app);
+  return it != apps.end() && *it == app;
+}
+
+const std::vector<GroundApp>* VersionState::Find(MethodId method) const {
+  auto mit = methods_.find(method);
+  return mit == methods_.end() ? nullptr : &mit->second;
+}
+
+bool VersionState::OnlyExists(MethodId exists_method) const {
+  if (methods_.empty()) return true;
+  return methods_.size() == 1 && methods_.begin()->first == exists_method;
+}
+
+bool ObjectBase::Insert(Vid version, MethodId method, GroundApp app) {
+  VersionState& state = states_[version];
+  if (!state.Insert(method, std::move(app))) {
+    if (state.empty()) states_.erase(version);
+    return false;
+  }
+  ++fact_count_;
+  IndexAdd(version, method, 1);
+  return true;
+}
+
+bool ObjectBase::Erase(Vid version, MethodId method, const GroundApp& app) {
+  auto it = states_.find(version);
+  if (it == states_.end()) return false;
+  if (!it->second.Erase(method, app)) return false;
+  --fact_count_;
+  IndexRemove(version, method, 1);
+  if (it->second.empty()) states_.erase(it);
+  return true;
+}
+
+bool ObjectBase::Contains(Vid version, MethodId method,
+                          const GroundApp& app) const {
+  auto it = states_.find(version);
+  return it != states_.end() && it->second.Contains(method, app);
+}
+
+const VersionState* ObjectBase::StateOf(Vid version) const {
+  auto it = states_.find(version);
+  return it == states_.end() ? nullptr : &it->second;
+}
+
+bool ObjectBase::ReplaceVersion(Vid version, VersionState state) {
+  auto it = states_.find(version);
+  if (it == states_.end()) {
+    if (state.empty()) return false;
+    // New version: index all methods.
+    for (const auto& [method, apps] : state.methods()) {
+      IndexAdd(version, method, static_cast<uint32_t>(apps.size()));
+    }
+    fact_count_ += state.fact_count();
+    states_.emplace(version, std::move(state));
+    return true;
+  }
+  if (it->second == state) return false;
+  // Drop the old index contributions, install the new state.
+  for (const auto& [method, apps] : it->second.methods()) {
+    IndexRemove(version, method, static_cast<uint32_t>(apps.size()));
+  }
+  fact_count_ -= it->second.fact_count();
+  if (state.empty()) {
+    states_.erase(it);
+    return true;
+  }
+  for (const auto& [method, apps] : state.methods()) {
+    IndexAdd(version, method, static_cast<uint32_t>(apps.size()));
+  }
+  fact_count_ += state.fact_count();
+  it->second = std::move(state);
+  return true;
+}
+
+bool ObjectBase::VersionExists(Vid version) const {
+  GroundApp app;
+  app.result = versions_->root(version);
+  return Contains(version, exists_method_, app);
+}
+
+Vid ObjectBase::LatestExistingStage(Vid v) const {
+  Vid cur = v;
+  while (true) {
+    if (VersionExists(cur)) return cur;
+    if (versions_->depth(cur) == 0) return Vid();
+    cur = versions_->parent(cur);
+  }
+}
+
+void ObjectBase::SealExistence() {
+  std::vector<Vid> roots;
+  roots.reserve(states_.size());
+  for (const auto& [vid, state] : states_) {
+    if (versions_->depth(vid) == 0) roots.push_back(vid);
+  }
+  for (Vid vid : roots) {
+    GroundApp app;
+    app.result = versions_->root(vid);
+    Insert(vid, exists_method_, std::move(app));
+  }
+}
+
+const std::unordered_map<Vid, uint32_t>* ObjectBase::VidsWithMethod(
+    MethodId method) const {
+  auto it = method_index_.find(method);
+  return it == method_index_.end() ? nullptr : &it->second;
+}
+
+void ObjectBase::IndexAdd(Vid version, MethodId method, uint32_t count) {
+  method_index_[method][version] += count;
+}
+
+void ObjectBase::IndexRemove(Vid version, MethodId method, uint32_t count) {
+  auto mit = method_index_.find(method);
+  assert(mit != method_index_.end());
+  auto vit = mit->second.find(version);
+  assert(vit != mit->second.end());
+  assert(vit->second >= count);
+  vit->second -= count;
+  if (vit->second == 0) mit->second.erase(vit);
+  if (mit->second.empty()) method_index_.erase(mit);
+}
+
+}  // namespace verso

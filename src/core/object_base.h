@@ -1,0 +1,127 @@
+#ifndef VERSO_CORE_OBJECT_BASE_H_
+#define VERSO_CORE_OBJECT_BASE_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/term.h"
+#include "core/version_table.h"
+
+namespace verso {
+
+/// The state of one version: all ground method-applications that hold for
+/// it. Per (method) the applications are kept sorted, so membership is a
+/// binary search and states compare with ==.
+class VersionState {
+ public:
+  /// Returns true if the application was new.
+  bool Insert(MethodId method, GroundApp app);
+  /// Returns true if the application was present.
+  bool Erase(MethodId method, const GroundApp& app);
+  bool Contains(MethodId method, const GroundApp& app) const;
+
+  /// All applications of one method, or nullptr.
+  const std::vector<GroundApp>* Find(MethodId method) const;
+
+  size_t fact_count() const { return fact_count_; }
+  bool empty() const { return fact_count_ == 0; }
+
+  const std::map<MethodId, std::vector<GroundApp>>& methods() const {
+    return methods_;
+  }
+
+  /// True iff the state carries no information beyond `exists` — such a
+  /// version contributes no object to the new object base (Section 5).
+  bool OnlyExists(MethodId exists_method) const;
+
+  friend bool operator==(const VersionState& a, const VersionState& b) {
+    return a.methods_ == b.methods_;
+  }
+
+ private:
+  std::map<MethodId, std::vector<GroundApp>> methods_;
+  size_t fact_count_ = 0;
+};
+
+/// An object base: a set of ground version-terms `v.m@args -> r`
+/// (paper Section 2.1), indexed
+///   * per version: its full VersionState (the copy unit of T_P step 2),
+///   * per method: which versions carry it (drives matching of patterns
+///     whose version variable is unbound, filtered by VID shape).
+///
+/// The ObjectBase does not own the symbol/version tables; it references
+/// the VersionTable to answer shape/`v*` queries.
+class ObjectBase {
+ public:
+  ObjectBase(MethodId exists_method, const VersionTable* versions)
+      : exists_method_(exists_method), versions_(versions) {}
+
+  /// Copyable by design: the evaluator works on a copy of the input base.
+  ObjectBase(const ObjectBase&) = default;
+  ObjectBase& operator=(const ObjectBase&) = default;
+  ObjectBase(ObjectBase&&) = default;
+  ObjectBase& operator=(ObjectBase&&) = default;
+
+  bool Insert(Vid version, MethodId method, GroundApp app);
+  bool Erase(Vid version, MethodId method, const GroundApp& app);
+  bool Contains(Vid version, MethodId method, const GroundApp& app) const;
+
+  /// The state of a version, or nullptr if it has no facts.
+  const VersionState* StateOf(Vid version) const;
+
+  /// Swaps in a whole new state for `version` (the evaluator's application
+  /// of T_P replaces the states of all relevant VIDs). An empty state
+  /// removes the version. Returns true iff anything changed.
+  bool ReplaceVersion(Vid version, VersionState state);
+
+  /// True iff `version.exists -> root(version)` is in the base — the
+  /// paper's notion of the version being materialized/"active".
+  bool VersionExists(Vid version) const;
+
+  /// `v*`: the largest subterm of `v` whose exists-fact is in the base
+  /// (Section 3). Returns an invalid Vid when no stage of the object is
+  /// materialized (a fresh object).
+  Vid LatestExistingStage(Vid v) const;
+
+  /// Ensures every depth-0 version in the base carries its exists-fact
+  /// (the paper assumes `o.exists -> o` for every object of ob).
+  void SealExistence();
+
+  /// Versions carrying at least one fact for `method` (with multiplicity
+  /// count), or nullptr. Iteration order is unspecified.
+  const std::unordered_map<Vid, uint32_t>* VidsWithMethod(
+      MethodId method) const;
+
+  const std::unordered_map<Vid, VersionState>& versions() const {
+    return states_;
+  }
+
+  size_t fact_count() const { return fact_count_; }
+  size_t version_count() const { return states_.size(); }
+
+  MethodId exists_method() const { return exists_method_; }
+  const VersionTable* version_table() const { return versions_; }
+
+  friend bool operator==(const ObjectBase& a, const ObjectBase& b) {
+    return a.states_ == b.states_;
+  }
+
+ private:
+  MethodId exists_method_;
+  const VersionTable* versions_;
+
+  std::unordered_map<Vid, VersionState> states_;
+  std::unordered_map<MethodId, std::unordered_map<Vid, uint32_t>>
+      method_index_;
+  size_t fact_count_ = 0;
+
+  void IndexAdd(Vid version, MethodId method, uint32_t count);
+  void IndexRemove(Vid version, MethodId method, uint32_t count);
+};
+
+}  // namespace verso
+
+#endif  // VERSO_CORE_OBJECT_BASE_H_

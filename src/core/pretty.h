@@ -1,0 +1,50 @@
+#ifndef VERSO_CORE_PRETTY_H_
+#define VERSO_CORE_PRETTY_H_
+
+#include <string>
+
+#include "core/object_base.h"
+#include "core/program.h"
+#include "core/stratify.h"
+#include "core/symbol_table.h"
+#include "core/update.h"
+#include "core/version_table.h"
+
+namespace verso {
+
+/// Printers render the surface syntax accepted by the parser, so printed
+/// programs and object bases round-trip (tested in parser/roundtrip_test).
+
+std::string ObjTermToString(const ObjTerm& term, const Rule& rule,
+                            const SymbolTable& symbols);
+std::string VidTermToString(const VidTerm& term, const Rule& rule,
+                            const SymbolTable& symbols);
+std::string LiteralToString(const Literal& literal, const Rule& rule,
+                            const SymbolTable& symbols);
+std::string RuleToString(const Rule& rule, const SymbolTable& symbols);
+std::string ProgramToString(const Program& program,
+                            const SymbolTable& symbols);
+
+/// "vid.m@a1,..,ak -> r."
+std::string FactToString(Vid version, MethodId method, const GroundApp& app,
+                         const SymbolTable& symbols,
+                         const VersionTable& versions);
+
+/// "ins[v].m -> r" / "del[v].m -> r" / "mod[v].m -> (r, r')".
+std::string GroundUpdateToString(const GroundUpdate& update,
+                                 const SymbolTable& symbols,
+                                 const VersionTable& versions);
+
+/// Canonical (sorted) textual form of an object base; one fact per line.
+/// Stable across runs, used to diff evaluation results in tests.
+std::string ObjectBaseToString(const ObjectBase& base,
+                               const SymbolTable& symbols,
+                               const VersionTable& versions);
+
+/// "stratum 0: rule1, rule2\nstratum 1: rule3\n..."
+std::string StratificationToString(const Stratification& strat,
+                                   const Program& program);
+
+}  // namespace verso
+
+#endif  // VERSO_CORE_PRETTY_H_

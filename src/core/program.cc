@@ -1,0 +1,12 @@
+#include "core/program.h"
+
+namespace verso {
+
+Status Program::Analyze(const SymbolTable& symbols) {
+  for (Rule& rule : rules) {
+    VERSO_RETURN_IF_ERROR(AnalyzeRule(rule, symbols));
+  }
+  return Status::Ok();
+}
+
+}  // namespace verso

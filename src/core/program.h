@@ -1,0 +1,30 @@
+#ifndef VERSO_CORE_PROGRAM_H_
+#define VERSO_CORE_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rule.h"
+#include "util/status.h"
+
+namespace verso {
+
+/// An update-program: a set of update-rules evaluated bottom-up against an
+/// object base (paper Section 2.1). Analyze() must succeed before the
+/// program is handed to the stratifier/evaluator.
+struct Program {
+  std::vector<Rule> rules;
+
+  /// Runs AnalyzeRule on every rule (safety + head checks + join order).
+  Status Analyze(const SymbolTable& symbols);
+
+  /// Convenience: add a rule and return its index.
+  size_t Add(Rule rule) {
+    rules.push_back(std::move(rule));
+    return rules.size() - 1;
+  }
+};
+
+}  // namespace verso
+
+#endif  // VERSO_CORE_PROGRAM_H_

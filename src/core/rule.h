@@ -1,0 +1,47 @@
+#ifndef VERSO_CORE_RULE_H_
+#define VERSO_CORE_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/atom.h"
+#include "core/symbol_table.h"
+#include "util/status.h"
+
+namespace verso {
+
+/// An update-rule `H <- B1 ^ ... ^ Bk` (k >= 0; k == 0 is an update-fact).
+/// Variables are rule-local, quantified over the set O of OIDs.
+struct Rule {
+  UpdateAtom head;
+  std::vector<Literal> body;
+  ExprPool exprs;                      // expression nodes for built-ins
+  std::vector<std::string> var_names;  // VarId -> surface name
+  std::string label;                   // e.g. "rule1"; used in diagnostics
+  int source_line = 0;                 // 0 when constructed programmatically
+
+  /// Filled in by AnalyzeRule: the order in which body literals are
+  /// matched (safety analysis doubles as a greedy join-order planner).
+  std::vector<uint32_t> execution_order;
+
+  uint32_t var_count() const {
+    return static_cast<uint32_t>(var_names.size());
+  }
+
+  /// A short name for diagnostics: the label if set, else "rule@line".
+  std::string DisplayName() const;
+};
+
+/// Checks the paper's well-formedness requirements for one rule and plans
+/// its body execution order:
+///   * safety: every variable is bound by some positive version-/update-
+///     term (or by `X = expr` over bound variables) before it is used in a
+///     negated literal, comparison, or the head;
+///   * the system method `exists` does not occur in the head;
+///   * `del[V].*` heads carry kind kDelete; `mod` heads have a new-result.
+/// On success rule.execution_order is a complete permutation of the body.
+Status AnalyzeRule(Rule& rule, const SymbolTable& symbols);
+
+}  // namespace verso
+
+#endif  // VERSO_CORE_RULE_H_

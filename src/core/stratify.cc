@@ -1,0 +1,229 @@
+#include "core/stratify.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/unify.h"
+
+namespace verso {
+
+namespace {
+
+/// One version-id-term occurring in a rule body, with its polarity.
+struct BodyTerm {
+  VidTerm term;
+  bool negated;
+};
+
+std::vector<BodyTerm> BodyTermsOf(const Rule& rule) {
+  std::vector<BodyTerm> out;
+  for (const Literal& lit : rule.body) {
+    switch (lit.kind) {
+      case Literal::Kind::kVersion:
+        out.push_back({lit.version.version, lit.negated});
+        break;
+      case Literal::Kind::kUpdate:
+        out.push_back({lit.update.TargetTerm(), lit.negated});
+        break;
+      case Literal::Kind::kBuiltin:
+        break;
+    }
+  }
+  return out;
+}
+
+/// True iff rule r'’s head version-id-term unifies with some subterm of t.
+bool HeadUnifiesSubterm(const VidTerm& head_target, const VidTerm& t) {
+  for (const VidTerm& sub : VidSubterms(t)) {
+    if (UnifyVidTerms(head_target, sub)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Stratification> Stratify(const Program& program) {
+  const size_t n = program.rules.size();
+
+  std::vector<VidTerm> head_target(n);
+  std::vector<VidTerm> head_version(n);  // V in head α[V]
+  std::vector<std::vector<BodyTerm>> body_terms(n);
+  for (size_t r = 0; r < n; ++r) {
+    head_target[r] = program.rules[r].head.TargetTerm();
+    head_version[r] = program.rules[r].head.version;
+    body_terms[r] = BodyTermsOf(program.rules[r]);
+  }
+
+  // Edge (from, to): stratum(from) + weight <= stratum(to);
+  // weight 1 = strict (lower stratum), weight 0 = weak (at most as high).
+  std::set<std::pair<uint32_t, uint32_t>> strict_edges;
+  std::set<std::pair<uint32_t, uint32_t>> weak_edges;
+  auto add_edge = [&](size_t from, size_t to, bool strict) {
+    auto edge = std::make_pair(static_cast<uint32_t>(from),
+                               static_cast<uint32_t>(to));
+    if (strict) {
+      strict_edges.insert(edge);
+    } else if (!strict_edges.count(edge)) {
+      weak_edges.insert(edge);
+    }
+  };
+
+  for (size_t r = 0; r < n; ++r) {
+    // Condition (a): writers of any subterm of the head's version V are
+    // strictly below this rule (once copied, a state is final).
+    for (size_t rp = 0; rp < n; ++rp) {
+      if (HeadUnifiesSubterm(head_target[rp], head_version[r])) {
+        add_edge(rp, r, /*strict=*/true);
+      }
+    }
+    for (const BodyTerm& bt : body_terms[r]) {
+      // Conditions (b) and (c): writers of (subterms of) a version read in
+      // the body are at most as high (positive) / strictly below (negated).
+      for (size_t rp = 0; rp < n; ++rp) {
+        if (HeadUnifiesSubterm(head_target[rp], bt.term)) {
+          add_edge(rp, r, /*strict=*/bt.negated);
+        }
+      }
+      // Condition (d): reading a del(V)/mod(V) version puts the rules that
+      // perform the corresponding delete/modify strictly below, so that a
+      // shrinking state is never used before it is final.
+      if (!bt.term.ops.empty() && (bt.term.ops[0] == UpdateKind::kDelete ||
+                                   bt.term.ops[0] == UpdateKind::kModify)) {
+        const UpdateKind kind = bt.term.ops[0];
+        const VidTerm inner = bt.term.Inner();
+        for (size_t rp = 0; rp < n; ++rp) {
+          if (program.rules[rp].head.kind != kind) continue;
+          if (UnifyVidTerms(inner, head_version[rp])) {
+            add_edge(rp, r, /*strict=*/true);
+          }
+        }
+      }
+    }
+  }
+
+  // Promote: a strict edge supersedes a weak edge between the same rules.
+  for (const auto& e : strict_edges) weak_edges.erase(e);
+
+  // Tarjan SCC over the union graph.
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (const auto& [from, to] : strict_edges) adj[from].push_back(to);
+  for (const auto& [from, to] : weak_edges) adj[from].push_back(to);
+
+  std::vector<int> index(n, -1);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  std::vector<int> component(n, -1);
+  int next_index = 0;
+  int component_count = 0;
+
+  // Iterative Tarjan to avoid recursion limits on large generated programs.
+  struct Frame {
+    uint32_t node;
+    size_t child;
+  };
+  for (uint32_t start = 0; start < n; ++start) {
+    if (index[start] != -1) continue;
+    std::vector<Frame> frames{{start, 0}};
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.child < adj[frame.node].size()) {
+        uint32_t next = adj[frame.node][frame.child++];
+        if (index[next] == -1) {
+          index[next] = lowlink[next] = next_index++;
+          stack.push_back(next);
+          on_stack[next] = true;
+          frames.push_back({next, 0});
+        } else if (on_stack[next]) {
+          lowlink[frame.node] = std::min(lowlink[frame.node], index[next]);
+        }
+      } else {
+        if (lowlink[frame.node] == index[frame.node]) {
+          while (true) {
+            uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component[w] = component_count;
+            if (w == frame.node) break;
+          }
+          ++component_count;
+        }
+        uint32_t done = frame.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().node] =
+              std::min(lowlink[frames.back().node], lowlink[done]);
+        }
+      }
+    }
+  }
+
+  // A strict edge inside one SCC makes the program non-stratifiable.
+  for (const auto& [from, to] : strict_edges) {
+    if (component[from] == component[to]) {
+      return Status::NotStratifiable(
+          "rules '" + program.rules[from].DisplayName() + "' and '" +
+          program.rules[to].DisplayName() +
+          "' are mutually recursive through a constraint that requires '" +
+          program.rules[from].DisplayName() + "' to be in a strictly lower "
+          "stratum (conditions (a)-(d) of Section 4)");
+    }
+  }
+
+  // Longest-path layering over the condensation. Tarjan emits components
+  // in reverse topological order, so process them from last to first.
+  std::vector<uint32_t> comp_level(static_cast<size_t>(component_count), 0);
+  auto relax = [&](uint32_t from, uint32_t to, uint32_t weight) {
+    int cf = component[from];
+    int ct = component[to];
+    if (cf == ct) return;
+    comp_level[ct] =
+        std::max(comp_level[ct], comp_level[cf] + weight);
+  };
+  // Edges go from lower components to higher; iterate components in
+  // topological order (component_count-1 .. 0) relaxing outgoing edges.
+  // Simpler: repeat relaxation |C| times (Bellman-Ford style on a DAG is
+  // overkill but n is the number of rules, which is small).
+  for (int pass = 0; pass < component_count; ++pass) {
+    bool changed = false;
+    for (const auto& [from, to] : strict_edges) {
+      uint32_t before = comp_level[component[to]];
+      relax(from, to, 1);
+      changed |= comp_level[component[to]] != before;
+    }
+    for (const auto& [from, to] : weak_edges) {
+      uint32_t before = comp_level[component[to]];
+      relax(from, to, 0);
+      changed |= comp_level[component[to]] != before;
+    }
+    if (!changed) break;
+  }
+
+  // Compact the stratum numbers to a dense range.
+  std::vector<uint32_t> levels;
+  levels.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    levels.push_back(comp_level[component[r]]);
+  }
+  std::vector<uint32_t> sorted = levels;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  Stratification out;
+  out.stratum_of_rule.resize(n);
+  out.strata.resize(sorted.size());
+  for (size_t r = 0; r < n; ++r) {
+    uint32_t dense = static_cast<uint32_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), levels[r]) -
+        sorted.begin());
+    out.stratum_of_rule[r] = dense;
+    out.strata[dense].push_back(static_cast<uint32_t>(r));
+  }
+  return out;
+}
+
+}  // namespace verso

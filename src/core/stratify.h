@@ -1,0 +1,42 @@
+#ifndef VERSO_CORE_STRATIFY_H_
+#define VERSO_CORE_STRATIFY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/program.h"
+#include "util/result.h"
+
+namespace verso {
+
+/// A stratification of an update-program per Section 4 of the paper:
+/// strata are evaluated in order; within one stratum T_P is iterated to a
+/// fixpoint.
+struct Stratification {
+  /// rule index -> stratum number (0-based, dense).
+  std::vector<uint32_t> stratum_of_rule;
+  /// stratum number -> rule indices in program order.
+  std::vector<std::vector<uint32_t>> strata;
+
+  size_t stratum_count() const { return strata.size(); }
+};
+
+/// Computes a stratification satisfying the paper's conditions:
+///   (a) rules whose head version-id-term unifies with a subterm of V are
+///       strictly below any rule with head (V) — a copied state is never
+///       written again after being copied;
+///   (b) writers of a version are at most as high as its positive readers;
+///   (c) writers of a version are strictly below its negated readers;
+///   (d) rules performing del (resp. mod) on a version are strictly below
+///       rules reading the corresponding del(.) (resp. mod(.)) version.
+/// Conditions are evaluated with `[V]` replaced by `(V)` and unification
+/// restricted to the OID sort (see unify.h).
+///
+/// Internally: strict/weak edges between rules, SCC condensation, and a
+/// longest-path layering; a strict edge inside a cycle makes the program
+/// non-stratifiable and yields a diagnostic naming the offending rules.
+Result<Stratification> Stratify(const Program& program);
+
+}  // namespace verso
+
+#endif  // VERSO_CORE_STRATIFY_H_

@@ -1,0 +1,96 @@
+#ifndef VERSO_CORE_TERM_H_
+#define VERSO_CORE_TERM_H_
+
+#include <vector>
+
+#include "core/ids.h"
+
+namespace verso {
+
+/// An object-id-term (paper Section 2.1): a variable or an OID. These are
+/// the only terms allowed in method argument and result positions —
+/// versions never appear there ("a relationship is a more stable concept
+/// than the concept of versions").
+struct ObjTerm {
+  bool is_var = false;
+  VarId var;
+  Oid oid;
+
+  static ObjTerm Var(VarId v) {
+    ObjTerm t;
+    t.is_var = true;
+    t.var = v;
+    return t;
+  }
+  static ObjTerm Const(Oid o) {
+    ObjTerm t;
+    t.is_var = false;
+    t.oid = o;
+    return t;
+  }
+
+  friend bool operator==(const ObjTerm& a, const ObjTerm& b) {
+    if (a.is_var != b.is_var) return false;
+    return a.is_var ? a.var == b.var : a.oid == b.oid;
+  }
+};
+
+/// A version-id-term (paper Section 2.1): a chain of update functors
+/// applied to an object-id-term, e.g. ins(del(mod(E))) has
+/// ops = [ins, del, mod] (outermost first) and base E.
+/// Variables are quantified over OIDs only, so a VidTerm's variable can
+/// never stand for another versioned term — this restriction is what makes
+/// the paper's stratification conditions come out right.
+struct VidTerm {
+  std::vector<UpdateKind> ops;  // outermost functor first; may be empty
+  ObjTerm base;
+
+  static VidTerm OfObj(ObjTerm base) {
+    VidTerm t;
+    t.base = base;
+    return t;
+  }
+
+  /// Wraps this term in one more functor: Wrap(mod, V) == mod(V).
+  static VidTerm Wrap(UpdateKind kind, const VidTerm& inner) {
+    VidTerm t;
+    t.ops.reserve(inner.ops.size() + 1);
+    t.ops.push_back(kind);
+    t.ops.insert(t.ops.end(), inner.ops.begin(), inner.ops.end());
+    t.base = inner.base;
+    return t;
+  }
+
+  uint32_t depth() const { return static_cast<uint32_t>(ops.size()); }
+  bool is_plain() const { return ops.empty(); }
+
+  /// The term with the outermost functor stripped; requires depth() > 0.
+  VidTerm Inner() const {
+    VidTerm t;
+    t.ops.assign(ops.begin() + 1, ops.end());
+    t.base = base;
+    return t;
+  }
+
+  friend bool operator==(const VidTerm& a, const VidTerm& b) {
+    return a.ops == b.ops && a.base == b.base;
+  }
+};
+
+/// Ground method application: the `m@a1,...,ak -> r` part of a fact.
+struct GroundApp {
+  std::vector<Oid> args;
+  Oid result;
+
+  friend bool operator==(const GroundApp& a, const GroundApp& b) {
+    return a.result == b.result && a.args == b.args;
+  }
+  friend bool operator<(const GroundApp& a, const GroundApp& b) {
+    if (a.args != b.args) return a.args < b.args;
+    return a.result < b.result;
+  }
+};
+
+}  // namespace verso
+
+#endif  // VERSO_CORE_TERM_H_

@@ -1,0 +1,141 @@
+#include "core/tp_operator.h"
+
+#include <unordered_set>
+
+namespace verso {
+
+Result<TpResult> TpOperator::Apply(const Program& program,
+                                   const std::vector<uint32_t>& rule_indices,
+                                   const ObjectBase& base, TraceSink* trace) {
+  TpResult result;
+  MatchContext ctx{symbols_, versions_, base};
+
+  // ---- Step 1: T¹_P(I) — the set of ground updates to perform.
+  std::unordered_set<GroundUpdate, GroundUpdateHash> t1;
+  // Deterministic application order: collect per target below via std::map.
+  for (uint32_t rule_index : rule_indices) {
+    const Rule& rule = program.rules[rule_index];
+    Status status = ForEachBodyMatch(
+        rule, ctx, [&](const Bindings& bindings) -> Status {
+          Vid v = ResolveVid(rule.head.version, bindings, versions_);
+          if (!v.valid()) {
+            return Status::Internal(rule.DisplayName() +
+                                    ": unbound head version after matching");
+          }
+          if (rule.head.delete_all) {
+            // del[V].* expands to one delete per method-application of v*
+            // (the system method `exists` is never deletable).
+            Vid vstar = base.LatestExistingStage(v);
+            if (!vstar.valid()) return Status::Ok();
+            const VersionState* state = base.StateOf(vstar);
+            if (state == nullptr) return Status::Ok();
+            for (const auto& [method, apps] : state->methods()) {
+              if (method == base.exists_method()) continue;
+              for (const GroundApp& app : apps) {
+                GroundUpdate update;
+                update.kind = UpdateKind::kDelete;
+                update.version = v;
+                update.method = method;
+                update.app = app;
+                if (t1.insert(update).second && trace != nullptr) {
+                  trace->OnUpdateDerived(rule, update);
+                }
+              }
+            }
+            return Status::Ok();
+          }
+
+          GroundUpdate update;
+          update.kind = rule.head.kind;
+          update.version = v;
+          update.method = rule.head.app.method;
+          update.app = ResolveApp(rule.head.app, bindings);
+          if (rule.head.kind == UpdateKind::kModify) {
+            update.new_result = rule.head.new_result.is_var
+                                    ? bindings[rule.head.new_result.var.value]
+                                    : rule.head.new_result.oid;
+          }
+
+          // Head truth (Section 3): an insert is always true; a delete or
+          // modify requires the old application to hold in v*'s state.
+          if (rule.head.kind != UpdateKind::kInsert) {
+            Vid vstar = base.LatestExistingStage(v);
+            if (!vstar.valid() ||
+                !base.Contains(vstar, update.method, update.app)) {
+              return Status::Ok();
+            }
+          }
+          if (t1.insert(update).second && trace != nullptr) {
+            trace->OnUpdateDerived(rule, update);
+          }
+          return Status::Ok();
+        });
+    VERSO_RETURN_IF_ERROR(status);
+  }
+  result.t1_updates = t1.size();
+
+  // Group T¹ by target version α(v). A target receives updates of exactly
+  // one kind (its outermost functor).
+  std::map<Vid, std::vector<const GroundUpdate*>> by_target;
+  for (const GroundUpdate& update : t1) {
+    Vid target = versions_.Child(update.version, update.kind);
+    by_target[target].push_back(&update);
+  }
+
+  // ---- Steps 2 and 3 per relevant target.
+  for (auto& [target, updates] : by_target) {
+    VersionState state;
+    if (base.VersionExists(target)) {
+      // Active: copy the target's own current state.
+      state = *base.StateOf(target);
+      ++result.t2_copies_from_self;
+    } else {
+      Vid v = versions_.parent(target);
+      Vid vstar = base.LatestExistingStage(v);
+      if (vstar.valid()) {
+        state = *base.StateOf(vstar);
+        ++result.t2_copies_from_prior;
+        if (trace != nullptr) {
+          trace->OnVersionMaterialized(target, vstar, state.fact_count());
+        }
+      } else {
+        // Fresh object (OID absent from ob): start from the empty state
+        // and materialize it with its exists-fact. Documented extension;
+        // only inserts can reach this branch (head truth of del/mod
+        // requires a materialized stage).
+        GroundApp exists_app;
+        exists_app.result = versions_.root(target);
+        state.Insert(base.exists_method(), std::move(exists_app));
+        ++result.fresh_objects;
+        if (trace != nullptr) {
+          trace->OnVersionMaterialized(target, Vid(), 0);
+        }
+      }
+    }
+    result.t2_copied_facts += state.fact_count();
+
+    // Step 3, phase 1: removals (deleted applications and the old values
+    // of modifies) — all of them before any addition, so simultaneous
+    // updates like mod(a->b) + mod(b->c) yield {b,c} and not {c}.
+    for (const GroundUpdate* update : updates) {
+      if (update->kind == UpdateKind::kDelete ||
+          update->kind == UpdateKind::kModify) {
+        state.Erase(update->method, update->app);
+      }
+    }
+    // Step 3, phase 2: additions (inserts and the new values of modifies).
+    for (const GroundUpdate* update : updates) {
+      if (update->kind == UpdateKind::kInsert) {
+        state.Insert(update->method, update->app);
+      } else if (update->kind == UpdateKind::kModify) {
+        GroundApp new_app = update->app;
+        new_app.result = update->new_result;
+        state.Insert(update->method, std::move(new_app));
+      }
+    }
+    result.new_states.emplace(target, std::move(state));
+  }
+  return result;
+}
+
+}  // namespace verso

@@ -1,0 +1,60 @@
+#ifndef VERSO_CORE_TP_OPERATOR_H_
+#define VERSO_CORE_TP_OPERATOR_H_
+
+#include <map>
+#include <vector>
+
+#include "core/match.h"
+#include "core/object_base.h"
+#include "core/program.h"
+#include "core/trace.h"
+#include "core/update.h"
+#include "util/result.h"
+
+namespace verso {
+
+/// The outcome of one application of T_P: the new states of exactly the
+/// relevant VIDs (every fact of T_P(I) concerns a relevant version), plus
+/// step-level statistics for the benchmarks.
+struct TpResult {
+  /// target version (α(v)) -> its freshly computed state. std::map keeps
+  /// application deterministic.
+  std::map<Vid, VersionState> new_states;
+
+  // Statistics per step of the operator.
+  size_t t1_updates = 0;     // |T¹_P(I)|
+  size_t t2_copied_facts = 0;  // facts copied preparing version states
+  size_t t2_copies_from_self = 0;   // active VIDs (copied from themselves)
+  size_t t2_copies_from_prior = 0;  // relevant-not-active (copied from v*)
+  size_t fresh_objects = 0;  // targets with no existing stage at all
+};
+
+/// Implements the immediate consequence operator of Section 3:
+///   step 1 — derive T¹: ground updates from rules whose body *and head*
+///            are true w.r.t. I (inserts are always head-true; deletes and
+///            modifies require `v*.m->r` in I);
+///   step 2 — prepare a state for every relevant VID α(v): copy α(v)'s own
+///            state if active, else copy v*'s state;
+///   step 3 — apply T¹ to the copies (two-phase: all removals from deletes
+///            and modify-old-values first, then all insert/modify-new
+///            additions — simultaneous updates must not shadow each other).
+class TpOperator {
+ public:
+  TpOperator(SymbolTable& symbols, VersionTable& versions)
+      : symbols_(symbols), versions_(versions) {}
+
+  /// One application of T_P restricted to `rule_indices` (a stratum) on
+  /// `base`. Does not mutate `base`; the evaluator installs the returned
+  /// states.
+  Result<TpResult> Apply(const Program& program,
+                         const std::vector<uint32_t>& rule_indices,
+                         const ObjectBase& base, TraceSink* trace);
+
+ private:
+  SymbolTable& symbols_;
+  VersionTable& versions_;
+};
+
+}  // namespace verso
+
+#endif  // VERSO_CORE_TP_OPERATOR_H_

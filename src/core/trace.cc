@@ -1,0 +1,77 @@
+#include "core/trace.h"
+
+#include <ostream>
+
+#include "core/pretty.h"
+
+namespace verso {
+
+void RecordingTrace::OnStratumBegin(uint32_t stratum, size_t rule_count) {
+  lines_.push_back("stratum " + std::to_string(stratum) + " (" +
+                   std::to_string(rule_count) + " rules)");
+}
+
+void RecordingTrace::OnRoundBegin(uint32_t stratum, uint32_t round) {
+  lines_.push_back("  round " + std::to_string(stratum) + "." +
+                   std::to_string(round));
+}
+
+void RecordingTrace::OnUpdateDerived(const Rule& rule,
+                                     const GroundUpdate& update) {
+  lines_.push_back("    " + rule.DisplayName() + " derives " +
+                   GroundUpdateToString(update, symbols_, versions_));
+}
+
+void RecordingTrace::OnVersionMaterialized(Vid version, Vid copied_from,
+                                           size_t copied_facts) {
+  std::string from = copied_from.valid()
+                         ? versions_.ToString(copied_from, symbols_)
+                         : std::string("<fresh>");
+  lines_.push_back("    materialize " + versions_.ToString(version, symbols_) +
+                   " from " + from + " (" + std::to_string(copied_facts) +
+                   " facts)");
+}
+
+void RecordingTrace::OnStratumFixpoint(uint32_t stratum, uint32_t rounds) {
+  lines_.push_back("stratum " + std::to_string(stratum) + " fixpoint after " +
+                   std::to_string(rounds) + " round(s)");
+}
+
+std::string RecordingTrace::ToString() const {
+  std::string out;
+  for (const std::string& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void StreamTrace::OnStratumBegin(uint32_t stratum, size_t rule_count) {
+  out_ << "stratum " << stratum << " (" << rule_count << " rules)\n";
+}
+
+void StreamTrace::OnRoundBegin(uint32_t stratum, uint32_t round) {
+  out_ << "  round " << stratum << "." << round << "\n";
+}
+
+void StreamTrace::OnUpdateDerived(const Rule& rule,
+                                  const GroundUpdate& update) {
+  out_ << "    " << rule.DisplayName() << " derives "
+       << GroundUpdateToString(update, symbols_, versions_) << "\n";
+}
+
+void StreamTrace::OnVersionMaterialized(Vid version, Vid copied_from,
+                                        size_t copied_facts) {
+  out_ << "    materialize " << versions_.ToString(version, symbols_)
+       << " from "
+       << (copied_from.valid() ? versions_.ToString(copied_from, symbols_)
+                               : std::string("<fresh>"))
+       << " (" << copied_facts << " facts)\n";
+}
+
+void StreamTrace::OnStratumFixpoint(uint32_t stratum, uint32_t rounds) {
+  out_ << "stratum " << stratum << " fixpoint after " << rounds
+       << " round(s)\n";
+}
+
+}  // namespace verso

@@ -1,0 +1,97 @@
+#ifndef VERSO_CORE_TRACE_H_
+#define VERSO_CORE_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/rule.h"
+#include "core/symbol_table.h"
+#include "core/update.h"
+#include "core/version_table.h"
+
+namespace verso {
+
+/// Observer interface over the update-process. The evaluator invokes the
+/// hooks during bottom-up evaluation; sinks are used for Figure-2 style
+/// process traces, statistics, and tests asserting process properties.
+/// All hooks default to no-ops.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void OnStratumBegin(uint32_t stratum, size_t rule_count) {
+    (void)stratum;
+    (void)rule_count;
+  }
+  virtual void OnRoundBegin(uint32_t stratum, uint32_t round) {
+    (void)stratum;
+    (void)round;
+  }
+  /// A rule instance contributed `update` to T¹ in the current round.
+  virtual void OnUpdateDerived(const Rule& rule, const GroundUpdate& update) {
+    (void)rule;
+    (void)update;
+  }
+  /// A version was materialized for the first time; `copied_from` is the
+  /// stage whose state seeded it (invalid Vid for fresh objects).
+  virtual void OnVersionMaterialized(Vid version, Vid copied_from,
+                                     size_t copied_facts) {
+    (void)version;
+    (void)copied_from;
+    (void)copied_facts;
+  }
+  virtual void OnStratumFixpoint(uint32_t stratum, uint32_t rounds) {
+    (void)stratum;
+    (void)rounds;
+  }
+};
+
+/// Records a readable line per event; handy in tests and examples.
+class RecordingTrace : public TraceSink {
+ public:
+  RecordingTrace(const SymbolTable& symbols, const VersionTable& versions)
+      : symbols_(symbols), versions_(versions) {}
+
+  void OnStratumBegin(uint32_t stratum, size_t rule_count) override;
+  void OnRoundBegin(uint32_t stratum, uint32_t round) override;
+  void OnUpdateDerived(const Rule& rule, const GroundUpdate& update) override;
+  void OnVersionMaterialized(Vid version, Vid copied_from,
+                             size_t copied_facts) override;
+  void OnStratumFixpoint(uint32_t stratum, uint32_t rounds) override;
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  /// All lines joined with newlines.
+  std::string ToString() const;
+
+ private:
+  const SymbolTable& symbols_;
+  const VersionTable& versions_;
+  std::vector<std::string> lines_;
+};
+
+/// Streams events to an ostream as they happen (used by the CLI's
+/// --trace flag and the example binaries).
+class StreamTrace : public TraceSink {
+ public:
+  StreamTrace(std::ostream& out, const SymbolTable& symbols,
+              const VersionTable& versions)
+      : out_(out), symbols_(symbols), versions_(versions) {}
+
+  void OnStratumBegin(uint32_t stratum, size_t rule_count) override;
+  void OnRoundBegin(uint32_t stratum, uint32_t round) override;
+  void OnUpdateDerived(const Rule& rule, const GroundUpdate& update) override;
+  void OnVersionMaterialized(Vid version, Vid copied_from,
+                             size_t copied_facts) override;
+  void OnStratumFixpoint(uint32_t stratum, uint32_t rounds) override;
+
+ private:
+  std::ostream& out_;
+  const SymbolTable& symbols_;
+  const VersionTable& versions_;
+};
+
+}  // namespace verso
+
+#endif  // VERSO_CORE_TRACE_H_

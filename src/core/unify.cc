@@ -1,0 +1,23 @@
+#include "core/unify.h"
+
+namespace verso {
+
+bool UnifyVidTerms(const VidTerm& a, const VidTerm& b) {
+  if (a.ops != b.ops) return false;
+  if (a.base.is_var || b.base.is_var) return true;
+  return a.base.oid == b.base.oid;
+}
+
+std::vector<VidTerm> VidSubterms(const VidTerm& t) {
+  std::vector<VidTerm> out;
+  out.reserve(t.ops.size() + 1);
+  VidTerm cur = t;
+  out.push_back(cur);
+  while (!cur.ops.empty()) {
+    cur = cur.Inner();
+    out.push_back(cur);
+  }
+  return out;
+}
+
+}  // namespace verso

@@ -1,0 +1,27 @@
+#ifndef VERSO_CORE_UNIFY_H_
+#define VERSO_CORE_UNIFY_H_
+
+#include <vector>
+
+#include "core/term.h"
+
+namespace verso {
+
+/// Unification of version-id-terms under the paper's sort discipline:
+/// variables are quantified over O, so a variable unifies with a variable
+/// or an OID but never with a term containing an update functor. Two
+/// VidTerms therefore unify iff their functor chains are identical and
+/// their base object-id-terms unify. Terms are assumed standardized apart
+/// (each rule is 8-quantified), and since a VidTerm has exactly one base
+/// position there are no occurs- or consistency-constraints to track.
+bool UnifyVidTerms(const VidTerm& a, const VidTerm& b);
+
+/// The subterms of a version-id-term that are themselves version-id-terms:
+/// the term itself and every functor-stripped suffix down to the base
+/// (e.g. ins(mod(E)) -> [ins(mod(E)), mod(E), E]). Used by stratification
+/// conditions (a)-(c), which speak of "a subterm of V".
+std::vector<VidTerm> VidSubterms(const VidTerm& t);
+
+}  // namespace verso
+
+#endif  // VERSO_CORE_UNIFY_H_

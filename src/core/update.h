@@ -1,0 +1,43 @@
+#ifndef VERSO_CORE_UPDATE_H_
+#define VERSO_CORE_UPDATE_H_
+
+#include <functional>
+
+#include "core/ids.h"
+#include "core/term.h"
+#include "util/hash.h"
+
+namespace verso {
+
+/// One ground update derived in step 1 of T_P: an element of T¹_P(I).
+/// `version` is the pre-transition version v of the update-term α[v];
+/// the update targets version α(v).
+struct GroundUpdate {
+  UpdateKind kind = UpdateKind::kInsert;
+  Vid version;          // v
+  MethodId method;
+  GroundApp app;        // args + (old) result
+  Oid new_result;       // modify only: r'
+
+  friend bool operator==(const GroundUpdate& a, const GroundUpdate& b) {
+    return a.kind == b.kind && a.version == b.version &&
+           a.method == b.method && a.app == b.app &&
+           a.new_result == b.new_result;
+  }
+};
+
+struct GroundUpdateHash {
+  size_t operator()(const GroundUpdate& u) const {
+    size_t seed = static_cast<size_t>(u.kind);
+    HashCombine(seed, u.version.value);
+    HashCombine(seed, u.method.value);
+    for (Oid arg : u.app.args) HashCombine(seed, arg.value);
+    HashCombine(seed, u.app.result.value);
+    HashCombine(seed, u.new_result.value);
+    return seed;
+  }
+};
+
+}  // namespace verso
+
+#endif  // VERSO_CORE_UPDATE_H_

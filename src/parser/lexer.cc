@@ -1,0 +1,273 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+namespace verso {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "end of input";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kVar:
+      return "variable";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kImplies:
+      return "'<-'";
+    case TokenKind::kAt:
+      return "'@'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNeq:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kColon:
+      return "':'";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::islower(static_cast<unsigned char>(c));
+}
+bool IsVarStart(char c) {
+  return std::isupper(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t pos = 0;
+  int line = 1;
+  int column = 1;
+
+  auto advance = [&](size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      if (source[pos] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++pos;
+    }
+  };
+  auto push = [&](TokenKind kind, std::string text, int tl, int tc) {
+    Token token;
+    token.kind = kind;
+    token.text = std::move(text);
+    token.line = tl;
+    token.column = tc;
+    tokens.push_back(std::move(token));
+  };
+
+  while (pos < source.size()) {
+    char c = source[pos];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '%') {
+      while (pos < source.size() && source[pos] != '\n') advance(1);
+      continue;
+    }
+    int tl = line;
+    int tc = column;
+    if (IsIdentStart(c) || IsVarStart(c)) {
+      size_t start = pos;
+      while (pos < source.size() && IsIdentBody(source[pos])) advance(1);
+      std::string text(source.substr(start, pos - start));
+      push(IsIdentStart(c) ? TokenKind::kIdent : TokenKind::kVar,
+           std::move(text), tl, tc);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos;
+      while (pos < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[pos]))) {
+        advance(1);
+      }
+      // A '.' is part of the number only when followed by a digit, so
+      // "250." lexes as the number 250 and a clause-terminating dot.
+      if (pos + 1 < source.size() && source[pos] == '.' &&
+          std::isdigit(static_cast<unsigned char>(source[pos + 1]))) {
+        advance(1);
+        while (pos < source.size() &&
+               std::isdigit(static_cast<unsigned char>(source[pos]))) {
+          advance(1);
+        }
+      }
+      push(TokenKind::kNumber, std::string(source.substr(start, pos - start)),
+           tl, tc);
+      continue;
+    }
+    if (c == '"') {
+      advance(1);
+      std::string text;
+      bool closed = false;
+      while (pos < source.size()) {
+        char d = source[pos];
+        if (d == '"') {
+          advance(1);
+          closed = true;
+          break;
+        }
+        if (d == '\\' && pos + 1 < source.size()) {
+          char e = source[pos + 1];
+          text += (e == 'n') ? '\n' : (e == 't') ? '\t' : e;
+          advance(2);
+          continue;
+        }
+        if (d == '\n') break;
+        text += d;
+        advance(1);
+      }
+      if (!closed) {
+        return Status::ParseError("line " + std::to_string(tl) +
+                                  ": unterminated string literal");
+      }
+      push(TokenKind::kString, std::move(text), tl, tc);
+      continue;
+    }
+
+    auto two = [&](char second) {
+      return pos + 1 < source.size() && source[pos + 1] == second;
+    };
+    switch (c) {
+      case '.':
+        push(TokenKind::kDot, ".", tl, tc);
+        advance(1);
+        continue;
+      case ',':
+        push(TokenKind::kComma, ",", tl, tc);
+        advance(1);
+        continue;
+      case '(':
+        push(TokenKind::kLParen, "(", tl, tc);
+        advance(1);
+        continue;
+      case ')':
+        push(TokenKind::kRParen, ")", tl, tc);
+        advance(1);
+        continue;
+      case '[':
+        push(TokenKind::kLBracket, "[", tl, tc);
+        advance(1);
+        continue;
+      case ']':
+        push(TokenKind::kRBracket, "]", tl, tc);
+        advance(1);
+        continue;
+      case '@':
+        push(TokenKind::kAt, "@", tl, tc);
+        advance(1);
+        continue;
+      case '*':
+        push(TokenKind::kStar, "*", tl, tc);
+        advance(1);
+        continue;
+      case '/':
+        push(TokenKind::kSlash, "/", tl, tc);
+        advance(1);
+        continue;
+      case '+':
+        push(TokenKind::kPlus, "+", tl, tc);
+        advance(1);
+        continue;
+      case '-':
+        if (two('>')) {
+          push(TokenKind::kArrow, "->", tl, tc);
+          advance(2);
+        } else {
+          push(TokenKind::kMinus, "-", tl, tc);
+          advance(1);
+        }
+        continue;
+      case '<':
+        if (two('-')) {
+          push(TokenKind::kImplies, "<-", tl, tc);
+          advance(2);
+        } else if (two('=')) {
+          push(TokenKind::kLe, "<=", tl, tc);
+          advance(2);
+        } else {
+          push(TokenKind::kLt, "<", tl, tc);
+          advance(1);
+        }
+        continue;
+      case '>':
+        if (two('=')) {
+          push(TokenKind::kGe, ">=", tl, tc);
+          advance(2);
+        } else {
+          push(TokenKind::kGt, ">", tl, tc);
+          advance(1);
+        }
+        continue;
+      case '=':
+        push(TokenKind::kEq, "=", tl, tc);
+        advance(1);
+        continue;
+      case '!':
+        if (two('=')) {
+          push(TokenKind::kNeq, "!=", tl, tc);
+          advance(2);
+          continue;
+        }
+        return Status::ParseError("line " + std::to_string(tl) +
+                                  ": stray '!' (did you mean '!='?)");
+      case ':':
+        push(TokenKind::kColon, ":", tl, tc);
+        advance(1);
+        continue;
+      default:
+        return Status::ParseError("line " + std::to_string(tl) + ", column " +
+                                  std::to_string(tc) +
+                                  ": unexpected character '" +
+                                  std::string(1, c) + "'");
+    }
+  }
+  push(TokenKind::kEof, "", line, column);
+  return tokens;
+}
+
+}  // namespace verso

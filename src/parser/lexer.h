@@ -1,0 +1,20 @@
+#ifndef VERSO_PARSER_LEXER_H_
+#define VERSO_PARSER_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "parser/token.h"
+#include "util/result.h"
+
+namespace verso {
+
+/// Tokenizes verso surface syntax. Comments run from '%' to end of line.
+/// A '.' between digits is part of a numeric literal; everywhere else it
+/// is the kDot token (the parser disambiguates selector vs terminator by
+/// position). Errors carry line/column.
+Result<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace verso
+
+#endif  // VERSO_PARSER_LEXER_H_

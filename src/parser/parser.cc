@@ -1,0 +1,504 @@
+#include "parser/parser.h"
+
+#include <unordered_map>
+
+#include "parser/lexer.h"
+#include "util/numeric.h"
+
+namespace verso {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. One instance parses a
+/// whole file; rule-local state (variables, expression pool) is reset per
+/// clause.
+class ParserImpl {
+ public:
+  ParserImpl(std::vector<Token> tokens, SymbolTable& symbols)
+      : tokens_(std::move(tokens)), symbols_(symbols) {}
+
+  Result<Program> ParseProgramFile() {
+    Program program;
+    while (!AtEof()) {
+      Rule rule;
+      VERSO_RETURN_IF_ERROR(ParseRule(&rule));
+      program.rules.push_back(std::move(rule));
+    }
+    if (program.rules.empty()) {
+      return Status::ParseError("empty update-program");
+    }
+    return program;
+  }
+
+  Result<Program> ParseDerivedRulesFile() {
+    Program program;
+    while (!AtEof()) {
+      Rule rule;
+      VERSO_RETURN_IF_ERROR(ParseDerivedRule(&rule));
+      program.rules.push_back(std::move(rule));
+    }
+    if (program.rules.empty()) {
+      return Status::ParseError("empty derived-method program");
+    }
+    return program;
+  }
+
+  Status ParseObjectBaseFile(VersionTable& versions, ObjectBase& base) {
+    while (!AtEof()) {
+      VERSO_RETURN_IF_ERROR(ParseFactClause(versions, base));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  SymbolTable& symbols_;
+
+  // Rule-local state.
+  Rule* rule_ = nullptr;
+  std::unordered_map<std::string, VarId> vars_;
+
+  // ---- token plumbing -------------------------------------------------
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() {
+    const Token& token = Peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return token;
+  }
+  bool AtEof() const { return Peek().kind == TokenKind::kEof; }
+  bool Check(TokenKind kind, size_t ahead = 0) const {
+    return Peek(ahead).kind == kind;
+  }
+  bool Accept(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Next();
+    return true;
+  }
+  Status Error(const std::string& message) const {
+    const Token& token = Peek();
+    return Status::ParseError("line " + std::to_string(token.line) +
+                              ", column " + std::to_string(token.column) +
+                              ": " + message + " (found " +
+                              std::string(TokenKindName(token.kind)) +
+                              (token.text.empty() ? "" : " '" + token.text + "'") +
+                              ")");
+  }
+  Status Expect(TokenKind kind, const char* what) {
+    if (Accept(kind)) return Status::Ok();
+    return Error("expected " + std::string(what));
+  }
+
+  bool IsFunctorIdent(const Token& token) const {
+    return token.kind == TokenKind::kIdent &&
+           (token.text == "ins" || token.text == "del" || token.text == "mod");
+  }
+  UpdateKind FunctorOf(const std::string& text) const {
+    if (text == "ins") return UpdateKind::kInsert;
+    if (text == "del") return UpdateKind::kDelete;
+    return UpdateKind::kModify;
+  }
+
+  // ---- terms -----------------------------------------------------------
+  VarId InternVar(const std::string& name) {
+    auto it = vars_.find(name);
+    if (it != vars_.end()) return it->second;
+    VarId id(static_cast<uint32_t>(rule_->var_names.size()));
+    rule_->var_names.push_back(name);
+    vars_.emplace(name, id);
+    return id;
+  }
+
+  /// objterm := VAR | IDENT | NUMBER | -NUMBER | STRING
+  Result<ObjTerm> ParseObjTerm(bool allow_vars) {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kVar: {
+        if (!allow_vars) {
+          return Status(StatusCode::kParseError,
+                        "line " + std::to_string(token.line) +
+                            ": variable '" + token.text +
+                            "' not allowed in an object base");
+        }
+        Next();
+        return ObjTerm::Var(InternVar(token.text));
+      }
+      case TokenKind::kIdent: {
+        Next();
+        return ObjTerm::Const(symbols_.Symbol(token.text));
+      }
+      case TokenKind::kString: {
+        Next();
+        return ObjTerm::Const(symbols_.String(token.text));
+      }
+      case TokenKind::kMinus:
+      case TokenKind::kNumber: {
+        bool negative = Accept(TokenKind::kMinus);
+        if (!Check(TokenKind::kNumber)) return Error("expected a number");
+        const Token& num = Next();
+        VERSO_ASSIGN_OR_RETURN(Numeric value, Numeric::Parse(num.text));
+        if (negative) {
+          VERSO_ASSIGN_OR_RETURN(value, Numeric::Neg(value));
+        }
+        return ObjTerm::Const(symbols_.Number(value));
+      }
+      default:
+        return Error("expected an object-id-term");
+    }
+  }
+
+  /// vidterm := functor '(' vidterm ')' | objterm
+  Result<VidTerm> ParseVidTerm(bool allow_vars) {
+    if (IsFunctorIdent(Peek()) && Check(TokenKind::kLParen, 1)) {
+      UpdateKind kind = FunctorOf(Next().text);
+      VERSO_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+      VERSO_ASSIGN_OR_RETURN(VidTerm inner, ParseVidTerm(allow_vars));
+      VERSO_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      return VidTerm::Wrap(kind, inner);
+    }
+    VERSO_ASSIGN_OR_RETURN(ObjTerm base, ParseObjTerm(allow_vars));
+    return VidTerm::OfObj(base);
+  }
+
+  /// app := method ['@' objterm,*] '->' objterm
+  /// With `mod_pair`, the result is '(' objterm ',' objterm ')' and
+  /// `new_result` receives the second component.
+  Status ParseApp(bool allow_vars, bool mod_pair, AppPattern* app,
+                  ObjTerm* new_result) {
+    if (!Check(TokenKind::kIdent)) return Error("expected a method name");
+    app->method = symbols_.Method(Next().text);
+    if (Accept(TokenKind::kAt)) {
+      while (true) {
+        VERSO_ASSIGN_OR_RETURN(ObjTerm arg, ParseObjTerm(allow_vars));
+        app->args.push_back(arg);
+        if (!Accept(TokenKind::kComma)) break;
+      }
+    }
+    VERSO_RETURN_IF_ERROR(Expect(TokenKind::kArrow, "'->'"));
+    if (mod_pair) {
+      VERSO_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'(' (modify takes "
+                                   "an (old, new) result pair)"));
+      VERSO_ASSIGN_OR_RETURN(app->result, ParseObjTerm(allow_vars));
+      VERSO_RETURN_IF_ERROR(Expect(TokenKind::kComma, "','"));
+      VERSO_ASSIGN_OR_RETURN(*new_result, ParseObjTerm(allow_vars));
+      VERSO_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    } else {
+      VERSO_ASSIGN_OR_RETURN(app->result, ParseObjTerm(allow_vars));
+    }
+    return Status::Ok();
+  }
+
+  // ---- expressions -----------------------------------------------------
+  Result<ExprId> ParseExpr() {
+    VERSO_ASSIGN_OR_RETURN(ExprId lhs, ParseExprTerm());
+    while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+      Expr::Kind op = Next().kind == TokenKind::kPlus ? Expr::Kind::kAdd
+                                                      : Expr::Kind::kSub;
+      VERSO_ASSIGN_OR_RETURN(ExprId rhs, ParseExprTerm());
+      lhs = rule_->exprs.Binary(op, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprId> ParseExprTerm() {
+    VERSO_ASSIGN_OR_RETURN(ExprId lhs, ParseExprFactor());
+    while (Check(TokenKind::kStar) || Check(TokenKind::kSlash)) {
+      Expr::Kind op = Next().kind == TokenKind::kStar ? Expr::Kind::kMul
+                                                      : Expr::Kind::kDiv;
+      VERSO_ASSIGN_OR_RETURN(ExprId rhs, ParseExprFactor());
+      lhs = rule_->exprs.Binary(op, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprId> ParseExprFactor() {
+    if (Accept(TokenKind::kMinus)) {
+      VERSO_ASSIGN_OR_RETURN(ExprId operand, ParseExprFactor());
+      return rule_->exprs.Neg(operand);
+    }
+    if (Accept(TokenKind::kLParen)) {
+      VERSO_ASSIGN_OR_RETURN(ExprId inner, ParseExpr());
+      VERSO_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      return inner;
+    }
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kVar: {
+        Next();
+        return rule_->exprs.Var(InternVar(token.text));
+      }
+      case TokenKind::kIdent: {
+        Next();
+        return rule_->exprs.Const(symbols_.Symbol(token.text));
+      }
+      case TokenKind::kString: {
+        Next();
+        return rule_->exprs.Const(symbols_.String(token.text));
+      }
+      case TokenKind::kNumber: {
+        Next();
+        VERSO_ASSIGN_OR_RETURN(Numeric value, Numeric::Parse(token.text));
+        return rule_->exprs.Const(symbols_.Number(value));
+      }
+      default:
+        return Error("expected an expression");
+    }
+  }
+
+  // ---- literals ----------------------------------------------------------
+  /// Scan-ahead: does a version-term literal (`vidterm '.' method ...`)
+  /// start here? Distinguishes version atoms from built-in expressions
+  /// without backtracking.
+  bool LooksLikeVersionAtom() const {
+    size_t i = 0;
+    size_t open = 0;
+    while (IsFunctorIdent(Peek(i)) && Check(TokenKind::kLParen, i + 1)) {
+      i += 2;
+      ++open;
+    }
+    TokenKind base = Peek(i).kind;
+    if (base != TokenKind::kIdent && base != TokenKind::kVar &&
+        base != TokenKind::kNumber && base != TokenKind::kString) {
+      return false;
+    }
+    ++i;
+    for (size_t k = 0; k < open; ++k) {
+      if (!Check(TokenKind::kRParen, i)) return false;
+      ++i;
+    }
+    return Check(TokenKind::kDot, i) && Check(TokenKind::kIdent, i + 1);
+  }
+
+  bool LooksLikeUpdateAtom() const {
+    return IsFunctorIdent(Peek()) && Check(TokenKind::kLBracket, 1);
+  }
+
+  /// updateatom := functor '[' vidterm ']' '.' ('*' | app | modapp)
+  Result<UpdateAtom> ParseUpdateAtom(bool is_head) {
+    UpdateAtom atom;
+    atom.kind = FunctorOf(Next().text);
+    VERSO_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "'['"));
+    VERSO_ASSIGN_OR_RETURN(atom.version, ParseVidTerm(/*allow_vars=*/true));
+    VERSO_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'"));
+    VERSO_RETURN_IF_ERROR(Expect(TokenKind::kDot, "'.'"));
+    if (Check(TokenKind::kStar)) {
+      if (!is_head) {
+        return Error("'.*' (delete all) is only allowed in rule heads");
+      }
+      if (atom.kind != UpdateKind::kDelete) {
+        return Error("'.*' requires a del[...] head");
+      }
+      Next();
+      atom.delete_all = true;
+      return atom;
+    }
+    VERSO_RETURN_IF_ERROR(ParseApp(/*allow_vars=*/true,
+                                   atom.kind == UpdateKind::kModify,
+                                   &atom.app, &atom.new_result));
+    return atom;
+  }
+
+  /// Appends one parsed literal — or several, when the path shorthand
+  /// `V.m1->R1/m2->R2` expands to a conjunction on the same version.
+  Status ParseLiteralInto(std::vector<Literal>* body) {
+    bool negated = false;
+    if (Check(TokenKind::kIdent) && Peek().text == "not") {
+      Next();
+      negated = true;
+    }
+    if (LooksLikeUpdateAtom()) {
+      VERSO_ASSIGN_OR_RETURN(UpdateAtom atom,
+                             ParseUpdateAtom(/*is_head=*/false));
+      body->push_back(Literal::Update(std::move(atom), negated));
+      return Status::Ok();
+    }
+    if (LooksLikeVersionAtom()) {
+      VERSO_ASSIGN_OR_RETURN(VidTerm version, ParseVidTerm(/*allow_vars=*/true));
+      VERSO_RETURN_IF_ERROR(Expect(TokenKind::kDot, "'.'"));
+      size_t count = 0;
+      while (true) {
+        VersionAtom atom;
+        atom.version = version;
+        VERSO_RETURN_IF_ERROR(ParseApp(/*allow_vars=*/true, /*mod_pair=*/false,
+                                       &atom.app, nullptr));
+        body->push_back(Literal::Version(std::move(atom), negated));
+        ++count;
+        if (!Accept(TokenKind::kSlash)) break;
+      }
+      if (negated && count > 1) {
+        return Error("'not' over a '/'-path is ambiguous; negate each "
+                     "method application separately");
+      }
+      return Status::Ok();
+    }
+    // Built-in comparison.
+    VERSO_ASSIGN_OR_RETURN(ExprId lhs, ParseExpr());
+    CmpOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        op = CmpOp::kEq;
+        break;
+      case TokenKind::kNeq:
+        op = CmpOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = CmpOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = CmpOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = CmpOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = CmpOp::kGe;
+        break;
+      default:
+        return Error("expected a comparison operator");
+    }
+    Next();
+    VERSO_ASSIGN_OR_RETURN(ExprId rhs, ParseExpr());
+    BuiltinAtom atom;
+    atom.op = op;
+    atom.lhs = lhs;
+    atom.rhs = rhs;
+    body->push_back(Literal::Builtin(atom, negated));
+    return Status::Ok();
+  }
+
+  /// rule := [label ':'] updateatom ['<-' literal,*] '.'
+  Status ParseRule(Rule* rule) {
+    rule_ = rule;
+    vars_.clear();
+    rule->source_line = Peek().line;
+    if (Check(TokenKind::kIdent) && Check(TokenKind::kColon, 1) &&
+        !IsFunctorIdent(Peek())) {
+      rule->label = Next().text;
+      Next();  // ':'
+    } else if (IsFunctorIdent(Peek()) && Check(TokenKind::kColon, 1)) {
+      // An ins/del/mod label would be confusing but is technically
+      // allowed; require a non-functor label instead.
+      return Error("rule label may not be 'ins', 'del' or 'mod'");
+    }
+    if (!LooksLikeUpdateAtom()) {
+      return Error(
+          "expected an update-term head (ins[...], del[...] or mod[...]); "
+          "plain facts belong in object-base files");
+    }
+    VERSO_ASSIGN_OR_RETURN(rule->head, ParseUpdateAtom(/*is_head=*/true));
+    if (Accept(TokenKind::kImplies)) {
+      while (true) {
+        VERSO_RETURN_IF_ERROR(ParseLiteralInto(&rule->body));
+        if (!Accept(TokenKind::kComma)) break;
+      }
+    }
+    VERSO_RETURN_IF_ERROR(Expect(TokenKind::kDot, "'.' at end of rule"));
+    rule_ = nullptr;
+    return Status::Ok();
+  }
+
+  /// derivedrule := [label ':'] 'derive' vidterm '.' app ['<-' literal,*] '.'
+  /// The head version-term is wrapped into an ins-update head; the query
+  /// evaluator treats it as a direct fact definition.
+  Status ParseDerivedRule(Rule* rule) {
+    rule_ = rule;
+    vars_.clear();
+    rule->source_line = Peek().line;
+    if (Check(TokenKind::kIdent) && Check(TokenKind::kColon, 1)) {
+      rule->label = Next().text;
+      Next();  // ':'
+    }
+    if (!(Check(TokenKind::kIdent) && Peek().text == "derive")) {
+      return Error("expected 'derive' at the start of a derived-method rule");
+    }
+    Next();
+    rule->head.kind = UpdateKind::kInsert;
+    VERSO_ASSIGN_OR_RETURN(rule->head.version,
+                           ParseVidTerm(/*allow_vars=*/true));
+    VERSO_RETURN_IF_ERROR(Expect(TokenKind::kDot, "'.'"));
+    VERSO_RETURN_IF_ERROR(ParseApp(/*allow_vars=*/true, /*mod_pair=*/false,
+                                   &rule->head.app, nullptr));
+    if (Accept(TokenKind::kImplies)) {
+      while (true) {
+        VERSO_RETURN_IF_ERROR(ParseLiteralInto(&rule->body));
+        if (!Accept(TokenKind::kComma)) break;
+      }
+    }
+    // Derived rules read methods; they never perform updates.
+    for (const Literal& literal : rule->body) {
+      if (literal.kind == Literal::Kind::kUpdate) {
+        return Error("update-terms are not allowed in derived-method rules");
+      }
+    }
+    VERSO_RETURN_IF_ERROR(Expect(TokenKind::kDot, "'.' at end of rule"));
+    rule_ = nullptr;
+    return Status::Ok();
+  }
+
+  /// fact := vidterm '.' app ('/' app)* '.'   (ground)
+  Status ParseFactClause(VersionTable& versions, ObjectBase& base) {
+    // Ground fact parsing borrows the rule machinery with vars forbidden;
+    // a throwaway Rule provides the expression pool slot.
+    Rule scratch;
+    rule_ = &scratch;
+    vars_.clear();
+    VERSO_ASSIGN_OR_RETURN(VidTerm version, ParseVidTerm(/*allow_vars=*/false));
+    VERSO_RETURN_IF_ERROR(Expect(TokenKind::kDot, "'.'"));
+    Vid vid = versions.OfOid(version.base.oid);
+    for (auto it = version.ops.rbegin(); it != version.ops.rend(); ++it) {
+      vid = versions.Child(vid, *it);
+    }
+    while (true) {
+      AppPattern app;
+      VERSO_RETURN_IF_ERROR(ParseApp(/*allow_vars=*/false, /*mod_pair=*/false,
+                                     &app, nullptr));
+      GroundApp ground;
+      ground.args.reserve(app.args.size());
+      for (const ObjTerm& arg : app.args) ground.args.push_back(arg.oid);
+      ground.result = app.result.oid;
+      base.Insert(vid, app.method, std::move(ground));
+      if (!Accept(TokenKind::kSlash)) break;
+    }
+    VERSO_RETURN_IF_ERROR(Expect(TokenKind::kDot, "'.' at end of fact"));
+    rule_ = nullptr;
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view source, SymbolTable& symbols) {
+  VERSO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  ParserImpl parser(std::move(tokens), symbols);
+  return parser.ParseProgramFile();
+}
+
+Status ParseObjectBaseInto(std::string_view source, SymbolTable& symbols,
+                           VersionTable& versions, ObjectBase& base) {
+  VERSO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  ParserImpl parser(std::move(tokens), symbols);
+  return parser.ParseObjectBaseFile(versions, base);
+}
+
+Result<Program> ParseProgram(std::string_view source, Engine& engine) {
+  return ParseProgram(source, engine.symbols());
+}
+
+Result<Program> ParseDerivedRules(std::string_view source,
+                                  SymbolTable& symbols) {
+  VERSO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  ParserImpl parser(std::move(tokens), symbols);
+  return parser.ParseDerivedRulesFile();
+}
+
+Result<ObjectBase> ParseObjectBase(std::string_view source, Engine& engine) {
+  ObjectBase base = engine.MakeBase();
+  VERSO_RETURN_IF_ERROR(ParseObjectBaseInto(source, engine.symbols(),
+                                            engine.versions(), base));
+  return base;
+}
+
+}  // namespace verso

@@ -1,0 +1,62 @@
+#ifndef VERSO_PARSER_PARSER_H_
+#define VERSO_PARSER_PARSER_H_
+
+#include <string_view>
+
+#include "core/engine.h"
+#include "core/object_base.h"
+#include "core/program.h"
+#include "core/symbol_table.h"
+#include "core/version_table.h"
+#include "util/result.h"
+
+namespace verso {
+
+/// Parses an update-program (.vup syntax):
+///
+///     % Each employee in a managerial position gets 10% + 200.
+///     rule1: mod[E].sal -> (S, S2) <-
+///         E.isa -> empl / pos -> mgr / sal -> S,
+///         S2 = S * 1.1 + 200.
+///     rule3: del[mod(E)].* <-
+///         mod(E).isa -> empl / boss -> B / sal -> SE,
+///         mod(B).isa -> empl / sal -> SB,
+///         SE > SB.
+///     rule4: ins[mod(E)].isa -> hpe <-
+///         mod(E).isa -> empl / sal -> S, S > 4500,
+///         not del[mod(E)].isa -> empl.
+///
+/// Heads are update-terms (`label:` prefixes are optional); bodies are
+/// comma-separated literals; `V.m1->R1/m2->R2` abbreviates a conjunction
+/// on the same version; `not` negates one literal; built-ins compare
+/// arithmetic expressions over exact rationals. Clauses end with '.'.
+Result<Program> ParseProgram(std::string_view source, SymbolTable& symbols);
+
+/// Parses an object base (.vob syntax): ground facts like
+///
+///     phil.isa -> empl.  phil.pos -> mgr.  phil.sal -> 4000.
+///     bob.isa -> empl / boss -> phil / sal -> 4200.
+///
+/// Versioned facts (e.g. `mod(phil).sal -> 4600.`) are accepted, so
+/// printed result(P) bases round-trip. Variables are rejected.
+Status ParseObjectBaseInto(std::string_view source, SymbolTable& symbols,
+                           VersionTable& versions, ObjectBase& base);
+
+/// Engine-bound conveniences.
+Result<Program> ParseProgram(std::string_view source, Engine& engine);
+Result<ObjectBase> ParseObjectBase(std::string_view source, Engine& engine);
+
+/// Parses derived-method rules (the query layer's surface syntax):
+///
+///     derive X.reaches -> Y <- X.edge -> Y.
+///     derive X.reaches -> Z <- X.reaches -> Y, Y.edge -> Z.
+///
+/// Each head is a single version-term; the returned rules carry it as an
+/// ins-update head (the query evaluator inserts facts directly into the
+/// head's version instead of creating an ins(...) version).
+Result<Program> ParseDerivedRules(std::string_view source,
+                                  SymbolTable& symbols);
+
+}  // namespace verso
+
+#endif  // VERSO_PARSER_PARSER_H_

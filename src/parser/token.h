@@ -1,0 +1,49 @@
+#ifndef VERSO_PARSER_TOKEN_H_
+#define VERSO_PARSER_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace verso {
+
+enum class TokenKind : uint8_t {
+  kEof,
+  kIdent,    // lowercase-initial: object / method / functor names
+  kVar,      // uppercase- or underscore-initial: variables
+  kNumber,   // integer or decimal literal
+  kString,   // double-quoted
+  kDot,      // .   (method selector and clause terminator)
+  kComma,    // ,
+  kLParen,   // (
+  kRParen,   // )
+  kLBracket, // [
+  kRBracket, // ]
+  kArrow,    // ->
+  kImplies,  // <-
+  kAt,       // @
+  kStar,     // *
+  kSlash,    // /   (path conjunction or division, by position)
+  kPlus,     // +
+  kMinus,    // -
+  kEq,       // =
+  kNeq,      // !=
+  kLt,       // <
+  kLe,       // <=
+  kGt,       // >
+  kGe,       // >=
+  kColon,    // :   (rule labels)
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;  // identifier / variable / number / string payload
+  int line = 0;
+  int column = 0;
+};
+
+}  // namespace verso
+
+#endif  // VERSO_PARSER_TOKEN_H_

@@ -1,0 +1,244 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/match.h"
+#include "parser/parser.h"
+
+namespace verso {
+
+namespace {
+
+/// One element of a semi-naive delta: a freshly derived fact.
+struct DeltaFact {
+  Vid vid;
+  MethodId method;
+  GroundApp app;
+};
+
+/// Method-level stratification of derived rules w.r.t. negation: classic
+/// stratified Datalog, with methods in the role of predicates.
+Result<std::vector<std::vector<uint32_t>>> StratifyByMethod(
+    const QueryProgram& program) {
+  std::unordered_set<uint32_t> derived;
+  for (MethodId m : program.derived_methods) derived.insert(m.value);
+
+  // head method <- body method edges; strict when the body literal is
+  // negated.
+  const size_t n = program.rules.size();
+  std::unordered_map<uint32_t, std::vector<uint32_t>> rules_defining;
+  for (size_t r = 0; r < n; ++r) {
+    rules_defining[program.rules[r].head.app.method.value].push_back(
+        static_cast<uint32_t>(r));
+  }
+
+  // Compute stratum per derived method by fixpoint relaxation.
+  std::unordered_map<uint32_t, uint32_t> level;
+  for (MethodId m : program.derived_methods) level[m.value] = 0;
+  for (size_t pass = 0; pass <= program.derived_methods.size() + 1; ++pass) {
+    bool changed = false;
+    for (const Rule& rule : program.rules) {
+      uint32_t& head_level = level[rule.head.app.method.value];
+      for (const Literal& lit : rule.body) {
+        if (lit.kind != Literal::Kind::kVersion) continue;
+        uint32_t m = lit.version.app.method.value;
+        if (!derived.count(m)) continue;
+        uint32_t need = level[m] + (lit.negated ? 1 : 0);
+        if (head_level < need) {
+          head_level = need;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+    if (pass == program.derived_methods.size() + 1) {
+      return Status::NotStratifiable(
+          "derived methods are recursive through negation");
+    }
+  }
+
+  uint32_t max_level = 0;
+  for (const auto& [m, l] : level) max_level = std::max(max_level, l);
+  std::vector<std::vector<uint32_t>> strata(max_level + 1);
+  for (size_t r = 0; r < n; ++r) {
+    strata[level[program.rules[r].head.app.method.value]].push_back(
+        static_cast<uint32_t>(r));
+  }
+  return strata;
+}
+
+/// Tries to bind a rule body literal's version-term + application pattern
+/// against a concrete delta fact, writing into `bindings` (fresh copy).
+bool SeedFromDelta(const Rule& rule, const Literal& lit,
+                   const DeltaFact& fact, const VersionTable& versions,
+                   VersionTable& mutable_versions, Bindings& bindings) {
+  bindings.assign(rule.var_count(), Oid());
+  const VidTerm& vt = lit.version.version;
+  // Shape must match exactly (variables range over OIDs).
+  VidShape shape = mutable_versions.InternShape(vt.ops);
+  if (versions.shape(fact.vid) != shape) return false;
+  if (vt.base.is_var) {
+    bindings[vt.base.var.value] = versions.root(fact.vid);
+  } else if (vt.base.oid != versions.root(fact.vid)) {
+    return false;
+  }
+  const AppPattern& app = lit.version.app;
+  if (app.args.size() != fact.app.args.size()) return false;
+  auto bind = [&](const ObjTerm& term, Oid value) {
+    if (!term.is_var) return term.oid == value;
+    Oid& slot = bindings[term.var.value];
+    if (slot.valid()) return slot == value;
+    slot = value;
+    return true;
+  };
+  for (size_t i = 0; i < app.args.size(); ++i) {
+    if (!bind(app.args[i], fact.app.args[i])) return false;
+  }
+  return bind(app.result, fact.app.result);
+}
+
+}  // namespace
+
+Result<QueryProgram> ParseQueryProgram(std::string_view source,
+                                       SymbolTable& symbols) {
+  VERSO_ASSIGN_OR_RETURN(Program inner, ParseDerivedRules(source, symbols));
+  QueryProgram program;
+  std::set<uint32_t> methods;
+  for (Rule& rule : inner.rules) {
+    methods.insert(rule.head.app.method.value);
+    program.rules.push_back(std::move(rule));
+  }
+  for (uint32_t m : methods) program.derived_methods.push_back(MethodId(m));
+  return program;
+}
+
+Result<ObjectBase> EvaluateQueries(QueryProgram& program,
+                                   const ObjectBase& base,
+                                   SymbolTable& symbols,
+                                   VersionTable& versions, QueryStats* stats,
+                                   const QueryOptions& options) {
+  for (Rule& rule : program.rules) {
+    VERSO_RETURN_IF_ERROR(AnalyzeRule(rule, symbols));
+  }
+  // Derived methods must not be stored: the separation between base
+  // methods (updatable) and derived methods (defined by rules) is the
+  // paper's own (Section 1: "units for updates are the result sets of
+  // base methods").
+  for (MethodId m : program.derived_methods) {
+    if (base.VidsWithMethod(m) != nullptr) {
+      return Status::InvalidArgument(
+          "derived method '" + std::string(symbols.MethodName(m)) +
+          "' already has stored facts in the object base");
+    }
+  }
+  VERSO_ASSIGN_OR_RETURN(std::vector<std::vector<uint32_t>> strata,
+                         StratifyByMethod(program));
+
+  ObjectBase working = base;
+  MatchContext ctx{symbols, versions, working};
+  QueryStats local;
+  local.strata = static_cast<uint32_t>(strata.size());
+
+  for (const std::vector<uint32_t>& stratum : strata) {
+    std::vector<DeltaFact> delta;
+    // Which head methods belong to this stratum (their facts seed delta).
+    std::unordered_set<uint32_t> stratum_methods;
+    for (uint32_t r : stratum) {
+      stratum_methods.insert(program.rules[r].head.app.method.value);
+    }
+
+    auto derive_head = [&](const Rule& rule,
+                           const Bindings& bindings) -> Status {
+      Vid vid = ResolveVid(rule.head.version, bindings, versions);
+      if (!vid.valid()) {
+        return Status::Internal("unbound head version in derived rule");
+      }
+      GroundApp app = ResolveApp(rule.head.app, bindings);
+      DeltaFact fact{vid, rule.head.app.method, app};
+      if (working.Insert(vid, rule.head.app.method, std::move(app))) {
+        ++local.derived_facts;
+        delta.push_back(std::move(fact));
+      }
+      return Status::Ok();
+    };
+
+    // Round 0: full evaluation of every rule in the stratum.
+    ++local.rounds;
+    for (uint32_t r : stratum) {
+      const Rule& rule = program.rules[r];
+      VERSO_RETURN_IF_ERROR(ForEachBodyMatch(
+          rule, ctx,
+          [&](const Bindings& bindings) { return derive_head(rule, bindings); }));
+    }
+
+    if (!options.semi_naive) {
+      // Naive: re-run all rules until nothing new is derived.
+      for (uint32_t round = 1;; ++round) {
+        if (round >= options.max_rounds_per_stratum) {
+          return Status::Divergence("query stratum exceeded round bound");
+        }
+        size_t before = local.derived_facts;
+        ++local.rounds;
+        for (uint32_t r : stratum) {
+          const Rule& rule = program.rules[r];
+          VERSO_RETURN_IF_ERROR(ForEachBodyMatch(
+              rule, ctx, [&](const Bindings& bindings) {
+                return derive_head(rule, bindings);
+              }));
+        }
+        if (local.derived_facts == before) break;
+      }
+      continue;
+    }
+
+    // Semi-naive rounds: every new fact must be joined through at least
+    // one body occurrence of a this-stratum method.
+    std::vector<DeltaFact> frontier = std::move(delta);
+    for (uint32_t round = 1; !frontier.empty(); ++round) {
+      if (round >= options.max_rounds_per_stratum) {
+        return Status::Divergence("query stratum exceeded round bound");
+      }
+      delta.clear();
+      ++local.rounds;
+      for (uint32_t r : stratum) {
+        const Rule& rule = program.rules[r];
+        for (size_t li = 0; li < rule.body.size(); ++li) {
+          const Literal& lit = rule.body[li];
+          if (lit.kind != Literal::Kind::kVersion || lit.negated) continue;
+          if (!stratum_methods.count(lit.version.app.method.value)) continue;
+          for (const DeltaFact& fact : frontier) {
+            if (fact.method != lit.version.app.method) continue;
+            Bindings seed;
+            if (!SeedFromDelta(rule, lit, fact, versions, versions, seed)) {
+              continue;
+            }
+            ++local.delta_joins;
+            VERSO_RETURN_IF_ERROR(ForEachBodyMatchFrom(
+                rule, ctx, seed, static_cast<int>(li),
+                [&](const Bindings& bindings) {
+                  return derive_head(rule, bindings);
+                }));
+          }
+        }
+      }
+      frontier = std::move(delta);
+      delta.clear();
+    }
+  }
+
+  if (stats != nullptr) *stats = local;
+  return working;
+}
+
+Result<ObjectBase> EvaluateQueries(QueryProgram& program,
+                                   const ObjectBase& base, Engine& engine,
+                                   QueryStats* stats,
+                                   const QueryOptions& options) {
+  return EvaluateQueries(program, base, engine.symbols(), engine.versions(),
+                         stats, options);
+}
+
+}  // namespace verso

@@ -1,0 +1,79 @@
+#ifndef VERSO_QUERY_QUERY_H_
+#define VERSO_QUERY_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/object_base.h"
+#include "core/program.h"
+#include "util/result.h"
+
+namespace verso {
+
+/// Derived methods — the "derived objects" extension of Section 6.
+///
+/// A derived-method program is a set of rules
+///
+///     derive V.m@A.. -> R <- body.
+///
+/// whose heads are version-terms (no update is performed; the method
+/// result is *defined*). Derived methods behave like stratified Datalog
+/// IDB predicates over the object base: bodies may read stored and
+/// derived methods, negate lower-stratum methods, and use built-ins.
+/// Derived methods can be queried but never updated — update-programs may
+/// only write base methods, exactly as the paper prescribes.
+///
+/// Internally a rule is carried as a core Rule whose head is the
+/// ins-update of the head version-term; evaluation inserts facts directly
+/// into the queried version instead of creating an ins(...) version.
+struct QueryProgram {
+  std::vector<Rule> rules;
+
+  /// Methods defined by rule heads (the IDB).
+  std::vector<MethodId> derived_methods;
+};
+
+/// Parses derived-method rules. Syntax mirrors update-programs but each
+/// clause head is `derive <version-term-literal>`:
+///
+///     derive X.reaches -> Y <- X.edge -> Y.
+///     derive X.reaches -> Z <- X.reaches -> Y, Y.edge -> Z.
+Result<QueryProgram> ParseQueryProgram(std::string_view source,
+                                       SymbolTable& symbols);
+
+struct QueryStats {
+  uint32_t strata = 0;
+  uint32_t rounds = 0;          // total fixpoint rounds across strata
+  size_t derived_facts = 0;     // facts added by rules
+  size_t delta_joins = 0;       // semi-naive delta-seeded join probes
+};
+
+struct QueryOptions {
+  /// Use semi-naive (delta-driven) evaluation for recursive strata.
+  /// Naive re-derivation is kept for the ablation benchmark.
+  bool semi_naive = true;
+  uint32_t max_rounds_per_stratum = 1u << 20;
+};
+
+/// Evaluates the derived methods over `base`, returning a new object base
+/// containing `base` plus all derived facts. Fails if a derived method
+/// already occurs in `base` (derived and stored definitions must not mix)
+/// or if the rules are not stratifiable w.r.t. negation.
+Result<ObjectBase> EvaluateQueries(QueryProgram& program,
+                                   const ObjectBase& base,
+                                   SymbolTable& symbols,
+                                   VersionTable& versions,
+                                   QueryStats* stats = nullptr,
+                                   const QueryOptions& options = QueryOptions());
+
+/// Engine-bound convenience.
+Result<ObjectBase> EvaluateQueries(QueryProgram& program,
+                                   const ObjectBase& base, Engine& engine,
+                                   QueryStats* stats = nullptr,
+                                   const QueryOptions& options = QueryOptions());
+
+}  // namespace verso
+
+#endif  // VERSO_QUERY_QUERY_H_

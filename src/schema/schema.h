@@ -1,0 +1,76 @@
+#ifndef VERSO_SCHEMA_SCHEMA_H_
+#define VERSO_SCHEMA_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/object_base.h"
+#include "core/program.h"
+#include "core/symbol_table.h"
+#include "util/result.h"
+
+namespace verso {
+
+/// Optional typing layer over methods — the paper's Section 2.4 remark
+/// that inserts/deletes "would require changes of corresponding
+/// class-definitions in a strongly typed environment" ([SZ87]). verso
+/// keeps the language untyped (as the paper does) but ships a schema
+/// checker a deployment can opt into: method signatures with arity,
+/// result kind, and single-/set-valuedness, validated against object
+/// bases and (statically) against update-programs.
+
+/// Expected kind of a method's result OID.
+enum class ResultKind : uint8_t {
+  kAny,     // unconstrained
+  kNumber,
+  kSymbol,
+  kString,
+};
+
+struct MethodSig {
+  uint32_t arity = 0;
+  ResultKind result = ResultKind::kAny;
+  /// Single-valued methods admit at most one result per (version, args);
+  /// the paper's language is set-valued by default.
+  bool single_valued = false;
+};
+
+class Schema {
+ public:
+  /// Declares a method; re-declaring with a different signature fails.
+  Status Declare(MethodId method, const MethodSig& sig,
+                 const SymbolTable& symbols);
+
+  /// Parses declarations, one per clause:
+  ///     method sal/0: number, single.
+  ///     method boss/0: symbol, set.
+  ///     method at/2: any, single.
+  /// The kind is one of any|number|symbol|string; the valuedness is
+  /// single|set (set is the paper's default).
+  static Result<Schema> Parse(std::string_view text, SymbolTable& symbols);
+
+  const MethodSig* Find(MethodId method) const;
+  size_t size() const { return sigs_.size(); }
+
+  /// Every fact's method must be declared with matching arity and result
+  /// kind; single-valued methods must hold at most one result per
+  /// (version, args). `exists` is implicitly declared (arity 0, symbol,
+  /// single).
+  Status CheckBase(const ObjectBase& base, const SymbolTable& symbols,
+                   const VersionTable& versions) const;
+
+  /// Static program check: every method mentioned in a head or body must
+  /// be declared with matching arity; constant results must match the
+  /// declared kind. (Variables are unconstrained — the language stays
+  /// dynamically typed, exactly as in the paper.)
+  Status CheckProgram(const Program& program,
+                      const SymbolTable& symbols) const;
+
+ private:
+  std::unordered_map<uint32_t, MethodSig> sigs_;
+};
+
+}  // namespace verso
+
+#endif  // VERSO_SCHEMA_SCHEMA_H_

@@ -1,0 +1,94 @@
+#ifndef VERSO_STORAGE_CODEC_H_
+#define VERSO_STORAGE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/object_base.h"
+#include "core/symbol_table.h"
+#include "core/version_table.h"
+#include "util/result.h"
+
+namespace verso {
+
+/// Binary encoding of facts, object bases, and fact deltas. OID/VID
+/// handles are engine-local, so everything is serialized *symbolically*
+/// (names and exact numerics) and re-interned on decode; a stored base can
+/// be loaded into any engine.
+///
+/// Primitives: unsigned LEB128 varints, zigzag for signed, length-prefixed
+/// strings. Integrity (CRC, framing) is layered on top by snapshot/WAL.
+
+class BufferWriter {
+ public:
+  void Byte(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void Varint(uint64_t v);
+  void ZigZag(int64_t v);
+  void Str(std::string_view s);
+
+  const std::string& buffer() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class BufferReader {
+ public:
+  explicit BufferReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> Byte();
+  Result<uint64_t> Varint();
+  Result<int64_t> ZigZag();
+  Result<std::string> Str();
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// A fact decoded into engine handles.
+struct DecodedFact {
+  Vid vid;
+  MethodId method;
+  GroundApp app;
+};
+
+void EncodeFact(BufferWriter& writer, Vid vid, MethodId method,
+                const GroundApp& app, const SymbolTable& symbols,
+                const VersionTable& versions);
+Result<DecodedFact> DecodeFact(BufferReader& reader, SymbolTable& symbols,
+                               VersionTable& versions);
+
+/// Whole object base: varint fact count, then facts.
+std::string EncodeObjectBase(const ObjectBase& base,
+                             const SymbolTable& symbols,
+                             const VersionTable& versions);
+Status DecodeObjectBaseInto(std::string_view data, SymbolTable& symbols,
+                            VersionTable& versions, ObjectBase& base);
+
+/// Difference between two object bases; the WAL logs one delta per
+/// committed update-program.
+struct FactDelta {
+  std::vector<DecodedFact> added;
+  std::vector<DecodedFact> removed;
+
+  bool empty() const { return added.empty() && removed.empty(); }
+};
+
+FactDelta ComputeDelta(const ObjectBase& before, const ObjectBase& after);
+void ApplyDelta(const FactDelta& delta, ObjectBase& base);
+
+std::string EncodeDelta(const FactDelta& delta, const SymbolTable& symbols,
+                        const VersionTable& versions);
+Result<FactDelta> DecodeDelta(std::string_view data, SymbolTable& symbols,
+                              VersionTable& versions);
+
+}  // namespace verso
+
+#endif  // VERSO_STORAGE_CODEC_H_

@@ -1,0 +1,61 @@
+#include "storage/database.h"
+
+#include "storage/codec.h"
+#include "storage/snapshot.h"
+#include "util/io.h"
+
+namespace verso {
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
+                                                 Engine& engine) {
+  VERSO_RETURN_IF_ERROR(EnsureDirectory(dir));
+  std::unique_ptr<Database> db(new Database(dir, engine));
+  if (FileExists(db->snapshot_path())) {
+    VERSO_RETURN_IF_ERROR(ReadSnapshotInto(db->snapshot_path(),
+                                           engine.symbols(),
+                                           engine.versions(), db->current_));
+  }
+  VERSO_ASSIGN_OR_RETURN(WalReadResult wal, ReadWal(db->wal_.path()));
+  db->recovered_torn_ = wal.truncated_tail;
+  for (const std::string& record : wal.records) {
+    VERSO_ASSIGN_OR_RETURN(
+        FactDelta delta,
+        DecodeDelta(record, engine.symbols(), engine.versions()));
+    ApplyDelta(delta, db->current_);
+    ++db->wal_records_;
+  }
+  return db;
+}
+
+Status Database::CommitDelta(const ObjectBase& next) {
+  FactDelta delta = ComputeDelta(current_, next);
+  if (delta.empty()) return Status::Ok();
+  std::string payload =
+      EncodeDelta(delta, engine_.symbols(), engine_.versions());
+  VERSO_RETURN_IF_ERROR(wal_.Append(payload));  // durability first
+  ApplyDelta(delta, current_);
+  ++wal_records_;
+  return Status::Ok();
+}
+
+Status Database::ImportBase(const ObjectBase& base) {
+  return CommitDelta(base);
+}
+
+Result<RunOutcome> Database::Execute(Program& program,
+                                     const EvalOptions& options) {
+  VERSO_ASSIGN_OR_RETURN(RunOutcome outcome,
+                         engine_.Run(program, current_, options));
+  VERSO_RETURN_IF_ERROR(CommitDelta(outcome.new_base));
+  return outcome;
+}
+
+Status Database::Checkpoint() {
+  VERSO_RETURN_IF_ERROR(WriteSnapshot(snapshot_path(), current_,
+                                      engine_.symbols(), engine_.versions()));
+  VERSO_RETURN_IF_ERROR(RemoveFile(wal_.path()));
+  wal_records_ = 0;
+  return Status::Ok();
+}
+
+}  // namespace verso

@@ -1,0 +1,72 @@
+#ifndef VERSO_STORAGE_DATABASE_H_
+#define VERSO_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "storage/wal.h"
+#include "util/result.h"
+
+namespace verso {
+
+/// A persistent object base: update-programs execute as transactions.
+///
+/// Directory layout:
+///     <dir>/snapshot.vsnp   point-in-time image (atomic rename)
+///     <dir>/wal.log         fact deltas committed since the snapshot
+///
+/// Open() recovers by loading the snapshot (if any) and replaying valid
+/// WAL records; a torn tail (crashed writer) is ignored. Execute() runs a
+/// program through the engine, logs the resulting delta to the WAL
+/// *before* installing it in memory, and Checkpoint() folds the WAL into
+/// a fresh snapshot.
+///
+/// Not thread-safe; one writer per directory (the usual embedded-store
+/// contract).
+class Database {
+ public:
+  /// Opens (creating if needed) the database in `dir`, recovering state.
+  static Result<std::unique_ptr<Database>> Open(const std::string& dir,
+                                                Engine& engine);
+
+  /// The committed object base.
+  const ObjectBase& current() const { return current_; }
+
+  /// Replaces the committed base wholesale (initial load). Logged.
+  Status ImportBase(const ObjectBase& base);
+
+  /// Runs an update-program transactionally: evaluate, WAL-append the
+  /// delta, install the new base. On failure the committed base is
+  /// untouched.
+  Result<RunOutcome> Execute(Program& program,
+                             const EvalOptions& options = EvalOptions());
+
+  /// Writes a fresh snapshot and truncates the WAL.
+  Status Checkpoint();
+
+  size_t wal_records_since_checkpoint() const { return wal_records_; }
+  bool recovered_from_torn_wal() const { return recovered_torn_; }
+
+ private:
+  Database(std::string dir, Engine& engine)
+      : dir_(std::move(dir)),
+        engine_(engine),
+        current_(engine.MakeBase()),
+        wal_(dir_ + "/wal.log") {}
+
+  std::string snapshot_path() const { return dir_ + "/snapshot.vsnp"; }
+
+  Status CommitDelta(const ObjectBase& next);
+
+  std::string dir_;
+  Engine& engine_;
+  ObjectBase current_;
+  WalWriter wal_;
+  size_t wal_records_ = 0;
+  bool recovered_torn_ = false;
+};
+
+}  // namespace verso
+
+#endif  // VERSO_STORAGE_DATABASE_H_

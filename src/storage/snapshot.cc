@@ -1,0 +1,67 @@
+#include "storage/snapshot.h"
+
+#include <cstring>
+
+#include "storage/codec.h"
+#include "util/crc32.h"
+#include "util/io.h"
+
+namespace verso {
+
+namespace {
+
+constexpr char kMagic[] = "VSNP1";
+constexpr size_t kMagicLen = 5;
+
+void AppendU32(std::string& out, uint32_t v) {
+  char bytes[4];
+  bytes[0] = static_cast<char>(v & 0xff);
+  bytes[1] = static_cast<char>((v >> 8) & 0xff);
+  bytes[2] = static_cast<char>((v >> 16) & 0xff);
+  bytes[3] = static_cast<char>((v >> 24) & 0xff);
+  out.append(bytes, 4);
+}
+
+uint32_t ReadU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+}  // namespace
+
+Status WriteSnapshot(const std::string& path, const ObjectBase& base,
+                     const SymbolTable& symbols,
+                     const VersionTable& versions) {
+  std::string payload = EncodeObjectBase(base, symbols, versions);
+  std::string file;
+  file.reserve(payload.size() + 16);
+  file.append(kMagic, kMagicLen);
+  AppendU32(file, static_cast<uint32_t>(payload.size()));
+  file += payload;
+  AppendU32(file, Crc32(payload.data(), payload.size()));
+  return WriteFileAtomic(path, file);
+}
+
+Status ReadSnapshotInto(const std::string& path, SymbolTable& symbols,
+                        VersionTable& versions, ObjectBase& base) {
+  VERSO_ASSIGN_OR_RETURN(std::string file, ReadFile(path));
+  if (file.size() < kMagicLen + 8 ||
+      std::memcmp(file.data(), kMagic, kMagicLen) != 0) {
+    return Status::Corruption("snapshot '" + path + "': bad magic or size");
+  }
+  uint32_t length = ReadU32(file.data() + kMagicLen);
+  if (file.size() != kMagicLen + 4 + length + 4) {
+    return Status::Corruption("snapshot '" + path + "': length mismatch");
+  }
+  const char* payload = file.data() + kMagicLen + 4;
+  uint32_t stored_crc = ReadU32(payload + length);
+  if (Crc32(payload, length) != stored_crc) {
+    return Status::Corruption("snapshot '" + path + "': checksum mismatch");
+  }
+  return DecodeObjectBaseInto(std::string_view(payload, length), symbols,
+                              versions, base);
+}
+
+}  // namespace verso

@@ -1,0 +1,25 @@
+#ifndef VERSO_STORAGE_SNAPSHOT_H_
+#define VERSO_STORAGE_SNAPSHOT_H_
+
+#include <string>
+
+#include "core/object_base.h"
+#include "util/result.h"
+
+namespace verso {
+
+/// Point-in-time image of an object base on disk.
+/// File layout: magic "VSNP1" | u32 payload length | payload | u32 CRC32.
+/// Written atomically (temp file + rename); a torn or bit-rotted snapshot
+/// is detected by magic/length/CRC and reported as Corruption.
+Status WriteSnapshot(const std::string& path, const ObjectBase& base,
+                     const SymbolTable& symbols, const VersionTable& versions);
+
+/// Loads a snapshot into `base` (which should be empty), interning names
+/// into the given tables.
+Status ReadSnapshotInto(const std::string& path, SymbolTable& symbols,
+                        VersionTable& versions, ObjectBase& base);
+
+}  // namespace verso
+
+#endif  // VERSO_STORAGE_SNAPSHOT_H_

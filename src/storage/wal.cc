@@ -1,0 +1,63 @@
+#include "storage/wal.h"
+
+#include "util/crc32.h"
+#include "util/io.h"
+
+namespace verso {
+
+namespace {
+
+void AppendU32(std::string& out, uint32_t v) {
+  char bytes[4];
+  bytes[0] = static_cast<char>(v & 0xff);
+  bytes[1] = static_cast<char>((v >> 8) & 0xff);
+  bytes[2] = static_cast<char>((v >> 16) & 0xff);
+  bytes[3] = static_cast<char>((v >> 24) & 0xff);
+  out.append(bytes, 4);
+}
+
+uint32_t ReadU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+}  // namespace
+
+Status WalWriter::Append(std::string_view payload) {
+  std::string record;
+  record.reserve(payload.size() + 8);
+  AppendU32(record, static_cast<uint32_t>(payload.size()));
+  AppendU32(record, Crc32(payload.data(), payload.size()));
+  record.append(payload.data(), payload.size());
+  return AppendFile(path_, record);
+}
+
+Result<WalReadResult> ReadWal(const std::string& path) {
+  WalReadResult result;
+  if (!FileExists(path)) return result;
+  VERSO_ASSIGN_OR_RETURN(std::string file, ReadFile(path));
+  size_t pos = 0;
+  while (pos + 8 <= file.size()) {
+    uint32_t length = ReadU32(file.data() + pos);
+    uint32_t crc = ReadU32(file.data() + pos + 4);
+    if (pos + 8 + length > file.size()) {
+      result.truncated_tail = true;  // torn final record: crashed writer
+      break;
+    }
+    const char* payload = file.data() + pos + 8;
+    if (Crc32(payload, length) != crc) {
+      result.truncated_tail = true;
+      break;
+    }
+    result.records.emplace_back(payload, length);
+    pos += 8 + length;
+  }
+  if (pos != file.size() && !result.truncated_tail) {
+    result.truncated_tail = true;  // trailing garbage shorter than a header
+  }
+  return result;
+}
+
+}  // namespace verso

@@ -1,0 +1,40 @@
+#ifndef VERSO_STORAGE_WAL_H_
+#define VERSO_STORAGE_WAL_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace verso {
+
+/// Append-only write-ahead log of opaque records (the database layers
+/// fact-delta payloads on top). Record framing:
+///     u32 length | u32 CRC32(payload) | payload
+/// Recovery reads records until EOF or the first torn/corrupt record;
+/// everything before the tear is returned, the tail is ignored — the
+/// standard RocksDB-style contract for crashed writers.
+class WalWriter {
+ public:
+  explicit WalWriter(std::string path) : path_(std::move(path)) {}
+
+  Status Append(std::string_view payload);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+struct WalReadResult {
+  std::vector<std::string> records;
+  /// True if a torn/corrupt tail was skipped (informational).
+  bool truncated_tail = false;
+};
+
+/// Reads all valid records; a missing file yields zero records.
+Result<WalReadResult> ReadWal(const std::string& path);
+
+}  // namespace verso
+
+#endif  // VERSO_STORAGE_WAL_H_

@@ -1,0 +1,41 @@
+#include "util/crc32.h"
+
+namespace verso {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32Table& Table() {
+  static const Crc32Table table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Extend(uint32_t crc, const void* data, size_t length) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xffffffffu;
+  const Crc32Table& table = Table();
+  for (size_t i = 0; i < length; ++i) {
+    c = table.entries[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+uint32_t Crc32(const void* data, size_t length) {
+  return Crc32Extend(0, data, length);
+}
+
+}  // namespace verso

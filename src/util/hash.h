@@ -1,0 +1,22 @@
+#ifndef VERSO_UTIL_HASH_H_
+#define VERSO_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace verso {
+
+/// Boost-style hash mixing: folds `v`'s hash into `seed`.
+inline void HashCombine(size_t& seed, size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+template <typename T>
+void HashCombineValue(size_t& seed, const T& value) {
+  HashCombine(seed, std::hash<T>()(value));
+}
+
+}  // namespace verso
+
+#endif  // VERSO_UTIL_HASH_H_

@@ -1,0 +1,71 @@
+#include "util/io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace verso {
+
+namespace fs = std::filesystem;
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failure on '" + path + "'");
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) return Status::IoError("write failure on '" + path + "'");
+  return Status::Ok();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  std::string tmp = path + ".tmp";
+  VERSO_RETURN_IF_ERROR(WriteFile(tmp, contents));
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IoError("rename '" + tmp + "' -> '" + path +
+                           "': " + ec.message());
+  }
+  return Status::Ok();
+}
+
+Status AppendFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) return Status::IoError("cannot open '" + path + "' for append");
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) return Status::IoError("append failure on '" + path + "'");
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) return Status::IoError("remove '" + path + "': " + ec.message());
+  return Status::Ok();
+}
+
+Status EnsureDirectory(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) return Status::IoError("mkdir '" + path + "': " + ec.message());
+  return Status::Ok();
+}
+
+}  // namespace verso

@@ -1,0 +1,37 @@
+#ifndef VERSO_UTIL_IO_H_
+#define VERSO_UTIL_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace verso {
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes `contents` to `path`, truncating. Not atomic; see
+/// WriteFileAtomic for durability-sensitive call sites.
+Status WriteFile(const std::string& path, std::string_view contents);
+
+/// Writes to a temp sibling then renames over `path`, so readers observe
+/// either the old or the new contents, never a torn file.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// Appends `contents` to `path` and flushes. Creates the file if missing.
+Status AppendFile(const std::string& path, std::string_view contents);
+
+/// True if the file exists.
+bool FileExists(const std::string& path);
+
+/// Removes the file if it exists; missing files are not an error.
+Status RemoveFile(const std::string& path);
+
+/// Creates the directory (and parents) if missing.
+Status EnsureDirectory(const std::string& path);
+
+}  // namespace verso
+
+#endif  // VERSO_UTIL_IO_H_

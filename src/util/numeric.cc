@@ -1,0 +1,207 @@
+#include "util/numeric.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <numeric>
+
+namespace verso {
+
+namespace {
+
+using int128 = __int128;
+
+constexpr int64_t kInt64Max = INT64_MAX;
+constexpr int64_t kInt64Min = INT64_MIN;
+
+bool FitsInt64(int128 v) { return v >= kInt64Min && v <= kInt64Max; }
+
+int128 Gcd128(int128 a, int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Normalizes num/den (den != 0) into a Numeric, failing on overflow.
+Result<Numeric> Normalize(int128 num, int128 den) {
+  if (den == 0) {
+    return Status::InvalidArgument("numeric: division by zero");
+  }
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  if (num == 0) return Numeric::FromInt(0);
+  int128 g = Gcd128(num, den);
+  num /= g;
+  den /= g;
+  if (!FitsInt64(num) || !FitsInt64(den)) {
+    return Status::InvalidArgument("numeric: overflow in rational result");
+  }
+  // Reuses FromRatio's validation path; inputs are already normalized so
+  // this cannot fail.
+  return Numeric::FromRatio(static_cast<int64_t>(num),
+                            static_cast<int64_t>(den));
+}
+
+}  // namespace
+
+Result<Numeric> Numeric::FromRatio(int64_t num, int64_t den) {
+  if (den == 0) {
+    return Status::InvalidArgument("numeric: zero denominator");
+  }
+  int128 n = num;
+  int128 d = den;
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  int128 g = Gcd128(n, d);
+  if (g > 1) {
+    n /= g;
+    d /= g;
+  }
+  if (!FitsInt64(n) || !FitsInt64(d)) {
+    return Status::InvalidArgument("numeric: overflow normalizing ratio");
+  }
+  return Numeric(static_cast<int64_t>(n), static_cast<int64_t>(d));
+}
+
+Result<Numeric> Numeric::Parse(std::string_view text) {
+  if (text.empty()) return Status::ParseError("numeric: empty literal");
+  size_t pos = 0;
+  bool negative = false;
+  if (text[pos] == '+' || text[pos] == '-') {
+    negative = text[pos] == '-';
+    ++pos;
+  }
+  int128 int_part = 0;
+  int128 frac_part = 0;
+  int128 frac_scale = 1;
+  bool saw_digit = false;
+  while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    int_part = int_part * 10 + (text[pos] - '0');
+    if (int_part > static_cast<int128>(kInt64Max)) {
+      return Status::ParseError("numeric: integer part overflows int64");
+    }
+    saw_digit = true;
+    ++pos;
+  }
+  if (pos < text.size() && text[pos] == '.') {
+    ++pos;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      frac_part = frac_part * 10 + (text[pos] - '0');
+      frac_scale *= 10;
+      if (frac_scale > static_cast<int128>(kInt64Max)) {
+        return Status::ParseError("numeric: too many fractional digits");
+      }
+      saw_digit = true;
+      ++pos;
+    }
+  }
+  if (!saw_digit || pos != text.size()) {
+    return Status::ParseError("numeric: malformed literal '" +
+                              std::string(text) + "'");
+  }
+  int128 num = int_part * frac_scale + frac_part;
+  if (negative) num = -num;
+  return Normalize(num, frac_scale);
+}
+
+Result<Numeric> Numeric::Add(const Numeric& a, const Numeric& b) {
+  int128 num = static_cast<int128>(a.num_) * b.den_ +
+               static_cast<int128>(b.num_) * a.den_;
+  int128 den = static_cast<int128>(a.den_) * b.den_;
+  return Normalize(num, den);
+}
+
+Result<Numeric> Numeric::Sub(const Numeric& a, const Numeric& b) {
+  int128 num = static_cast<int128>(a.num_) * b.den_ -
+               static_cast<int128>(b.num_) * a.den_;
+  int128 den = static_cast<int128>(a.den_) * b.den_;
+  return Normalize(num, den);
+}
+
+Result<Numeric> Numeric::Mul(const Numeric& a, const Numeric& b) {
+  int128 num = static_cast<int128>(a.num_) * b.num_;
+  int128 den = static_cast<int128>(a.den_) * b.den_;
+  return Normalize(num, den);
+}
+
+Result<Numeric> Numeric::Div(const Numeric& a, const Numeric& b) {
+  if (b.is_zero()) {
+    return Status::InvalidArgument("numeric: division by zero");
+  }
+  int128 num = static_cast<int128>(a.num_) * b.den_;
+  int128 den = static_cast<int128>(a.den_) * b.num_;
+  return Normalize(num, den);
+}
+
+Result<Numeric> Numeric::Neg(const Numeric& a) {
+  return Normalize(-static_cast<int128>(a.num_), a.den_);
+}
+
+int Numeric::Compare(const Numeric& a, const Numeric& b) {
+  int128 lhs = static_cast<int128>(a.num_) * b.den_;
+  int128 rhs = static_cast<int128>(b.num_) * a.den_;
+  if (lhs < rhs) return -1;
+  if (lhs > rhs) return 1;
+  return 0;
+}
+
+std::string Numeric::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  // Try to express den_ as a divisor of a power of ten so the value prints
+  // as a finite decimal (the common case for the paper's salary math).
+  int64_t den = den_;
+  int twos = 0;
+  int fives = 0;
+  while (den % 2 == 0) {
+    den /= 2;
+    ++twos;
+  }
+  while (den % 5 == 0) {
+    den /= 5;
+    ++fives;
+  }
+  if (den == 1) {
+    int digits = twos > fives ? twos : fives;
+    if (digits <= 18) {
+      int128 scale = 1;
+      for (int i = 0; i < digits; ++i) scale *= 10;
+      int128 scaled = static_cast<int128>(num_) * (scale / den_);
+      bool negative = scaled < 0;
+      if (negative) scaled = -scaled;
+      int128 whole = scaled / scale;
+      int128 frac = scaled % scale;
+      std::string frac_str(static_cast<size_t>(digits), '0');
+      for (int i = digits - 1; i >= 0; --i) {
+        frac_str[static_cast<size_t>(i)] = static_cast<char>('0' + static_cast<int>(frac % 10));
+        frac /= 10;
+      }
+      // Trim trailing zeros but keep at least one fractional digit.
+      size_t last = frac_str.find_last_not_of('0');
+      frac_str.resize(last == std::string::npos ? 1 : last + 1);
+      std::string out;
+      if (negative) out += '-';
+      out += std::to_string(static_cast<int64_t>(whole));
+      out += '.';
+      out += frac_str;
+      return out;
+    }
+  }
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+size_t Numeric::Hash() const {
+  size_t h = std::hash<int64_t>()(num_);
+  size_t h2 = std::hash<int64_t>()(den_);
+  return h ^ (h2 + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+}  // namespace verso

@@ -1,0 +1,86 @@
+#ifndef VERSO_UTIL_NUMERIC_H_
+#define VERSO_UTIL_NUMERIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace verso {
+
+/// Exact rational number with 64-bit numerator/denominator, always kept
+/// normalized (gcd 1, denominator > 0).
+///
+/// The paper's examples rely on exact decimal arithmetic (a salary of 250
+/// raised by 10% must compare equal to 275, and 4000*1.1+200 to 4600);
+/// binary floating point cannot express 1.1, so verso values are exact
+/// rationals. Decimal literals parse exactly ("1.1" == 11/10). All
+/// arithmetic is overflow-checked through 128-bit intermediates and
+/// reported via Result rather than silently wrapping.
+class Numeric {
+ public:
+  /// Zero.
+  Numeric() : num_(0), den_(1) {}
+
+  static Numeric FromInt(int64_t v) { return Numeric(v, 1); }
+
+  /// Builds num/den, normalizing sign and gcd. Fails on den == 0.
+  static Result<Numeric> FromRatio(int64_t num, int64_t den);
+
+  /// Parses an optionally signed integer or decimal literal, e.g. "-12",
+  /// "3.50", ".5". The decimal is converted exactly (3.50 == 7/2).
+  static Result<Numeric> Parse(std::string_view text);
+
+  int64_t numerator() const { return num_; }
+  int64_t denominator() const { return den_; }
+
+  bool is_integer() const { return den_ == 1; }
+  bool is_zero() const { return num_ == 0; }
+  bool is_negative() const { return num_ < 0; }
+
+  /// Overflow-checked arithmetic.
+  static Result<Numeric> Add(const Numeric& a, const Numeric& b);
+  static Result<Numeric> Sub(const Numeric& a, const Numeric& b);
+  static Result<Numeric> Mul(const Numeric& a, const Numeric& b);
+  /// Fails on division by zero.
+  static Result<Numeric> Div(const Numeric& a, const Numeric& b);
+  static Result<Numeric> Neg(const Numeric& a);
+
+  /// Exact three-way comparison (no overflow: compares via 128-bit
+  /// cross-multiplication).
+  static int Compare(const Numeric& a, const Numeric& b);
+
+  friend bool operator==(const Numeric& a, const Numeric& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Numeric& a, const Numeric& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Numeric& a, const Numeric& b) {
+    return Compare(a, b) < 0;
+  }
+
+  /// Renders as an integer when possible; as an exact decimal when the
+  /// denominator divides a power of ten (e.g. "2.75"); otherwise "p/q".
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+ private:
+  Numeric(int64_t num, int64_t den) : num_(num), den_(den) {}
+
+  int64_t num_;
+  int64_t den_;  // > 0
+};
+
+}  // namespace verso
+
+template <>
+struct std::hash<verso::Numeric> {
+  size_t operator()(const verso::Numeric& n) const { return n.Hash(); }
+};
+
+#endif  // VERSO_UTIL_NUMERIC_H_

@@ -1,0 +1,72 @@
+#ifndef VERSO_UTIL_RESULT_H_
+#define VERSO_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace verso {
+
+/// Either a value of type T or an error Status (never both, never neither).
+/// Modeled after arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // arrow::Result, so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value
+};
+
+/// Evaluate `expr` (a Result<T>); on error return its Status, otherwise
+/// bind the value to `lhs`.
+#define VERSO_ASSIGN_OR_RETURN(lhs, expr)                  \
+  VERSO_ASSIGN_OR_RETURN_IMPL(                             \
+      VERSO_RESULT_CONCAT(_verso_result_, __LINE__), lhs, expr)
+
+#define VERSO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define VERSO_RESULT_CONCAT_INNER(a, b) a##b
+#define VERSO_RESULT_CONCAT(a, b) VERSO_RESULT_CONCAT_INNER(a, b)
+
+}  // namespace verso
+
+#endif  // VERSO_UTIL_RESULT_H_

@@ -1,0 +1,41 @@
+#include "util/status.h"
+
+namespace verso {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kUnsafeRule:
+      return "UnsafeRule";
+    case StatusCode::kNotStratifiable:
+      return "NotStratifiable";
+    case StatusCode::kNotVersionLinear:
+      return "NotVersionLinear";
+    case StatusCode::kDivergence:
+      return "Divergence";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace verso

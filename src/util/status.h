@@ -1,0 +1,91 @@
+#ifndef VERSO_UTIL_STATUS_H_
+#define VERSO_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace verso {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention: no exceptions cross API boundaries; fallible operations
+/// return Status (or Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input handed to an API
+  kParseError,        // syntax error in a program / object-base text
+  kUnsafeRule,        // rule violates the safety requirement (Section 2.1)
+  kNotStratifiable,   // no stratification satisfies conditions (a)-(d)
+  kNotVersionLinear,  // run-time linearity check failed (Section 5)
+  kDivergence,        // fixpoint iteration exceeded its bound
+  kIoError,           // filesystem / serialization failure
+  kCorruption,        // checksum or format mismatch in stored data
+  kNotFound,          // lookup miss reported as an error
+  kInternal,          // invariant breach inside the library (a bug)
+};
+
+/// Human-readable name of a status code (e.g. "NotStratifiable").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Cheap value type carrying success or an (code, message) error.
+/// The OK status carries no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status UnsafeRule(std::string msg) {
+    return Status(StatusCode::kUnsafeRule, std::move(msg));
+  }
+  static Status NotStratifiable(std::string msg) {
+    return Status(StatusCode::kNotStratifiable, std::move(msg));
+  }
+  static Status NotVersionLinear(std::string msg) {
+    return Status(StatusCode::kNotVersionLinear, std::move(msg));
+  }
+  static Status Divergence(std::string msg) {
+    return Status(StatusCode::kDivergence, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define VERSO_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::verso::Status _verso_status = (expr);          \
+    if (!_verso_status.ok()) return _verso_status;   \
+  } while (false)
+
+}  // namespace verso
+
+#endif  // VERSO_UTIL_STATUS_H_

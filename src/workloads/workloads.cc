@@ -1,0 +1,154 @@
+#include "workloads/workloads.h"
+
+namespace verso {
+
+Enterprise MakeEnterprise(const EnterpriseOptions& options, Engine& engine,
+                          ObjectBase& base) {
+  Enterprise e;
+  Rng rng(options.seed);
+  const size_t n = options.employees;
+  e.names.reserve(n);
+  e.boss.assign(n, -1);
+  e.salary.assign(n, 0);
+  e.is_manager.assign(n, false);
+
+  size_t manager_every = options.manager_every == 0 ? 1 : options.manager_every;
+  std::vector<int> managers;
+  for (size_t i = 0; i < n; ++i) {
+    e.names.push_back("emp" + std::to_string(i));
+    e.is_manager[i] = (i % manager_every) == 0;
+    if (e.is_manager[i]) managers.push_back(static_cast<int>(i));
+  }
+  int64_t range = options.max_salary - options.min_salary + 1;
+  for (size_t i = 0; i < n; ++i) {
+    e.salary[i] = options.min_salary +
+                  static_cast<int64_t>(rng.Below(static_cast<uint64_t>(range)));
+    if (!e.is_manager[i] && !managers.empty()) {
+      // Boss is a manager with smaller index when possible (keeps the
+      // forest acyclic and the example's shape: workers report upward).
+      e.boss[i] = managers[rng.Below(managers.size())];
+      if (e.boss[i] == static_cast<int>(i)) e.boss[i] = managers[0];
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    engine.AddFact(base, e.names[i], "isa", "empl");
+    engine.AddFact(base, e.names[i], "sal", e.salary[i]);
+    if (e.is_manager[i]) {
+      engine.AddFact(base, e.names[i], "pos", "mgr");
+    }
+    if (e.boss[i] >= 0) {
+      engine.AddFact(base, e.names[i], "boss",
+                     engine.symbols().Symbol(e.names[e.boss[i]]));
+    }
+  }
+  for (size_t i = 0; i < options.bystanders; ++i) {
+    std::string name = "rock" + std::to_string(i);
+    engine.AddFact(base, name, "isa", "stone");
+    engine.AddFact(base, name, "mass",
+                   static_cast<int64_t>(rng.Below(1000)));
+  }
+  return e;
+}
+
+std::vector<std::vector<int>> Genealogy::AncestorClosure() const {
+  const size_t n = names.size();
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  // parents point to larger indices: process from the back.
+  for (size_t i = n; i-- > 0;) {
+    for (int p : parents[i]) {
+      reach[i][static_cast<size_t>(p)] = true;
+      for (size_t j = 0; j < n; ++j) {
+        if (reach[static_cast<size_t>(p)][j]) reach[i][j] = true;
+      }
+    }
+  }
+  std::vector<std::vector<int>> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (reach[i][j]) out[i].push_back(static_cast<int>(j));
+    }
+  }
+  return out;
+}
+
+Genealogy MakeGenealogy(const GenealogyOptions& options, Engine& engine,
+                        ObjectBase& base) {
+  Genealogy g;
+  Rng rng(options.seed);
+  const size_t n = options.persons;
+  g.names.reserve(n);
+  g.parents.assign(n, {});
+  for (size_t i = 0; i < n; ++i) {
+    g.names.push_back("p" + std::to_string(i));
+  }
+  for (size_t i = 0; i + 1 < n; ++i) {
+    size_t count = rng.Below(options.max_parents + 1);
+    for (size_t k = 0; k < count; ++k) {
+      int parent =
+          static_cast<int>(i + 1 + rng.Below(n - i - 1));
+      bool dup = false;
+      for (int existing : g.parents[i]) dup |= existing == parent;
+      if (!dup) g.parents[i].push_back(parent);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    engine.AddFact(base, g.names[i], "isa", "person");
+    for (int p : g.parents[i]) {
+      engine.AddFact(base, g.names[i], "parents",
+                     engine.symbols().Symbol(g.names[static_cast<size_t>(p)]));
+    }
+  }
+  return g;
+}
+
+void MakeGraph(size_t nodes, size_t edges, uint64_t seed, Engine& engine,
+               ObjectBase& base) {
+  Rng rng(seed);
+  for (size_t i = 0; i < nodes; ++i) {
+    engine.AddFact(base, "n" + std::to_string(i), "isa", "node");
+  }
+  for (size_t i = 0; i < edges; ++i) {
+    size_t from = rng.Below(nodes);
+    size_t to = rng.Below(nodes);
+    engine.AddFact(base, "n" + std::to_string(from), "edge",
+                   engine.symbols().Symbol("n" + std::to_string(to)));
+  }
+}
+
+const char kEnterpriseProgramText[] = R"(
+rule1: mod[E].sal -> (S, S2) <-
+    E.isa -> empl / pos -> mgr / sal -> S,
+    S2 = S * 1.1 + 200.
+rule2: mod[E].sal -> (S, S2) <-
+    E.isa -> empl / sal -> S,
+    not E.pos -> mgr,
+    S2 = S * 1.1.
+rule3: del[mod(E)].* <-
+    mod(E).isa -> empl / boss -> B / sal -> SE,
+    mod(B).isa -> empl / sal -> SB,
+    SE > SB.
+rule4: ins[mod(E)].isa -> hpe <-
+    mod(E).isa -> empl / sal -> S,
+    S > 4500,
+    not del[mod(E)].isa -> empl.
+)";
+
+std::string HypotheticalProgramText(const std::string& subject) {
+  return R"(
+r1: mod[E].sal -> (S, S2) <- E.sal -> S / factor -> F, S2 = S * F.
+r2: mod[mod(E)].sal -> (S2, S) <- mod(E).sal -> S2, E.sal -> S.
+r3: ins[mod(mod()" + subject + R"())].richest -> no <-
+    mod(E).sal -> SE, mod()" + subject + R"().sal -> SP, SE > SP.
+r4: ins[ins(mod(mod()" + subject + R"()))].richest -> yes <-
+    not ins(mod(mod()" + subject + R"())).richest -> no.
+)";
+}
+
+const char kAncestorsProgramText[] = R"(
+r1: ins[X].anc -> P <- X.isa -> person / parents -> P.
+r2: ins[X].anc -> P <- ins(X).isa -> person / anc -> A,
+                       A.isa -> person / parents -> P.
+)";
+
+}  // namespace verso

@@ -1,0 +1,99 @@
+#ifndef VERSO_WORKLOADS_WORKLOADS_H_
+#define VERSO_WORKLOADS_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/object_base.h"
+
+namespace verso {
+
+/// Deterministic synthetic workloads for benchmarks and property tests.
+/// The paper evaluates no data sets (it is a semantics paper); these
+/// generators produce object bases with the schema of its examples
+/// (employees/bosses/salaries, person/parents genealogies, plain graphs)
+/// at configurable scale, fully seeded so every run is reproducible.
+
+/// xorshift64* — tiny deterministic PRNG so workloads never depend on
+/// std:: library distribution details.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+  /// Uniform in [0, bound).
+  uint64_t Below(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+ private:
+  uint64_t state_;
+};
+
+/// An enterprise in the shape of the paper's running example: a boss
+/// forest of employees with integer salaries; a fraction are managers.
+struct Enterprise {
+  std::vector<std::string> names;   // emp0, emp1, ...
+  std::vector<int> boss;            // index of boss, -1 for roots
+  std::vector<int64_t> salary;
+  std::vector<bool> is_manager;
+};
+
+struct EnterpriseOptions {
+  size_t employees = 64;
+  /// Every k-th employee is a manager (roots of the boss forest).
+  size_t manager_every = 8;
+  int64_t min_salary = 1000;
+  int64_t max_salary = 9000;
+  uint64_t seed = 42;
+  /// Extra objects that no rule touches (frame-problem measurements).
+  size_t bystanders = 0;
+};
+
+/// Generates the enterprise and materializes it into `base`
+/// (isa/pos/boss/sal facts, plus `mass` facts for bystanders).
+Enterprise MakeEnterprise(const EnterpriseOptions& options, Engine& engine,
+                          ObjectBase& base);
+
+/// A person forest for the recursive-ancestors example: person i may have
+/// parents among persons with larger index (acyclic by construction).
+struct Genealogy {
+  std::vector<std::string> names;
+  std::vector<std::vector<int>> parents;
+
+  /// Reference transitive closure (for correctness checks).
+  std::vector<std::vector<int>> AncestorClosure() const;
+};
+
+struct GenealogyOptions {
+  size_t persons = 64;
+  size_t max_parents = 2;
+  uint64_t seed = 7;
+};
+
+Genealogy MakeGenealogy(const GenealogyOptions& options, Engine& engine,
+                        ObjectBase& base);
+
+/// A random directed graph (edge facts) for query-layer benchmarks.
+void MakeGraph(size_t nodes, size_t edges, uint64_t seed, Engine& engine,
+               ObjectBase& base);
+
+/// The paper's four enterprise rules (Section 2.3, Example 1) in surface
+/// syntax, shared by tests and benchmarks.
+extern const char kEnterpriseProgramText[];
+
+/// The hypothetical-raise program (Example 2), parameterized on the
+/// distinguished employee name.
+std::string HypotheticalProgramText(const std::string& subject);
+
+/// The recursive-ancestors program (Example 3).
+extern const char kAncestorsProgramText[];
+
+}  // namespace verso
+
+#endif  // VERSO_WORKLOADS_WORKLOADS_H_

@@ -1,0 +1,161 @@
+// Engine facade behaviours and the pretty printer's ground-side output
+// (facts, ground updates, version terms with constants).
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/pretty.h"
+#include "parser/parser.h"
+
+namespace verso {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  Engine engine_;
+};
+
+TEST_F(EngineTest, AddFactOverloads) {
+  ObjectBase base = engine_.MakeBase();
+  engine_.AddFact(base, "henry", "isa", "empl");
+  engine_.AddFact(base, "henry", "sal", int64_t{250});
+  engine_.AddFact(base, "m", "at",
+                  {engine_.symbols().Int(1), engine_.symbols().Int(2)},
+                  engine_.symbols().Int(20));
+  EXPECT_EQ(base.fact_count(), 3u);
+  EXPECT_EQ(ObjectBaseToString(base, engine_.symbols(), engine_.versions()),
+            "henry.isa -> empl.\n"
+            "henry.sal -> 250.\n"
+            "m.at@1,2 -> 20.\n");
+}
+
+TEST_F(EngineTest, RunDoesNotMutateInput) {
+  ObjectBase base = engine_.MakeBase();
+  engine_.AddFact(base, "a", "sal", int64_t{1});
+  ObjectBase snapshot = base;
+  Result<Program> program = ParseProgram(
+      "r: mod[E].sal -> (S, S2) <- E.sal -> S, S2 = S + 1.", engine_);
+  ASSERT_TRUE(program.ok());
+  Result<RunOutcome> outcome = engine_.Run(*program, base);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(base == snapshot);  // not even exists-sealed
+}
+
+TEST_F(EngineTest, SequentialRunsComposeThroughNewBase) {
+  ObjectBase base = engine_.MakeBase();
+  engine_.AddFact(base, "a", "sal", int64_t{100});
+  Result<Program> program = ParseProgram(
+      "r: mod[E].sal -> (S, S2) <- E.sal -> S, S2 = S * 2.", engine_);
+  ASSERT_TRUE(program.ok());
+  Result<RunOutcome> first = engine_.Run(*program, base);
+  ASSERT_TRUE(first.ok());
+  Result<RunOutcome> second = engine_.Run(*program, first->new_base);
+  ASSERT_TRUE(second.ok());
+  Vid a = engine_.versions().OfOid(engine_.symbols().Symbol("a"));
+  GroundApp sal;
+  sal.result = engine_.symbols().Int(400);
+  EXPECT_TRUE(second->new_base.Contains(a, engine_.symbols().Method("sal"),
+                                        sal));
+}
+
+TEST_F(EngineTest, ObjectCreationByInsertOnFreshOid) {
+  ObjectBase base = engine_.MakeBase();
+  engine_.AddFact(base, "a", "isa", "empl");
+  Result<Program> program = ParseProgram(
+      "f: ins[newguy].isa -> empl.", engine_);
+  ASSERT_TRUE(program.ok());
+  Result<RunOutcome> outcome = engine_.Run(*program, base);
+  ASSERT_TRUE(outcome.ok());
+  Vid fresh = engine_.versions().OfOid(engine_.symbols().Symbol("newguy"));
+  const VersionState* state = outcome->new_base.StateOf(fresh);
+  ASSERT_NE(state, nullptr);
+  GroundApp isa;
+  isa.result = engine_.symbols().Symbol("empl");
+  EXPECT_TRUE(state->Contains(engine_.symbols().Method("isa"), isa));
+  EXPECT_TRUE(outcome->new_base.VersionExists(fresh));
+}
+
+TEST_F(EngineTest, UnsafeProgramIsRejectedBeforeEvaluation) {
+  ObjectBase base = engine_.MakeBase();
+  Result<Program> program = ParseProgram(
+      "r: ins[E].m -> 1 <- not E.q -> 2.", engine_);
+  ASSERT_TRUE(program.ok());
+  Result<RunOutcome> outcome = engine_.Run(*program, base);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kUnsafeRule);
+}
+
+TEST_F(EngineTest, DeleteWholeObjectBase) {
+  ObjectBase base = engine_.MakeBase();
+  engine_.AddFact(base, "a", "m", int64_t{1});
+  engine_.AddFact(base, "b", "m", int64_t{2});
+  Result<Program> program = ParseProgram(
+      "r: del[E].* <- E.m -> V.", engine_);
+  ASSERT_TRUE(program.ok());
+  Result<RunOutcome> outcome = engine_.Run(*program, base);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->new_base.fact_count(), 0u);
+}
+
+// ---- pretty (ground side) ----------------------------------------------
+
+class PrettyTest : public ::testing::Test {
+ protected:
+  PrettyTest() {
+    o_ = versions_.OfOid(symbols_.Symbol("o"));
+    mod_o_ = versions_.Child(o_, UpdateKind::kModify);
+  }
+
+  SymbolTable symbols_;
+  VersionTable versions_;
+  Vid o_;
+  Vid mod_o_;
+};
+
+TEST_F(PrettyTest, FactToStringForms) {
+  GroundApp plain;
+  plain.result = symbols_.Int(250);
+  EXPECT_EQ(FactToString(o_, symbols_.Method("sal"), plain, symbols_,
+                         versions_),
+            "o.sal -> 250.");
+  GroundApp with_args;
+  with_args.args = {symbols_.Int(1), symbols_.Symbol("x")};
+  with_args.result = symbols_.String("v");
+  EXPECT_EQ(FactToString(mod_o_, symbols_.Method("at"), with_args, symbols_,
+                         versions_),
+            "mod(o).at@1,x -> \"v\".");
+}
+
+TEST_F(PrettyTest, GroundUpdateToStringForms) {
+  GroundUpdate ins;
+  ins.kind = UpdateKind::kInsert;
+  ins.version = o_;
+  ins.method = symbols_.Method("isa");
+  ins.app.result = symbols_.Symbol("hpe");
+  EXPECT_EQ(GroundUpdateToString(ins, symbols_, versions_),
+            "ins[o].isa -> hpe");
+
+  GroundUpdate mod;
+  mod.kind = UpdateKind::kModify;
+  mod.version = mod_o_;
+  mod.method = symbols_.Method("sal");
+  mod.app.result = symbols_.Int(4000);
+  mod.new_result = symbols_.Int(4600);
+  EXPECT_EQ(GroundUpdateToString(mod, symbols_, versions_),
+            "mod[mod(o)].sal -> (4000, 4600)");
+}
+
+TEST_F(PrettyTest, ObjectBaseToStringIsSortedAndStable) {
+  ObjectBase base(symbols_.exists_method(), &versions_);
+  GroundApp b;
+  b.result = symbols_.Int(2);
+  GroundApp a;
+  a.result = symbols_.Int(1);
+  base.Insert(mod_o_, symbols_.Method("z"), b);
+  base.Insert(o_, symbols_.Method("a"), a);
+  EXPECT_EQ(ObjectBaseToString(base, symbols_, versions_),
+            "mod(o).z -> 2.\no.a -> 1.\n");
+}
+
+}  // namespace
+}  // namespace verso

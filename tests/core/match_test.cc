@@ -1,0 +1,210 @@
+// Body matching: enumeration and the paper's truth definitions for
+// version- and update-terms in rule bodies (Section 3).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/match.h"
+#include "parser/parser.h"
+
+namespace verso {
+namespace {
+
+class MatchTest : public ::testing::Test {
+ protected:
+  MatchTest() : base_(symbols_.exists_method(), &versions_) {}
+
+  void Facts(const char* text) {
+    Status s = ParseObjectBaseInto(text, symbols_, versions_, base_);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    base_.SealExistence();
+  }
+
+  /// Parses "<head> <- <body>." as a rule, analyzes it, and returns every
+  /// binding of variable `var` (sorted, as surface strings).
+  std::multiset<std::string> MatchesOf(const char* rule_text,
+                                       const char* var) {
+    Result<Program> program = ParseProgram(rule_text, symbols_);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    rule_ = std::move(program->rules[0]);
+    Status s = AnalyzeRule(rule_, symbols_);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    int var_index = -1;
+    for (size_t i = 0; i < rule_.var_names.size(); ++i) {
+      if (rule_.var_names[i] == var) var_index = static_cast<int>(i);
+    }
+    EXPECT_GE(var_index, 0) << "no variable " << var;
+    std::multiset<std::string> out;
+    MatchContext ctx{symbols_, versions_, base_};
+    Status status = ForEachBodyMatch(
+        rule_, ctx, [&](const Bindings& bindings) -> Status {
+          Oid v = bindings[static_cast<size_t>(var_index)];
+          out.insert(v.valid() ? symbols_.OidToString(v) : "<unbound>");
+          return Status::Ok();
+        });
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return out;
+  }
+
+  SymbolTable symbols_;
+  VersionTable versions_;
+  ObjectBase base_;
+  Rule rule_;
+};
+
+TEST_F(MatchTest, PlainVersionTermEnumerates) {
+  Facts("a.isa -> empl.  b.isa -> empl.  c.isa -> mgr.");
+  EXPECT_EQ(MatchesOf("r: ins[E].m -> 1 <- E.isa -> empl.", "E"),
+            (std::multiset<std::string>{"a", "b"}));
+}
+
+TEST_F(MatchTest, BoundVersionLookupAndArgPatterns) {
+  Facts("m.at@1,1 -> 10.  m.at@1,2 -> 20.  m.at@2,2 -> 40.");
+  EXPECT_EQ(MatchesOf("r: ins[x].m -> V <- m.at@1,J -> V.", "V"),
+            (std::multiset<std::string>{"10", "20"}));
+  // Repeated variable forces equal args.
+  EXPECT_EQ(MatchesOf("r: ins[x].m -> V <- m.at@I,I -> V.", "V"),
+            (std::multiset<std::string>{"10", "40"}));
+}
+
+TEST_F(MatchTest, ShapeFilteringSeparatesVersions) {
+  Facts("a.sal -> 1.  mod(a).sal -> 2.  mod(b).sal -> 3. "
+        "del(mod(a)).sal -> 4.");
+  EXPECT_EQ(MatchesOf("r: ins[x].m -> S <- E.sal -> S.", "S"),
+            (std::multiset<std::string>{"1"}));
+  EXPECT_EQ(MatchesOf("r: ins[x].m -> S <- mod(E).sal -> S.", "S"),
+            (std::multiset<std::string>{"2", "3"}));
+  EXPECT_EQ(MatchesOf("r: ins[x].m -> S <- del(mod(E)).sal -> S.", "S"),
+            (std::multiset<std::string>{"4"}));
+}
+
+TEST_F(MatchTest, NegatedVersionTermFiltersBindings) {
+  Facts("a.isa -> empl.  b.isa -> empl.  a.pos -> mgr.");
+  EXPECT_EQ(MatchesOf(
+                "r: ins[E].m -> 1 <- E.isa -> empl, not E.pos -> mgr.", "E"),
+            (std::multiset<std::string>{"b"}));
+}
+
+TEST_F(MatchTest, BuiltinsFilterAndBind) {
+  Facts("a.sal -> 100.  b.sal -> 300.");
+  EXPECT_EQ(MatchesOf("r: ins[E].m -> 1 <- E.sal -> S, S > 200.", "E"),
+            (std::multiset<std::string>{"b"}));
+  EXPECT_EQ(MatchesOf("r: ins[E].m -> S2 <- E.sal -> S, S2 = S * 2.", "S2"),
+            (std::multiset<std::string>{"200", "600"}));
+  EXPECT_EQ(
+      MatchesOf("r: ins[E].m -> 1 <- E.sal -> S, not S = 100.", "E"),
+      (std::multiset<std::string>{"b"}));
+}
+
+// Body ins[v].m->r is true iff ins(v).m->r holds (Section 3).
+TEST_F(MatchTest, InsertBodyTruth) {
+  Facts("a.isa -> empl.  ins(a).tag -> new.");
+  EXPECT_EQ(MatchesOf("r: ins[x].m -> T <- ins[E].tag -> T.", "T"),
+            (std::multiset<std::string>{"new"}));
+  // Negated: b has no ins-version.
+  Facts("b.isa -> empl.");
+  EXPECT_EQ(MatchesOf("r: ins[x].m -> 1 <- E.isa -> empl, "
+                      "not ins[E].tag -> new.", "E"),
+            (std::multiset<std::string>{"b"}));
+}
+
+// Body del[v].m->r: v*.m->r held, del(v) exists, del(v).m->r gone.
+TEST_F(MatchTest, DeleteBodyTruth) {
+  Facts(R"(
+      a.isa -> empl.  a.sal -> 10.
+      del(a).exists -> a.  del(a).sal -> 10.
+      b.isa -> empl.  b.sal -> 20.
+      del(b).exists -> b.
+  )");
+  // For a: isa was deleted (missing from del(a)), sal was not.
+  // For b: everything was deleted.
+  EXPECT_EQ(MatchesOf("r: ins[x].m -> E <- del[E].isa -> empl.", "E"),
+            (std::multiset<std::string>{"a", "b"}));
+  EXPECT_EQ(MatchesOf("r: ins[x].m -> E <- del[E].sal -> S.", "E"),
+            (std::multiset<std::string>{"b"}));
+  // Ground negated form (footnote 2's distinction lives here): only a's
+  // salary survived its delete; b's was deleted, so b is excluded.
+  EXPECT_EQ(MatchesOf("r: ins[x].m -> E <- E.isa -> empl, E.sal -> S, "
+                      "not del[E].sal -> S.", "E"),
+            (std::multiset<std::string>{"a"}));
+}
+
+// Body mod[v].m->(r,r'): r != r' means changed away; r == r' means still
+// present in both stages.
+TEST_F(MatchTest, ModifyBodyTruth) {
+  Facts(R"(
+      a.sal -> 100.  a.grade -> 3.
+      mod(a).exists -> a.  mod(a).sal -> 110.  mod(a).grade -> 3.
+  )");
+  EXPECT_EQ(MatchesOf("r: ins[x].m -> S2 <- mod[E].sal -> (S, S2).", "S2"),
+            (std::multiset<std::string>{"110"}));
+  // Unchanged methods match as (r, r).
+  EXPECT_EQ(MatchesOf("r: ins[x].m -> G <- mod[E].grade -> (G, G).", "G"),
+            (std::multiset<std::string>{"3"}));
+  // sal did change, so (S, S) must not match it.
+  EXPECT_EQ(MatchesOf("r: ins[x].m -> S <- mod[E].sal -> (S, S).", "S"),
+            (std::multiset<std::string>{}));
+}
+
+TEST_F(MatchTest, ModifyBodyGroundNegation) {
+  Facts(R"(
+      a.sal -> 100.
+      mod(a).exists -> a.  mod(a).sal -> 110.
+      b.sal -> 100.
+  )");
+  EXPECT_EQ(MatchesOf("r: ins[x].m -> E <- E.sal -> 100, "
+                      "not mod[E].sal -> (100, 110).", "E"),
+            (std::multiset<std::string>{"b"}));
+}
+
+TEST_F(MatchTest, SemiNaiveSeededMatch) {
+  Facts("a.edge -> b.  b.edge -> c.");
+  Result<Program> program = ParseProgram(
+      "r: ins[X].m -> Z <- X.edge -> Y, Y.edge -> Z.", symbols_);
+  ASSERT_TRUE(program.ok());
+  Rule rule = std::move(program->rules[0]);
+  ASSERT_TRUE(AnalyzeRule(rule, symbols_).ok());
+
+  // Seed Y=b via "delta" on the second literal and skip it.
+  Bindings seed(rule.var_count(), Oid());
+  int y = -1, z = -1;
+  for (size_t i = 0; i < rule.var_names.size(); ++i) {
+    if (rule.var_names[i] == "Y") y = static_cast<int>(i);
+    if (rule.var_names[i] == "Z") z = static_cast<int>(i);
+  }
+  ASSERT_GE(y, 0);
+  ASSERT_GE(z, 0);
+  // Literal 1 is Y.edge -> Z; seed both of its variables.
+  seed[static_cast<size_t>(y)] = symbols_.Symbol("b");
+  seed[static_cast<size_t>(z)] = symbols_.Symbol("c");
+  MatchContext ctx{symbols_, versions_, base_};
+  int matches = 0;
+  Status s = ForEachBodyMatchFrom(
+      rule, ctx, seed, /*skip_literal=*/1,
+      [&](const Bindings& bindings) -> Status {
+        ++matches;
+        EXPECT_EQ(bindings[0], symbols_.Symbol("a"));  // X
+        return Status::Ok();
+      });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(matches, 1);
+}
+
+TEST_F(MatchTest, ErrorsPropagateFromSink) {
+  Facts("a.isa -> empl.");
+  Result<Program> program =
+      ParseProgram("r: ins[E].m -> 1 <- E.isa -> empl.", symbols_);
+  ASSERT_TRUE(program.ok());
+  Rule rule = std::move(program->rules[0]);
+  ASSERT_TRUE(AnalyzeRule(rule, symbols_).ok());
+  MatchContext ctx{symbols_, versions_, base_};
+  Status s = ForEachBodyMatch(rule, ctx, [&](const Bindings&) {
+    return Status::Internal("stop");
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace verso

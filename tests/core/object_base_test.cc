@@ -1,0 +1,164 @@
+#include "core/object_base.h"
+
+#include <gtest/gtest.h>
+
+#include "core/symbol_table.h"
+
+namespace verso {
+namespace {
+
+class ObjectBaseTest : public ::testing::Test {
+ protected:
+  ObjectBaseTest() : base_(symbols_.exists_method(), &versions_) {}
+
+  GroundApp App(Oid result, std::vector<Oid> args = {}) {
+    GroundApp app;
+    app.args = std::move(args);
+    app.result = result;
+    return app;
+  }
+
+  SymbolTable symbols_;
+  VersionTable versions_;
+  ObjectBase base_;
+};
+
+TEST_F(ObjectBaseTest, InsertContainsErase) {
+  Vid henry = versions_.OfOid(symbols_.Symbol("henry"));
+  MethodId sal = symbols_.Method("sal");
+  EXPECT_TRUE(base_.Insert(henry, sal, App(symbols_.Int(250))));
+  EXPECT_FALSE(base_.Insert(henry, sal, App(symbols_.Int(250))));  // dup
+  EXPECT_TRUE(base_.Contains(henry, sal, App(symbols_.Int(250))));
+  EXPECT_EQ(base_.fact_count(), 1u);
+  EXPECT_TRUE(base_.Erase(henry, sal, App(symbols_.Int(250))));
+  EXPECT_FALSE(base_.Erase(henry, sal, App(symbols_.Int(250))));
+  EXPECT_EQ(base_.fact_count(), 0u);
+  EXPECT_EQ(base_.StateOf(henry), nullptr);  // empty states vanish
+}
+
+TEST_F(ObjectBaseTest, MethodsAreSetValued) {
+  // Several results for the same (version, method, args) coexist — the
+  // paper's set semantics.
+  Vid p = versions_.OfOid(symbols_.Symbol("p1"));
+  MethodId anc = symbols_.Method("anc");
+  EXPECT_TRUE(base_.Insert(p, anc, App(symbols_.Symbol("p2"))));
+  EXPECT_TRUE(base_.Insert(p, anc, App(symbols_.Symbol("p3"))));
+  const std::vector<GroundApp>* apps = base_.StateOf(p)->Find(anc);
+  ASSERT_NE(apps, nullptr);
+  EXPECT_EQ(apps->size(), 2u);
+}
+
+TEST_F(ObjectBaseTest, ArgsDistinguishApplications) {
+  Vid m = versions_.OfOid(symbols_.Symbol("matrix"));
+  MethodId at = symbols_.Method("at");
+  Oid one = symbols_.Int(1);
+  Oid two = symbols_.Int(2);
+  EXPECT_TRUE(base_.Insert(m, at, App(symbols_.Int(10), {one, one})));
+  EXPECT_TRUE(base_.Insert(m, at, App(symbols_.Int(20), {one, two})));
+  EXPECT_TRUE(base_.Contains(m, at, App(symbols_.Int(10), {one, one})));
+  EXPECT_FALSE(base_.Contains(m, at, App(symbols_.Int(10), {one, two})));
+}
+
+TEST_F(ObjectBaseTest, MethodIndexTracksVersions) {
+  Vid a = versions_.OfOid(symbols_.Symbol("a"));
+  Vid b = versions_.OfOid(symbols_.Symbol("b"));
+  MethodId isa = symbols_.Method("isa");
+  Oid empl = symbols_.Symbol("empl");
+  base_.Insert(a, isa, App(empl));
+  base_.Insert(b, isa, App(empl));
+  const auto* vids = base_.VidsWithMethod(isa);
+  ASSERT_NE(vids, nullptr);
+  EXPECT_EQ(vids->size(), 2u);
+  base_.Erase(a, isa, App(empl));
+  vids = base_.VidsWithMethod(isa);
+  ASSERT_NE(vids, nullptr);
+  EXPECT_EQ(vids->size(), 1u);
+  EXPECT_TRUE(vids->count(b));
+  base_.Erase(b, isa, App(empl));
+  EXPECT_EQ(base_.VidsWithMethod(isa), nullptr);
+}
+
+TEST_F(ObjectBaseTest, ReplaceVersionSwapsStateAndIndex) {
+  Vid o = versions_.OfOid(symbols_.Symbol("o"));
+  MethodId m1 = symbols_.Method("m1");
+  MethodId m2 = symbols_.Method("m2");
+  base_.Insert(o, m1, App(symbols_.Int(1)));
+
+  VersionState next;
+  next.Insert(m2, App(symbols_.Int(2)));
+  EXPECT_TRUE(base_.ReplaceVersion(o, next));
+  EXPECT_FALSE(base_.Contains(o, m1, App(symbols_.Int(1))));
+  EXPECT_TRUE(base_.Contains(o, m2, App(symbols_.Int(2))));
+  EXPECT_EQ(base_.VidsWithMethod(m1), nullptr);
+  ASSERT_NE(base_.VidsWithMethod(m2), nullptr);
+
+  // Replacing with an equal state reports "no change".
+  EXPECT_FALSE(base_.ReplaceVersion(o, next));
+  // Replacing with the empty state removes the version.
+  EXPECT_TRUE(base_.ReplaceVersion(o, VersionState()));
+  EXPECT_EQ(base_.StateOf(o), nullptr);
+  EXPECT_EQ(base_.fact_count(), 0u);
+}
+
+TEST_F(ObjectBaseTest, SealExistenceAddsExistsForPlainObjects) {
+  Vid o = versions_.OfOid(symbols_.Symbol("o"));
+  MethodId isa = symbols_.Method("isa");
+  base_.Insert(o, isa, App(symbols_.Symbol("empl")));
+  EXPECT_FALSE(base_.VersionExists(o));
+  base_.SealExistence();
+  EXPECT_TRUE(base_.VersionExists(o));
+  // Idempotent.
+  size_t facts = base_.fact_count();
+  base_.SealExistence();
+  EXPECT_EQ(base_.fact_count(), facts);
+}
+
+TEST_F(ObjectBaseTest, LatestExistingStageWalksToDeepestMaterialized) {
+  Vid o = versions_.OfOid(symbols_.Symbol("o"));
+  Vid mod_o = versions_.Child(o, UpdateKind::kModify);
+  Vid del_mod_o = versions_.Child(mod_o, UpdateKind::kDelete);
+  Oid root = symbols_.Symbol("o");
+
+  // Nothing materialized: no v*.
+  EXPECT_FALSE(base_.LatestExistingStage(del_mod_o).valid());
+
+  base_.Insert(o, symbols_.exists_method(), App(root));
+  EXPECT_EQ(base_.LatestExistingStage(del_mod_o), o);
+  EXPECT_EQ(base_.LatestExistingStage(o), o);
+
+  base_.Insert(mod_o, symbols_.exists_method(), App(root));
+  EXPECT_EQ(base_.LatestExistingStage(del_mod_o), mod_o);
+  // v* of the middle stage is itself.
+  EXPECT_EQ(base_.LatestExistingStage(mod_o), mod_o);
+}
+
+TEST_F(ObjectBaseTest, OnlyExistsDetectsInformationlessVersions) {
+  Vid o = versions_.OfOid(symbols_.Symbol("o"));
+  base_.Insert(o, symbols_.exists_method(), App(symbols_.Symbol("o")));
+  EXPECT_TRUE(base_.StateOf(o)->OnlyExists(symbols_.exists_method()));
+  base_.Insert(o, symbols_.Method("isa"), App(symbols_.Symbol("empl")));
+  EXPECT_FALSE(base_.StateOf(o)->OnlyExists(symbols_.exists_method()));
+}
+
+TEST_F(ObjectBaseTest, EqualityIsStateEquality) {
+  ObjectBase other(symbols_.exists_method(), &versions_);
+  Vid o = versions_.OfOid(symbols_.Symbol("o"));
+  MethodId m = symbols_.Method("m");
+  base_.Insert(o, m, App(symbols_.Int(1)));
+  EXPECT_FALSE(base_ == other);
+  other.Insert(o, m, App(symbols_.Int(1)));
+  EXPECT_TRUE(base_ == other);
+}
+
+TEST_F(ObjectBaseTest, CopyIsIndependent) {
+  Vid o = versions_.OfOid(symbols_.Symbol("o"));
+  MethodId m = symbols_.Method("m");
+  base_.Insert(o, m, App(symbols_.Int(1)));
+  ObjectBase copy = base_;
+  copy.Insert(o, m, App(symbols_.Int(2)));
+  EXPECT_EQ(base_.fact_count(), 1u);
+  EXPECT_EQ(copy.fact_count(), 2u);
+}
+
+}  // namespace
+}  // namespace verso

@@ -1,0 +1,95 @@
+#include "core/symbol_table.h"
+
+#include <gtest/gtest.h>
+
+namespace verso {
+namespace {
+
+TEST(SymbolTableTest, SymbolsInternToStableOids) {
+  SymbolTable table;
+  Oid henry = table.Symbol("henry");
+  Oid bob = table.Symbol("bob");
+  EXPECT_NE(henry, bob);
+  EXPECT_EQ(table.Symbol("henry"), henry);
+  EXPECT_EQ(table.kind(henry), OidKind::kSymbol);
+  EXPECT_EQ(table.SymbolName(henry), "henry");
+}
+
+TEST(SymbolTableTest, NumbersAreCanonical) {
+  SymbolTable table;
+  // 1/2 and 2/4 normalize to the same OID — OID identity is numeric
+  // equality, which is what makes `=` on numbers work.
+  Oid half = table.Number(*Numeric::FromRatio(1, 2));
+  EXPECT_EQ(table.Number(*Numeric::FromRatio(2, 4)), half);
+  EXPECT_TRUE(table.IsNumber(half));
+  EXPECT_EQ(table.NumberValue(half), *Numeric::FromRatio(1, 2));
+  EXPECT_EQ(table.Int(250), table.Number(Numeric::FromInt(250)));
+}
+
+TEST(SymbolTableTest, StringsAreDistinctFromSymbols) {
+  SymbolTable table;
+  Oid sym = table.Symbol("abc");
+  Oid str = table.String("abc");
+  EXPECT_NE(sym, str);
+  EXPECT_EQ(table.kind(str), OidKind::kString);
+  EXPECT_EQ(table.StringValue(str), "abc");
+}
+
+TEST(SymbolTableTest, FindDoesNotIntern) {
+  SymbolTable table;
+  EXPECT_FALSE(table.FindSymbol("ghost").valid());
+  size_t before = table.oid_count();
+  table.FindSymbol("ghost");
+  EXPECT_EQ(table.oid_count(), before);
+  Oid real = table.Symbol("real");
+  EXPECT_EQ(table.FindSymbol("real"), real);
+}
+
+TEST(SymbolTableTest, ExistsMethodIsPreInterned) {
+  SymbolTable table;
+  EXPECT_TRUE(table.exists_method().valid());
+  EXPECT_EQ(table.MethodName(table.exists_method()), "exists");
+  EXPECT_EQ(table.FindMethod("exists"), table.exists_method());
+}
+
+TEST(SymbolTableTest, MethodsInternSeparatelyFromOids) {
+  SymbolTable table;
+  MethodId sal = table.Method("sal");
+  EXPECT_EQ(table.Method("sal"), sal);
+  EXPECT_EQ(table.MethodName(sal), "sal");
+  EXPECT_FALSE(table.FindMethod("nope").valid());
+}
+
+TEST(SymbolTableTest, OidToStringSurfaceSyntax) {
+  SymbolTable table;
+  EXPECT_EQ(table.OidToString(table.Symbol("empl")), "empl");
+  EXPECT_EQ(table.OidToString(table.Int(4600)), "4600");
+  EXPECT_EQ(table.OidToString(table.Number(*Numeric::Parse("1.1"))), "1.1");
+  EXPECT_EQ(table.OidToString(table.String("hi")), "\"hi\"");
+}
+
+TEST(SymbolTableTest, CompareNumbersNumerically) {
+  SymbolTable table;
+  EXPECT_LT(table.Compare(table.Int(2), table.Int(10)), 0);
+  EXPECT_EQ(table.Compare(table.Int(5), table.Int(5)), 0);
+  EXPECT_GT(table.Compare(table.Number(*Numeric::Parse("1.5")),
+                          table.Number(*Numeric::Parse("1.25"))),
+            0);
+}
+
+TEST(SymbolTableTest, CompareSymbolsLexicographically) {
+  SymbolTable table;
+  EXPECT_LT(table.Compare(table.Symbol("anna"), table.Symbol("bob")), 0);
+  EXPECT_GT(table.Compare(table.String("z"), table.String("a")), 0);
+}
+
+TEST(SymbolTableTest, CrossKindComparisonIsIncomparable) {
+  SymbolTable table;
+  EXPECT_EQ(table.Compare(table.Int(1), table.Symbol("one")),
+            SymbolTable::kIncomparable);
+  EXPECT_EQ(table.Compare(table.Symbol("a"), table.String("a")),
+            SymbolTable::kIncomparable);
+}
+
+}  // namespace
+}  // namespace verso

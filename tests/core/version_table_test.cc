@@ -1,0 +1,115 @@
+// VersionTable: VID interning, parent chains, shapes, subterm order —
+// the machinery behind Figure 1's chain of update stages
+// θk(θ{k-1}(...θ1(o))).
+
+#include "core/version_table.h"
+
+#include <gtest/gtest.h>
+
+namespace verso {
+namespace {
+
+class VersionTableTest : public ::testing::Test {
+ protected:
+  SymbolTable symbols_;
+  VersionTable versions_;
+};
+
+TEST_F(VersionTableTest, DepthZeroVidsCoincideWithOids) {
+  Oid henry = symbols_.Symbol("henry");
+  Vid v = versions_.OfOid(henry);
+  EXPECT_EQ(versions_.OfOid(henry), v);  // interned once
+  EXPECT_EQ(versions_.depth(v), 0u);
+  EXPECT_EQ(versions_.root(v), henry);
+  EXPECT_EQ(versions_.shape(v), VidShape(0));
+}
+
+TEST_F(VersionTableTest, ChildrenAreInternedPerParentAndKind) {
+  Vid o = versions_.OfOid(symbols_.Symbol("o"));
+  Vid mod_o = versions_.Child(o, UpdateKind::kModify);
+  EXPECT_EQ(versions_.Child(o, UpdateKind::kModify), mod_o);
+  EXPECT_NE(versions_.Child(o, UpdateKind::kDelete), mod_o);
+  EXPECT_EQ(versions_.parent(mod_o), o);
+  EXPECT_EQ(versions_.kind(mod_o), UpdateKind::kModify);
+  EXPECT_EQ(versions_.depth(mod_o), 1u);
+  EXPECT_EQ(versions_.root(mod_o), symbols_.Symbol("o"));
+}
+
+// Figure 1: k consecutive groups of updates yield the chain
+// o, θ1(o), θ2(θ1(o)), ...; each stage is the parent of the next and a
+// subterm of every later stage.
+TEST_F(VersionTableTest, Figure1ChainStructure) {
+  Vid stage = versions_.OfOid(symbols_.Symbol("o"));
+  std::vector<Vid> chain{stage};
+  UpdateKind kinds[] = {UpdateKind::kModify, UpdateKind::kDelete,
+                        UpdateKind::kInsert};
+  for (int k = 0; k < 12; ++k) {
+    stage = versions_.Child(stage, kinds[k % 3]);
+    chain.push_back(stage);
+  }
+  for (size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_EQ(versions_.depth(chain[i]), i);
+    for (size_t j = 0; j < chain.size(); ++j) {
+      EXPECT_EQ(versions_.IsSubterm(chain[i], chain[j]), i <= j)
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST_F(VersionTableTest, SubtermRequiresSameObject) {
+  Vid a = versions_.OfOid(symbols_.Symbol("a"));
+  Vid b = versions_.OfOid(symbols_.Symbol("b"));
+  Vid mod_b = versions_.Child(b, UpdateKind::kModify);
+  EXPECT_FALSE(versions_.IsSubterm(a, mod_b));
+  EXPECT_TRUE(versions_.IsSubterm(b, mod_b));
+}
+
+TEST_F(VersionTableTest, SiblingsAreNotSubterms) {
+  Vid o = versions_.OfOid(symbols_.Symbol("o"));
+  Vid mod_o = versions_.Child(o, UpdateKind::kModify);
+  Vid del_o = versions_.Child(o, UpdateKind::kDelete);
+  EXPECT_FALSE(versions_.IsSubterm(mod_o, del_o));
+  EXPECT_FALSE(versions_.IsSubterm(del_o, mod_o));
+}
+
+TEST_F(VersionTableTest, ShapesGroupVidsByFunctorChain) {
+  Vid a = versions_.OfOid(symbols_.Symbol("a"));
+  Vid b = versions_.OfOid(symbols_.Symbol("b"));
+  Vid mod_a = versions_.Child(a, UpdateKind::kModify);
+  Vid mod_b = versions_.Child(b, UpdateKind::kModify);
+  Vid del_mod_a = versions_.Child(mod_a, UpdateKind::kDelete);
+
+  EXPECT_EQ(versions_.shape(mod_a), versions_.shape(mod_b));
+  EXPECT_NE(versions_.shape(mod_a), versions_.shape(del_mod_a));
+
+  VidShape mod_shape = versions_.InternShape({UpdateKind::kModify});
+  EXPECT_EQ(versions_.shape(mod_a), mod_shape);
+  const std::vector<Vid>& mods = versions_.VidsWithShape(mod_shape);
+  EXPECT_EQ(mods.size(), 2u);
+
+  VidShape dm = versions_.InternShape(
+      {UpdateKind::kDelete, UpdateKind::kModify});
+  EXPECT_EQ(versions_.shape(del_mod_a), dm);
+  // Outermost-first: shape ops spell del, then mod.
+  EXPECT_EQ(versions_.ShapeOps(dm)[0], UpdateKind::kDelete);
+  EXPECT_EQ(versions_.ShapeOps(dm)[1], UpdateKind::kModify);
+}
+
+TEST_F(VersionTableTest, UnknownShapeHasNoVids) {
+  VidShape s = versions_.InternShape(
+      {UpdateKind::kInsert, UpdateKind::kInsert, UpdateKind::kInsert});
+  EXPECT_TRUE(versions_.VidsWithShape(s).empty());
+}
+
+TEST_F(VersionTableTest, ToStringSpellsTheTerm) {
+  Vid henry = versions_.OfOid(symbols_.Symbol("henry"));
+  Vid v = versions_.Child(
+      versions_.Child(versions_.Child(henry, UpdateKind::kModify),
+                      UpdateKind::kDelete),
+      UpdateKind::kInsert);
+  EXPECT_EQ(versions_.ToString(v, symbols_), "ins(del(mod(henry)))");
+  EXPECT_EQ(versions_.ToString(henry, symbols_), "henry");
+}
+
+}  // namespace
+}  // namespace verso

@@ -1,0 +1,145 @@
+// Temporal view over result(P): per-object stage chains with diffs.
+
+#include "history/history.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "parser/parser.h"
+#include "workloads/workloads.h"
+
+namespace verso {
+namespace {
+
+class HistoryTest : public ::testing::Test {
+ protected:
+  RunOutcome MustRun(const char* base_text, const char* program_text) {
+    Result<ObjectBase> base = ParseObjectBase(base_text, engine_);
+    EXPECT_TRUE(base.ok());
+    Result<Program> program = ParseProgram(program_text, engine_);
+    EXPECT_TRUE(program.ok());
+    Result<RunOutcome> outcome = engine_.Run(*program, *base);
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    return std::move(outcome).value();
+  }
+
+  Engine engine_;
+};
+
+TEST_F(HistoryTest, EnterpriseHistoriesTellFigure2) {
+  RunOutcome outcome = MustRun(
+      R"(
+        phil.isa -> empl.  phil.pos -> mgr.   phil.sal -> 4000.
+        bob.isa -> empl.   bob.boss -> phil.  bob.sal -> 4200.
+      )",
+      kEnterpriseProgramText);
+
+  // phil: o -mod-> mod(phil) -ins-> ins(mod(phil)).
+  Result<ObjectHistory> phil = HistoryOf(
+      outcome.result, engine_.symbols().Symbol("phil"), engine_.symbols(),
+      engine_.versions());
+  ASSERT_TRUE(phil.ok()) << phil.status().ToString();
+  ASSERT_EQ(phil->stages.size(), 3u);
+  EXPECT_EQ(phil->update_group_count(), 2u);
+  EXPECT_EQ(phil->stages[1].kind, UpdateKind::kModify);
+  ASSERT_EQ(phil->stages[1].modified.size(), 1u);
+  EXPECT_EQ(engine_.symbols().NumberValue(
+                phil->stages[1].modified[0].old_result),
+            Numeric::FromInt(4000));
+  EXPECT_EQ(engine_.symbols().NumberValue(
+                phil->stages[1].modified[0].new_result),
+            Numeric::FromInt(4600));
+  EXPECT_EQ(phil->stages[2].kind, UpdateKind::kInsert);
+  ASSERT_EQ(phil->stages[2].added.size(), 1u);
+  EXPECT_EQ(engine_.symbols().MethodName(phil->stages[2].added[0].first),
+            "isa");
+
+  // bob: o -mod-> mod(bob) -del-> del(mod(bob)) with everything removed.
+  Result<ObjectHistory> bob = HistoryOf(
+      outcome.result, engine_.symbols().Symbol("bob"), engine_.symbols(),
+      engine_.versions());
+  ASSERT_TRUE(bob.ok());
+  ASSERT_EQ(bob->stages.size(), 3u);
+  EXPECT_EQ(bob->stages[2].kind, UpdateKind::kDelete);
+  EXPECT_EQ(bob->stages[2].removed.size(), 3u);  // isa, boss, sal
+  EXPECT_EQ(bob->final_stage().fact_count, 1u);  // exists only
+
+  // Rendering mentions the salary transition.
+  std::string rendered =
+      HistoryToString(*phil, engine_.symbols(), engine_.versions());
+  EXPECT_NE(rendered.find("sal: 4000 -> 4600"), std::string::npos);
+  EXPECT_NE(rendered.find("-ins-> ins(mod(phil))"), std::string::npos);
+}
+
+TEST_F(HistoryTest, UntouchedObjectHasSingleStage) {
+  RunOutcome outcome = MustRun(
+      "rock.mass -> 3.  e.isa -> empl.  e.sal -> 1.",
+      "r: mod[E].sal -> (S, S2) <- E.isa -> empl, E.sal -> S, S2 = S + 1.");
+  Result<ObjectHistory> rock = HistoryOf(
+      outcome.result, engine_.symbols().Symbol("rock"), engine_.symbols(),
+      engine_.versions());
+  ASSERT_TRUE(rock.ok());
+  EXPECT_EQ(rock->stages.size(), 1u);
+  EXPECT_EQ(rock->update_group_count(), 0u);
+}
+
+TEST_F(HistoryTest, UnknownObjectIsNotFound) {
+  RunOutcome outcome = MustRun("a.m -> 1.", "f: ins[a].n -> 2.");
+  Result<ObjectHistory> history = HistoryOf(
+      outcome.result, engine_.symbols().Symbol("ghost"), engine_.symbols(),
+      engine_.versions());
+  ASSERT_FALSE(history.ok());
+  EXPECT_EQ(history.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(HistoryTest, NonLinearHandMadeBaseIsRejected) {
+  ObjectBase base = engine_.MakeBase();
+  Status s = ParseObjectBaseInto(
+      "mod(o).exists -> o.  del(o).exists -> o.", engine_.symbols(),
+      engine_.versions(), base);
+  ASSERT_TRUE(s.ok());
+  Result<ObjectHistory> history =
+      HistoryOf(base, engine_.symbols().Symbol("o"), engine_.symbols(),
+                engine_.versions());
+  ASSERT_FALSE(history.ok());
+  EXPECT_EQ(history.status().code(), StatusCode::kNotVersionLinear);
+}
+
+TEST_F(HistoryTest, AllHistoriesCoverEveryObject) {
+  RunOutcome outcome = MustRun(
+      "a.isa -> empl. a.sal -> 1.  b.isa -> empl. b.sal -> 2.  c.m -> 9.",
+      "r: mod[E].sal -> (S, S2) <- E.isa -> empl, E.sal -> S, S2 = S + 1.");
+  Result<std::vector<ObjectHistory>> all = AllHistories(
+      outcome.result, engine_.symbols(), engine_.versions());
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 3u);  // a, b, c
+  size_t with_updates = 0;
+  for (const ObjectHistory& h : *all) {
+    if (h.update_group_count() > 0) ++with_updates;
+  }
+  EXPECT_EQ(with_updates, 2u);
+}
+
+TEST_F(HistoryTest, HypotheticalHistoryShowsRaiseAndRevision) {
+  RunOutcome outcome = MustRun(
+      "peter.sal -> 100.  peter.factor -> 3.",
+      "r1: mod[E].sal -> (S, S2) <- E.sal -> S / factor -> F, S2 = S * F."
+      "r2: mod[mod(E)].sal -> (S2, S) <- mod(E).sal -> S2, E.sal -> S.");
+  Result<ObjectHistory> peter = HistoryOf(
+      outcome.result, engine_.symbols().Symbol("peter"), engine_.symbols(),
+      engine_.versions());
+  ASSERT_TRUE(peter.ok());
+  ASSERT_EQ(peter->stages.size(), 3u);
+  // Stage 1 raises 100 -> 300; stage 2 reverts 300 -> 100.
+  ASSERT_EQ(peter->stages[1].modified.size(), 1u);
+  EXPECT_EQ(engine_.symbols().NumberValue(
+                peter->stages[1].modified[0].new_result),
+            Numeric::FromInt(300));
+  ASSERT_EQ(peter->stages[2].modified.size(), 1u);
+  EXPECT_EQ(engine_.symbols().NumberValue(
+                peter->stages[2].modified[0].new_result),
+            Numeric::FromInt(100));
+}
+
+}  // namespace
+}  // namespace verso

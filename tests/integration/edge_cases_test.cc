@@ -1,0 +1,190 @@
+// Edge cases across the full pipeline: arity overloading, string values,
+// pre-versioned input bases, deep version terms, argument methods under
+// update, and multi-program composition.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/pretty.h"
+#include "parser/parser.h"
+
+namespace verso {
+namespace {
+
+class EdgeCases : public ::testing::Test {
+ protected:
+  RunOutcome MustRun(const char* base_text, const char* program_text) {
+    Result<ObjectBase> base = ParseObjectBase(base_text, engine_);
+    EXPECT_TRUE(base.ok()) << base.status().ToString();
+    Result<Program> program = ParseProgram(program_text, engine_);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    Result<RunOutcome> outcome = engine_.Run(*program, *base);
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    return std::move(outcome).value();
+  }
+
+  std::string Print(const ObjectBase& base) {
+    return ObjectBaseToString(base, engine_.symbols(), engine_.versions());
+  }
+
+  Engine engine_;
+};
+
+// The same method name with different arities coexists; patterns match
+// by arity.
+TEST_F(EdgeCases, ArityOverloadedMethods) {
+  RunOutcome outcome = MustRun(
+      "m.at -> 1.  m.at@7 -> 2.  m.at@7,8 -> 3.",
+      "r: ins[m].hits -> V <- m.at@I -> V.");
+  EXPECT_EQ(Print(outcome.new_base),
+            "m.at -> 1.\n"
+            "m.at@7 -> 2.\n"
+            "m.at@7,8 -> 3.\n"
+            "m.exists -> m.\n"
+            "m.hits -> 2.\n");
+}
+
+// Updates over methods *with* arguments: a modify addresses exactly one
+// (args, result) application.
+TEST_F(EdgeCases, ModifyWithArguments) {
+  RunOutcome outcome = MustRun(
+      "grid.cell@1,1 -> 0.  grid.cell@1,2 -> 0.",
+      "r: mod[G].cell@1,1 -> (V, V2) <- G.cell@1,1 -> V, V2 = V + 5.");
+  Vid grid = engine_.versions().OfOid(engine_.symbols().Symbol("grid"));
+  GroundApp changed;
+  changed.args = {engine_.symbols().Int(1), engine_.symbols().Int(1)};
+  changed.result = engine_.symbols().Int(5);
+  EXPECT_TRUE(outcome.new_base.Contains(
+      grid, engine_.symbols().Method("cell"), changed));
+  GroundApp untouched;
+  untouched.args = {engine_.symbols().Int(1), engine_.symbols().Int(2)};
+  untouched.result = engine_.symbols().Int(0);
+  EXPECT_TRUE(outcome.new_base.Contains(
+      grid, engine_.symbols().Method("cell"), untouched));
+}
+
+// String values flow through updates and comparisons.
+TEST_F(EdgeCases, StringValues) {
+  RunOutcome outcome = MustRun(
+      "doc.title -> \"draft\".",
+      "r: mod[D].title -> (T, \"final\") <- D.title -> T, T = \"draft\".");
+  Vid doc = engine_.versions().OfOid(engine_.symbols().Symbol("doc"));
+  GroundApp title;
+  title.result = engine_.symbols().String("final");
+  EXPECT_TRUE(outcome.new_base.Contains(
+      doc, engine_.symbols().Method("title"), title));
+}
+
+// Negative numbers and rational arithmetic in one rule.
+TEST_F(EdgeCases, NegativeAndRationalArithmetic) {
+  RunOutcome outcome = MustRun(
+      "acct.balance -> -10.",
+      "r: mod[A].balance -> (B, B2) <- acct.balance -> B, B < 0, "
+      "B2 = B * 1.5 - 2, A = acct.");
+  Vid acct = engine_.versions().OfOid(engine_.symbols().Symbol("acct"));
+  GroundApp balance;
+  balance.result =
+      engine_.symbols().Number(*Numeric::Parse("-17"));  // -10*1.5-2
+  EXPECT_TRUE(outcome.new_base.Contains(
+      acct, engine_.symbols().Method("balance"), balance));
+}
+
+// The input object base may already contain versioned facts (e.g. a
+// printed result(P) loaded back): evaluation continues from there.
+TEST_F(EdgeCases, PreVersionedInputBase) {
+  RunOutcome outcome = MustRun(
+      R"(
+        e.exists -> e.        e.isa -> empl.   e.sal -> 100.
+        mod(e).exists -> e.   mod(e).isa -> empl.  mod(e).sal -> 110.
+      )",
+      // Reads the mod-version that was already present in the input.
+      "r: ins[mod(E)].checked -> yes <- mod(E).sal -> S, S > 105.");
+  Vid e = engine_.versions().OfOid(engine_.symbols().Symbol("e"));
+  Vid target = engine_.versions().Child(
+      engine_.versions().Child(e, UpdateKind::kModify), UpdateKind::kInsert);
+  GroundApp checked;
+  checked.result = engine_.symbols().Symbol("yes");
+  EXPECT_TRUE(outcome.result.Contains(
+      target, engine_.symbols().Method("checked"), checked));
+  // Commit picks ins(mod(e)) as the final version.
+  GroundApp sal;
+  sal.result = engine_.symbols().Int(110);
+  EXPECT_TRUE(
+      outcome.new_base.Contains(e, engine_.symbols().Method("sal"), sal));
+}
+
+// Three consecutive update groups in one program: Figure 1's
+// ins(del(mod(o))) chain end to end.
+TEST_F(EdgeCases, ThreeStageChain) {
+  RunOutcome outcome = MustRun(
+      "o.a -> 1.  o.b -> 2.",
+      R"(
+        s1: mod[o].a -> (V, V2) <- o.a -> V, V2 = V + 10.
+        s2: del[mod(o)].b -> 2 <- mod(o).b -> 2.
+        s3: ins[del(mod(o))].c -> 3 <- del(mod(o)).a -> V.
+      )");
+  EXPECT_EQ(Print(outcome.new_base),
+            "o.a -> 11.\n"
+            "o.c -> 3.\n"
+            "o.exists -> o.\n");
+}
+
+// Two programs applied in sequence through ob' compose like one
+// transaction after another (the Database layer relies on this).
+TEST_F(EdgeCases, ComposedPrograms) {
+  Result<ObjectBase> base =
+      ParseObjectBase("x.n -> 1.", engine_);
+  ASSERT_TRUE(base.ok());
+  Result<Program> inc = ParseProgram(
+      "r: mod[E].n -> (V, V2) <- E.n -> V, V2 = V + 1.", engine_);
+  ASSERT_TRUE(inc.ok());
+  ObjectBase current = *base;
+  for (int i = 0; i < 5; ++i) {
+    Result<RunOutcome> out = engine_.Run(*inc, current);
+    ASSERT_TRUE(out.ok());
+    current = out->new_base;
+  }
+  Vid x = engine_.versions().OfOid(engine_.symbols().Symbol("x"));
+  GroundApp n;
+  n.result = engine_.symbols().Int(6);
+  EXPECT_TRUE(current.Contains(x, engine_.symbols().Method("n"), n));
+}
+
+// An update-term reading a *different* object's update: cross-object
+// coordination ("if bob was fired, flag phil").
+TEST_F(EdgeCases, CrossObjectUpdateObservation) {
+  RunOutcome outcome = MustRun(
+      R"(
+        phil.isa -> empl.  phil.sal -> 10.
+        bob.isa -> empl.   bob.sal -> 20.  bob.flagged -> yes.
+      )",
+      R"(
+        s1: del[bob].* <- bob.flagged -> yes.
+        s2: ins[phil].note -> bob_left <- del[bob].isa -> empl.
+      )");
+  Vid phil = engine_.versions().OfOid(engine_.symbols().Symbol("phil"));
+  Vid target = engine_.versions().Child(phil, UpdateKind::kInsert);
+  GroundApp note;
+  note.result = engine_.symbols().Symbol("bob_left");
+  EXPECT_TRUE(outcome.result.Contains(
+      target, engine_.symbols().Method("note"), note));
+  // bob is gone from ob'.
+  Vid bob = engine_.versions().OfOid(engine_.symbols().Symbol("bob"));
+  EXPECT_EQ(outcome.new_base.StateOf(bob), nullptr);
+}
+
+// exists survives del[V].* and cannot be forged into heads even through
+// delete-all (already checked), nor deleted explicitly.
+TEST_F(EdgeCases, ExistsIsProtected) {
+  Result<Program> program = ParseProgram(
+      "r: del[E].exists -> E <- E.isa -> empl.", engine_);
+  ASSERT_TRUE(program.ok());
+  Result<ObjectBase> base = ParseObjectBase("a.isa -> empl.", engine_);
+  ASSERT_TRUE(base.ok());
+  Result<RunOutcome> outcome = engine_.Run(*program, *base);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace verso

@@ -1,0 +1,254 @@
+// End-to-end reproduction of every worked example in the paper
+// (Sections 2.1 and 2.3), asserting the exact outcomes the paper states:
+// the salary raise fires exactly once per employee, the enterprise update
+// leaves phil in hpe at $4600 and fires bob, the hypothetical raise is
+// revised away, and the recursive set-valued `anc` closes transitively.
+// Also covers footnote 2 (negated update-term vs negated version-term)
+// and the strata printed in Section 4.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/pretty.h"
+#include "parser/parser.h"
+
+namespace verso {
+namespace {
+
+constexpr const char* kEnterpriseProgram = R"(
+rule1: mod[E].sal -> (S, S2) <-
+    E.isa -> empl / pos -> mgr / sal -> S,
+    S2 = S * 1.1 + 200.
+rule2: mod[E].sal -> (S, S2) <-
+    E.isa -> empl / sal -> S,
+    not E.pos -> mgr,
+    S2 = S * 1.1.
+rule3: del[mod(E)].* <-
+    mod(E).isa -> empl / boss -> B / sal -> SE,
+    mod(B).isa -> empl / sal -> SB,
+    SE > SB.
+rule4: ins[mod(E)].isa -> hpe <-
+    mod(E).isa -> empl / sal -> S,
+    S > 4500,
+    not del[mod(E)].isa -> empl.
+)";
+
+constexpr const char* kEnterpriseBase = R"(
+phil.isa -> empl.  phil.pos -> mgr.   phil.sal -> 4000.
+bob.isa -> empl.   bob.boss -> phil.  bob.sal -> 4200.
+)";
+
+class PaperExamples : public ::testing::Test {
+ protected:
+  RunOutcome MustRun(const char* base_text, const char* program_text) {
+    Result<ObjectBase> base = ParseObjectBase(base_text, engine_);
+    EXPECT_TRUE(base.ok()) << base.status().ToString();
+    Result<Program> program = ParseProgram(program_text, engine_);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    program_ = std::move(program).value();
+    Result<RunOutcome> outcome = engine_.Run(program_, *base);
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    return std::move(outcome).value();
+  }
+
+  /// True iff `object.method -> result` (symbols) holds in `base`.
+  bool Holds(const ObjectBase& base, const char* object, const char* method,
+             const char* result) {
+    return HoldsOid(base, object, method,
+                    engine_.symbols().Symbol(result));
+  }
+  bool HoldsInt(const ObjectBase& base, const char* object,
+                const char* method, int64_t result) {
+    return HoldsOid(base, object, method, engine_.symbols().Int(result));
+  }
+  bool HoldsOid(const ObjectBase& base, const char* object,
+                const char* method, Oid result) {
+    Vid vid = engine_.versions().OfOid(engine_.symbols().Symbol(object));
+    GroundApp app;
+    app.result = result;
+    return base.Contains(vid, engine_.symbols().Method(method), app);
+  }
+
+  Engine engine_;
+  Program program_;
+};
+
+// Section 2.1: "To every employee a 10% salary-raise has to be performed"
+// — and it terminates, raising each salary exactly once (250 -> 275).
+TEST_F(PaperExamples, SalaryRaiseFiresExactlyOnce) {
+  RunOutcome outcome = MustRun(
+      "henry.isa -> empl.  henry.salary -> 250.",
+      "mod[E].salary -> (S, S2) <- E.isa -> empl, E.salary -> S, "
+      "S2 = S * 1.1.");
+  // Exactly 275, not 302.5 (a second application) and not a float-noise
+  // neighbour: numerics are exact rationals.
+  EXPECT_TRUE(HoldsInt(outcome.new_base, "henry", "salary", 275));
+  EXPECT_FALSE(HoldsOid(
+      outcome.new_base, "henry", "salary",
+      engine_.symbols().Number(*Numeric::FromRatio(605, 2))));  // 302.5
+  // One stratum, fixpoint after the second (unchanged) round.
+  ASSERT_EQ(outcome.stratification.stratum_count(), 1u);
+  EXPECT_EQ(outcome.stats.strata[0].rounds, 2u);
+}
+
+// Section 2.3, Example 1 + Figure 2: phil ends in hpe with $4600; bob is
+// fired and vanishes from the new object base.
+TEST_F(PaperExamples, EnterpriseUpdateMatchesFigure2) {
+  RunOutcome outcome = MustRun(kEnterpriseBase, kEnterpriseProgram);
+
+  // Figure 2's intermediate versions in result(P).
+  const SymbolTable& sym = engine_.symbols();
+  VersionTable& ver = engine_.versions();
+  Vid phil = ver.OfOid(engine_.symbols().Symbol("phil"));
+  Vid bob = ver.OfOid(engine_.symbols().Symbol("bob"));
+  Vid mod_phil = ver.Child(phil, UpdateKind::kModify);
+  Vid mod_bob = ver.Child(bob, UpdateKind::kModify);
+  Vid del_mod_bob = ver.Child(mod_bob, UpdateKind::kDelete);
+  Vid ins_mod_phil = ver.Child(mod_phil, UpdateKind::kInsert);
+
+  GroundApp sal4600;
+  sal4600.result = engine_.symbols().Int(4600);
+  EXPECT_TRUE(outcome.result.Contains(mod_phil, engine_.symbols().Method("sal"),
+                                      sal4600));
+  GroundApp sal4620;
+  sal4620.result = engine_.symbols().Int(4620);
+  EXPECT_TRUE(outcome.result.Contains(mod_bob, engine_.symbols().Method("sal"),
+                                      sal4620));
+  // del(mod(bob)) survives as a note of existence only.
+  ASSERT_NE(outcome.result.StateOf(del_mod_bob), nullptr);
+  EXPECT_TRUE(
+      outcome.result.StateOf(del_mod_bob)->OnlyExists(sym.exists_method()));
+  // ins(mod(phil)) carries both isa results.
+  GroundApp isa_empl;
+  isa_empl.result = engine_.symbols().Symbol("empl");
+  GroundApp isa_hpe;
+  isa_hpe.result = engine_.symbols().Symbol("hpe");
+  EXPECT_TRUE(outcome.result.Contains(ins_mod_phil,
+                                      engine_.symbols().Method("isa"),
+                                      isa_empl));
+  EXPECT_TRUE(outcome.result.Contains(ins_mod_phil,
+                                      engine_.symbols().Method("isa"),
+                                      isa_hpe));
+
+  // The committed object base, canonically printed.
+  EXPECT_EQ(ObjectBaseToString(outcome.new_base, sym, ver),
+            "phil.exists -> phil.\n"
+            "phil.isa -> empl.\n"
+            "phil.isa -> hpe.\n"
+            "phil.pos -> mgr.\n"
+            "phil.sal -> 4600.\n");
+}
+
+// Section 4: the stratification printed for Example 1 is
+// {rule1, rule2}, {rule3}, {rule4}.
+TEST_F(PaperExamples, EnterpriseStrataMatchSection4) {
+  RunOutcome outcome = MustRun(kEnterpriseBase, kEnterpriseProgram);
+  ASSERT_EQ(outcome.stratification.stratum_count(), 3u);
+  EXPECT_EQ(StratificationToString(outcome.stratification, program_),
+            "stratum 0: rule1 rule2\n"
+            "stratum 1: rule3\n"
+            "stratum 2: rule4\n");
+}
+
+// Footnote 2: replacing the negated update-term of rule4 by a negated
+// version-term does NOT have the intended effect — the rule then fires
+// for the fired employee bob, materializing ins(mod(bob)) next to
+// del(mod(bob)), which the run-time linearity check rejects.
+TEST_F(PaperExamples, Footnote2NegatedVersionTermIsWrong) {
+  Result<ObjectBase> base = ParseObjectBase(kEnterpriseBase, engine_);
+  ASSERT_TRUE(base.ok());
+  std::string wrong(kEnterpriseProgram);
+  size_t at = wrong.find("not del[mod(E)].isa -> empl");
+  ASSERT_NE(at, std::string::npos);
+  wrong.replace(at, 27, "not del(mod(E)).isa -> empl");
+  Result<Program> program = ParseProgram(wrong, engine_);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  Result<RunOutcome> outcome = engine_.Run(*program, *base);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kNotVersionLinear);
+}
+
+// Section 2.3, Example 2: hypothetical salary raise, revised right away;
+// mod(mod(e)) equals the original state and `richest` is answered from
+// the middle version.
+TEST_F(PaperExamples, HypotheticalRaiseIsRevised) {
+  const char* base = R"(
+      peter.isa -> empl.  peter.sal -> 100.  peter.factor -> 3.
+      anna.isa -> empl.   anna.sal -> 200.   anna.factor -> 1.
+  )";
+  const char* program = R"(
+      r1: mod[E].sal -> (S, S2) <- E.sal -> S / factor -> F, S2 = S * F.
+      r2: mod[mod(E)].sal -> (S2, S) <- mod(E).sal -> S2, E.sal -> S.
+      r3: ins[mod(mod(peter))].richest -> no <-
+          mod(E).sal -> SE, mod(peter).sal -> SP, SE > SP.
+      r4: ins[ins(mod(mod(peter)))].richest -> yes <-
+          not ins(mod(mod(peter))).richest -> no.
+  )";
+  RunOutcome outcome = MustRun(base, program);
+  // peter would be the richest: 100*3 = 300 > 200*1; and his committed
+  // salary is the *original* 100 — the raise was hypothetical.
+  EXPECT_TRUE(Holds(outcome.new_base, "peter", "richest", "yes"));
+  EXPECT_FALSE(Holds(outcome.new_base, "peter", "richest", "no"));
+  EXPECT_TRUE(HoldsInt(outcome.new_base, "peter", "sal", 100));
+  EXPECT_TRUE(HoldsInt(outcome.new_base, "anna", "sal", 200));
+
+  // Strata: r1 below r2 and r3; r2, r3 below r4 (negation).
+  const auto& s = outcome.stratification.stratum_of_rule;
+  EXPECT_LT(s[0], s[1]);
+  EXPECT_LT(s[0], s[2]);
+  EXPECT_LT(s[1], s[3]);
+  EXPECT_LT(s[2], s[3]);
+}
+
+TEST_F(PaperExamples, HypotheticalRaiseNegativeCase) {
+  const char* base = R"(
+      peter.isa -> empl.  peter.sal -> 100.  peter.factor -> 3.
+      anna.isa -> empl.   anna.sal -> 200.   anna.factor -> 2.
+  )";
+  const char* program = R"(
+      r1: mod[E].sal -> (S, S2) <- E.sal -> S / factor -> F, S2 = S * F.
+      r2: mod[mod(E)].sal -> (S2, S) <- mod(E).sal -> S2, E.sal -> S.
+      r3: ins[mod(mod(peter))].richest -> no <-
+          mod(E).sal -> SE, mod(peter).sal -> SP, SE > SP.
+      r4: ins[ins(mod(mod(peter)))].richest -> yes <-
+          not ins(mod(mod(peter))).richest -> no.
+  )";
+  RunOutcome outcome = MustRun(base, program);
+  // anna's hypothetical 400 beats peter's 300.
+  EXPECT_TRUE(Holds(outcome.new_base, "peter", "richest", "no"));
+  EXPECT_FALSE(Holds(outcome.new_base, "peter", "richest", "yes"));
+  EXPECT_TRUE(HoldsInt(outcome.new_base, "peter", "sal", 100));
+}
+
+// Section 2.3, Example 3: recursive rules computing set-valued `anc`.
+TEST_F(PaperExamples, RecursiveAncestorsAreSetValued) {
+  const char* base = R"(
+      p1.isa -> person.  p1.parents -> p2.  p1.parents -> p3.
+      p2.isa -> person.  p2.parents -> p4.
+      p3.isa -> person.
+      p4.isa -> person.  p4.parents -> p5.
+      p5.isa -> person.
+  )";
+  const char* program = R"(
+      r1: ins[X].anc -> P <- X.isa -> person / parents -> P.
+      r2: ins[X].anc -> P <- ins(X).isa -> person / anc -> A,
+                             A.isa -> person / parents -> P.
+  )";
+  RunOutcome outcome = MustRun(base, program);
+  // Both rules share one stratum (positive recursion through ins(X)).
+  EXPECT_EQ(outcome.stratification.stratum_count(), 1u);
+  for (const char* anc : {"p2", "p3", "p4", "p5"}) {
+    EXPECT_TRUE(Holds(outcome.new_base, "p1", "anc", anc)) << anc;
+  }
+  EXPECT_FALSE(Holds(outcome.new_base, "p1", "anc", "p1"));
+  EXPECT_TRUE(Holds(outcome.new_base, "p2", "anc", "p4"));
+  EXPECT_TRUE(Holds(outcome.new_base, "p2", "anc", "p5"));
+  EXPECT_FALSE(Holds(outcome.new_base, "p3", "anc", "p4"));
+  EXPECT_TRUE(Holds(outcome.new_base, "p4", "anc", "p5"));
+  // p3 and p5 have no parents: rule 1 never fires for them, so they keep
+  // their original state (and no anc method).
+  EXPECT_TRUE(Holds(outcome.new_base, "p3", "isa", "person"));
+}
+
+}  // namespace
+}  // namespace verso

@@ -1,0 +1,108 @@
+// The termination claim of Section 2.1: the versioned salary raise fires
+// exactly once per employee and the evaluation reaches a fixpoint,
+// while the same rule without versions re-applies forever. Also checks
+// the trace hooks that expose the process.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "core/engine.h"
+#include "core/trace.h"
+#include "parser/parser.h"
+#include "workloads/workloads.h"
+
+namespace verso {
+namespace {
+
+class TerminationSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TerminationSweep, VersionedRaiseTerminatesNaiveDoesNot) {
+  const size_t n = GetParam();
+  Engine engine;
+  ObjectBase base = engine.MakeBase();
+  EnterpriseOptions options;
+  options.employees = n;
+  MakeEnterprise(options, engine, base);
+
+  const char* rule =
+      "raise: mod[E].sal -> (S, S2) <- E.isa -> empl, E.sal -> S, "
+      "S2 = S * 1.1.";
+
+  // Versioned: terminates in 2 rounds regardless of n.
+  Result<Program> versioned = ParseProgram(rule, engine);
+  ASSERT_TRUE(versioned.ok());
+  Result<RunOutcome> outcome = engine.Run(*versioned, base);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->stats.total_rounds(), 2u);
+  EXPECT_EQ(outcome->stats.versions_materialized, n);
+
+  // Naive in-place: still changing when the round budget runs out.
+  // (The budget stays below ~18 rounds: 1.1^k has denominator 10^k, and
+  // the exact-rational representation reports overflow past int64 rather
+  // than silently wrapping — itself a nice property, but here we want to
+  // observe divergence, not overflow.)
+  Result<Program> naive = ParseProgram(rule, engine);
+  ASSERT_TRUE(naive.ok());
+  InPlaceOptions in_place;
+  in_place.max_rounds = 12;
+  Result<InPlaceOutcome> diverged = RunNaiveUpdate(
+      *naive, base, engine.symbols(), engine.versions(), in_place);
+  ASSERT_TRUE(diverged.ok());
+  EXPECT_TRUE(diverged->diverged);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TerminationSweep,
+                         ::testing::Values(1, 4, 16, 64, 256),
+                         ::testing::PrintToStringParamName());
+
+// The divergence guard: an (artificially tiny) round budget turns a
+// legitimate recursive program into a reported kDivergence instead of an
+// endless loop.
+TEST(TerminationTest, RoundBudgetReportsDivergence) {
+  Engine engine;
+  ObjectBase base = engine.MakeBase();
+  GenealogyOptions options;
+  options.persons = 32;
+  options.max_parents = 1;
+  MakeGenealogy(options, engine, base);
+  Result<Program> program = ParseProgram(kAncestorsProgramText, engine);
+  ASSERT_TRUE(program.ok());
+  EvalOptions eval;
+  eval.max_rounds_per_stratum = 2;  // too small for a 32-person chain
+  Result<RunOutcome> outcome = engine.Run(*program, base, eval);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kDivergence);
+}
+
+// The trace observes the full process: derivations in every round,
+// materializations exactly once per version, strata in order.
+TEST(TerminationTest, TraceSeesTheProcess) {
+  Engine engine;
+  ObjectBase base = engine.MakeBase();
+  EnterpriseOptions options;
+  options.employees = 4;
+  options.manager_every = 2;
+  MakeEnterprise(options, engine, base);
+
+  Result<Program> program = ParseProgram(kEnterpriseProgramText, engine);
+  ASSERT_TRUE(program.ok());
+  RecordingTrace trace(engine.symbols(), engine.versions());
+  Result<RunOutcome> outcome =
+      engine.Run(*program, base, EvalOptions(), &trace);
+  ASSERT_TRUE(outcome.ok());
+
+  int strata_begins = 0;
+  int materializations = 0;
+  for (const std::string& line : trace.lines()) {
+    if (line.find("stratum") == 0 && line.find("rules)") != std::string::npos) {
+      ++strata_begins;
+    }
+    if (line.find("materialize") != std::string::npos) ++materializations;
+  }
+  EXPECT_EQ(strata_begins, 3);
+  EXPECT_EQ(static_cast<size_t>(materializations),
+            outcome->stats.versions_materialized);
+}
+
+}  // namespace
+}  // namespace verso

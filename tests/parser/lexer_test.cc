@@ -1,0 +1,105 @@
+#include "parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace verso {
+namespace {
+
+std::vector<TokenKind> KindsOf(const char* text) {
+  Result<std::vector<Token>> tokens = Lex(text);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, IdentifiersAndVariables) {
+  Result<std::vector<Token>> tokens = Lex("henry Empl _x bob2 X2y");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[0].text, "henry");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kVar);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kVar);  // underscore-initial
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kVar);
+}
+
+// The load-bearing lexing rule: '.' between digits is part of a number;
+// "250." is the number 250 followed by a clause-terminating dot.
+TEST(LexerTest, NumbersVersusDots) {
+  Result<std::vector<Token>> tokens = Lex("1.1 250. 3.50");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "1.1");
+  EXPECT_EQ((*tokens)[1].text, "250");
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kDot);
+  EXPECT_EQ((*tokens)[3].text, "3.50");
+}
+
+TEST(LexerTest, MethodSelectorDots) {
+  EXPECT_EQ(KindsOf("henry.salary -> 250."),
+            (std::vector<TokenKind>{TokenKind::kIdent, TokenKind::kDot,
+                                    TokenKind::kIdent, TokenKind::kArrow,
+                                    TokenKind::kNumber, TokenKind::kDot,
+                                    TokenKind::kEof}));
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  EXPECT_EQ(KindsOf("<- -> <= >= < > = != + - * / @ [ ] ( ) , : ."),
+            (std::vector<TokenKind>{
+                TokenKind::kImplies, TokenKind::kArrow, TokenKind::kLe,
+                TokenKind::kGe, TokenKind::kLt, TokenKind::kGt, TokenKind::kEq,
+                TokenKind::kNeq, TokenKind::kPlus, TokenKind::kMinus,
+                TokenKind::kStar, TokenKind::kSlash, TokenKind::kAt,
+                TokenKind::kLBracket, TokenKind::kRBracket,
+                TokenKind::kLParen, TokenKind::kRParen, TokenKind::kComma,
+                TokenKind::kColon, TokenKind::kDot, TokenKind::kEof}));
+}
+
+TEST(LexerTest, CommentsRunToEndOfLine) {
+  EXPECT_EQ(KindsOf("a % comment -> ignored\nb"),
+            (std::vector<TokenKind>{TokenKind::kIdent, TokenKind::kIdent,
+                                    TokenKind::kEof}));
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  Result<std::vector<Token>> tokens = Lex(R"("hi there" "a\"b" "x\ny")");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "hi there");
+  EXPECT_EQ((*tokens)[1].text, "a\"b");
+  EXPECT_EQ((*tokens)[2].text, "x\ny");
+}
+
+TEST(LexerTest, UnterminatedStringIsAnError) {
+  Result<std::vector<Token>> tokens = Lex("\"oops");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, StrayCharactersAreErrorsWithPosition) {
+  Result<std::vector<Token>> tokens = Lex("a\n  #");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(LexerTest, LoneBangIsAnError) {
+  EXPECT_FALSE(Lex("a ! b").ok());
+  EXPECT_TRUE(Lex("a != b").ok());
+}
+
+TEST(LexerTest, TracksLinesAndColumns) {
+  Result<std::vector<Token>> tokens = Lex("a\n  bcd");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[0].column, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[1].column, 3);
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  EXPECT_EQ(KindsOf(""), (std::vector<TokenKind>{TokenKind::kEof}));
+  EXPECT_EQ(KindsOf("  % only a comment"),
+            (std::vector<TokenKind>{TokenKind::kEof}));
+}
+
+}  // namespace
+}  // namespace verso

@@ -1,0 +1,238 @@
+// Parser: programs, object bases, derived rules, and the printer
+// round-trip (printed syntax re-parses to the same structures).
+
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pretty.h"
+
+namespace verso {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  Program MustParse(const char* text) {
+    Result<Program> p = ParseProgram(text, symbols_);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return std::move(p).value();
+  }
+  Status ParseError(const char* text) {
+    Result<Program> p = ParseProgram(text, symbols_);
+    EXPECT_FALSE(p.ok()) << "unexpectedly parsed: " << text;
+    return p.ok() ? Status::Ok() : p.status();
+  }
+
+  SymbolTable symbols_;
+  VersionTable versions_;
+};
+
+TEST_F(ParserTest, MinimalUpdateFact) {
+  Program p = MustParse("ins[henry].isa -> empl.");
+  ASSERT_EQ(p.rules.size(), 1u);
+  EXPECT_EQ(p.rules[0].head.kind, UpdateKind::kInsert);
+  EXPECT_TRUE(p.rules[0].body.empty());
+  EXPECT_TRUE(p.rules[0].head.version.ops.empty());
+  EXPECT_FALSE(p.rules[0].head.version.base.is_var);
+}
+
+TEST_F(ParserTest, LabelsAreOptional) {
+  Program p = MustParse("raise: ins[x].m -> 1.  ins[y].m -> 2.");
+  EXPECT_EQ(p.rules[0].label, "raise");
+  EXPECT_TRUE(p.rules[1].label.empty());
+}
+
+TEST_F(ParserTest, PathShorthandExpandsToConjunction) {
+  Program p = MustParse(
+      "r: ins[E].m -> 1 <- E.isa -> empl / pos -> mgr / sal -> S.");
+  ASSERT_EQ(p.rules[0].body.size(), 3u);
+  for (const Literal& lit : p.rules[0].body) {
+    EXPECT_EQ(lit.kind, Literal::Kind::kVersion);
+    // All three literals share the same version term (variable E).
+    EXPECT_TRUE(lit.version.version.base.is_var);
+    EXPECT_EQ(lit.version.version.base.var, VarId(0));
+  }
+}
+
+TEST_F(ParserTest, NestedVersionTermsParse) {
+  Program p = MustParse(
+      "r: ins[ins(mod(mod(peter)))].richest -> yes <- peter.sal -> S.");
+  const VidTerm& v = p.rules[0].head.version;
+  EXPECT_EQ(v.ops, (std::vector<UpdateKind>{UpdateKind::kInsert,
+                                            UpdateKind::kModify,
+                                            UpdateKind::kModify}));
+  EXPECT_FALSE(v.base.is_var);
+}
+
+TEST_F(ParserTest, ModifyHeadTakesResultPair) {
+  Program p = MustParse("r: mod[E].sal -> (S, S2) <- E.sal -> S, "
+                        "S2 = S * 1.1.");
+  EXPECT_EQ(p.rules[0].head.kind, UpdateKind::kModify);
+  EXPECT_TRUE(p.rules[0].head.new_result.is_var);
+  EXPECT_FALSE(ParseError("r: mod[E].sal -> S <- E.sal -> S.").ok());
+}
+
+TEST_F(ParserTest, MethodArguments) {
+  Program p = MustParse("r: ins[M].at@I,J -> V <- M.at@I,J -> V.");
+  EXPECT_EQ(p.rules[0].head.app.args.size(), 2u);
+  EXPECT_EQ(p.rules[0].body[0].version.app.args.size(), 2u);
+}
+
+TEST_F(ParserTest, NegationAndComparisons) {
+  Program p = MustParse(R"(
+      r: ins[mod(E)].isa -> hpe <-
+          mod(E).sal -> S, S > 4500, not del[mod(E)].isa -> empl,
+          S != 9999.
+  )");
+  ASSERT_EQ(p.rules[0].body.size(), 4u);
+  EXPECT_FALSE(p.rules[0].body[0].negated);
+  EXPECT_EQ(p.rules[0].body[1].kind, Literal::Kind::kBuiltin);
+  EXPECT_TRUE(p.rules[0].body[2].negated);
+  EXPECT_EQ(p.rules[0].body[2].kind, Literal::Kind::kUpdate);
+  EXPECT_EQ(p.rules[0].body[3].builtin.op, CmpOp::kNe);
+}
+
+TEST_F(ParserTest, ExpressionPrecedence) {
+  // S2 = S * 1.1 + 200 must parse as (S*1.1)+200: the add is the root.
+  Program p = MustParse("r: mod[E].s -> (S, S2) <- E.s -> S, "
+                        "S2 = S * 1.1 + 200.");
+  const BuiltinAtom& eq = p.rules[0].body[1].builtin;
+  const Expr& rhs = p.rules[0].exprs.at(eq.rhs);
+  EXPECT_EQ(rhs.kind, Expr::Kind::kAdd);
+  EXPECT_EQ(p.rules[0].exprs.at(rhs.lhs).kind, Expr::Kind::kMul);
+}
+
+TEST_F(ParserTest, DeleteAllOnlyInHeads) {
+  EXPECT_TRUE(ParseProgram("r: del[mod(E)].* <- mod(E).isa -> empl.",
+                           symbols_).ok());
+  EXPECT_FALSE(ParseError("r: ins[x].m -> 1 <- del[E].*.").ok());
+  EXPECT_FALSE(ParseError("r: ins[x].* <- x.m -> 1.").ok());  // ins .*
+}
+
+TEST_F(ParserTest, ProgramsRejectPlainFacts) {
+  Status s = ParseError("henry.salary -> 250.");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("object-base"), std::string::npos);
+}
+
+TEST_F(ParserTest, NegatedPathIsAmbiguousAndRejected) {
+  EXPECT_FALSE(
+      ParseError("r: ins[x].m -> 1 <- not E.a -> 1 / b -> 2.").ok());
+  // A single-application "path" under not is fine.
+  EXPECT_TRUE(
+      ParseProgram("r: ins[x].m -> 1 <- x.q -> 1, not x.a -> 1.", symbols_)
+          .ok());
+}
+
+TEST_F(ParserTest, ErrorsCarryLineAndColumn) {
+  Status s = ParseError("r: ins[x].m -> 1 <-\n   x.q -> .");
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+}
+
+TEST_F(ParserTest, NumbersStringsAndNegativesAsTerms) {
+  Program p = MustParse(
+      "r: ins[x].m@-3,\"txt\" -> 1.5 <- x.q -> -2.");
+  const AppPattern& app = p.rules[0].head.app;
+  ASSERT_EQ(app.args.size(), 2u);
+  EXPECT_EQ(symbols_.NumberValue(app.args[0].oid), Numeric::FromInt(-3));
+  EXPECT_EQ(symbols_.StringValue(app.args[1].oid), "txt");
+  EXPECT_EQ(symbols_.NumberValue(app.result.oid), *Numeric::Parse("1.5"));
+}
+
+// ---- object bases -----------------------------------------------------
+
+TEST_F(ParserTest, ObjectBaseFactsWithPathsAndVersions) {
+  ObjectBase base(symbols_.exists_method(), &versions_);
+  Status s = ParseObjectBaseInto(R"(
+      phil.isa -> empl / pos -> mgr.
+      mod(phil).sal -> 4600.
+      m.at@1,2 -> 20.
+  )", symbols_, versions_, base);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(base.fact_count(), 4u);
+  Vid mod_phil = versions_.Child(
+      versions_.OfOid(symbols_.Symbol("phil")), UpdateKind::kModify);
+  GroundApp sal;
+  sal.result = symbols_.Int(4600);
+  EXPECT_TRUE(base.Contains(mod_phil, symbols_.Method("sal"), sal));
+}
+
+TEST_F(ParserTest, ObjectBasesRejectVariablesAndRules) {
+  ObjectBase base(symbols_.exists_method(), &versions_);
+  EXPECT_FALSE(
+      ParseObjectBaseInto("X.isa -> empl.", symbols_, versions_, base).ok());
+  EXPECT_FALSE(ParseObjectBaseInto("a.m -> 1 <- b.q -> 2.", symbols_,
+                                   versions_, base)
+                   .ok());
+}
+
+// ---- derived rules ------------------------------------------------------
+
+TEST_F(ParserTest, DerivedRulesParse) {
+  Result<Program> p = ParseDerivedRules(R"(
+      q1: derive X.reaches -> Y <- X.edge -> Y.
+      q2: derive X.reaches -> Z <- X.reaches -> Y, Y.edge -> Z.
+  )", symbols_);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->rules.size(), 2u);
+  EXPECT_EQ(p->rules[0].head.kind, UpdateKind::kInsert);
+}
+
+TEST_F(ParserTest, DerivedRulesRejectUpdateTerms) {
+  Result<Program> p = ParseDerivedRules(
+      "q: derive X.m -> 1 <- ins[X].q -> 2.", symbols_);
+  EXPECT_FALSE(p.ok());
+}
+
+// ---- printer round-trip ---------------------------------------------------
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, PrintedProgramReparsesToSamePrint) {
+  SymbolTable symbols;
+  Result<Program> first = ParseProgram(GetParam(), symbols);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  std::string printed = ProgramToString(*first, symbols);
+  Result<Program> second = ParseProgram(printed, symbols);
+  ASSERT_TRUE(second.ok()) << printed << "\n"
+                           << second.status().ToString();
+  EXPECT_EQ(ProgramToString(*second, symbols), printed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, RoundTripTest,
+    ::testing::Values(
+        "ins[henry].isa -> empl.",
+        "r: mod[E].sal -> (S, S2) <- E.isa -> empl, E.sal -> S, "
+        "S2 = S * 1.1 + 200.",
+        "r: del[mod(E)].* <- mod(E).isa -> empl / boss -> B / sal -> SE, "
+        "mod(B).sal -> SB, SE > SB.",
+        "r: ins[mod(E)].isa -> hpe <- mod(E).sal -> S, S > 4500, "
+        "not del[mod(E)].isa -> empl.",
+        "r: ins[X].anc -> P <- ins(X).isa -> person / anc -> A, "
+        "A.parents -> P.",
+        "r: ins[m].at@I,J -> V <- m.at@J,I -> V, I != J.",
+        "r: mod[mod(E)].sal -> (S2, S) <- mod(E).sal -> S2, E.sal -> S.",
+        "r: ins[x].v -> R <- x.w -> A, R = (A + 1) * (A - 1) / 2.",
+        "r: ins[x].v -> R <- x.w -> A, R = -A.",
+        "r: ins[x].m -> \"str\" <- x.q -> -1.5."));
+
+TEST(ObjectBaseRoundTrip, PrintedBaseReparsesEqual) {
+  SymbolTable symbols;
+  VersionTable versions;
+  ObjectBase base(symbols.exists_method(), &versions);
+  ASSERT_TRUE(ParseObjectBaseInto(R"(
+      phil.isa -> empl.  phil.sal -> 4000.
+      mod(phil).sal -> 4600.
+      del(mod(bob)).exists -> bob.
+      m.at@1,2 -> "x".
+  )", symbols, versions, base).ok());
+  std::string printed = ObjectBaseToString(base, symbols, versions);
+  ObjectBase again(symbols.exists_method(), &versions);
+  ASSERT_TRUE(ParseObjectBaseInto(printed, symbols, versions, again).ok())
+      << printed;
+  EXPECT_TRUE(base == again);
+}
+
+}  // namespace
+}  // namespace verso

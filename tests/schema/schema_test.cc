@@ -1,0 +1,175 @@
+// Schema layer: declarations, object-base validation, static program
+// checks.
+
+#include "schema/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "parser/parser.h"
+
+namespace verso {
+namespace {
+
+constexpr const char* kEnterpriseSchema = R"(
+    method isa/0: symbol, set.
+    method pos/0: symbol, single.
+    method sal/0: number, single.
+    method boss/0: symbol, set.
+)";
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  Schema MustParse(const char* text) {
+    Result<Schema> schema = Schema::Parse(text, engine_.symbols());
+    EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+    return std::move(schema).value();
+  }
+  ObjectBase Base(const char* text) {
+    Result<ObjectBase> base = ParseObjectBase(text, engine_);
+    EXPECT_TRUE(base.ok());
+    return std::move(base).value();
+  }
+
+  Engine engine_;
+};
+
+TEST_F(SchemaTest, ParseDeclarations) {
+  Schema schema = MustParse(kEnterpriseSchema);
+  EXPECT_EQ(schema.size(), 4u);
+  const MethodSig* sal = schema.Find(engine_.symbols().Method("sal"));
+  ASSERT_NE(sal, nullptr);
+  EXPECT_EQ(sal->arity, 0u);
+  EXPECT_EQ(sal->result, ResultKind::kNumber);
+  EXPECT_TRUE(sal->single_valued);
+  const MethodSig* isa = schema.Find(engine_.symbols().Method("isa"));
+  ASSERT_NE(isa, nullptr);
+  EXPECT_FALSE(isa->single_valued);
+}
+
+TEST_F(SchemaTest, ParseErrors) {
+  EXPECT_FALSE(Schema::Parse("method sal: number, single.",
+                             engine_.symbols()).ok());  // missing /arity
+  EXPECT_FALSE(Schema::Parse("method sal/0: floaty, single.",
+                             engine_.symbols()).ok());
+  EXPECT_FALSE(Schema::Parse("method sal/0: number, sometimes.",
+                             engine_.symbols()).ok());
+}
+
+TEST_F(SchemaTest, ConflictingRedeclarationFails) {
+  EXPECT_FALSE(Schema::Parse(
+      "method sal/0: number, single.  method sal/0: symbol, single.",
+      engine_.symbols()).ok());
+  // Identical re-declaration is fine.
+  EXPECT_TRUE(Schema::Parse(
+      "method sal/0: number, single.  method sal/0: number, single.",
+      engine_.symbols()).ok());
+}
+
+TEST_F(SchemaTest, CheckBaseAcceptsConformingFacts) {
+  Schema schema = MustParse(kEnterpriseSchema);
+  ObjectBase base = Base(R"(
+      phil.isa -> empl.  phil.pos -> mgr.  phil.sal -> 4000.
+      bob.isa -> empl.   bob.isa -> mgr.   bob.boss -> phil.
+  )");
+  base.SealExistence();  // exists is implicitly fine
+  EXPECT_TRUE(
+      schema.CheckBase(base, engine_.symbols(), engine_.versions()).ok());
+}
+
+TEST_F(SchemaTest, CheckBaseRejectsUndeclaredMethod) {
+  Schema schema = MustParse(kEnterpriseSchema);
+  ObjectBase base = Base("phil.hobby -> chess.");
+  Status s = schema.CheckBase(base, engine_.symbols(), engine_.versions());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("hobby"), std::string::npos);
+}
+
+TEST_F(SchemaTest, CheckBaseRejectsKindMismatch) {
+  Schema schema = MustParse(kEnterpriseSchema);
+  ObjectBase base = Base("phil.sal -> lots.");  // symbol, not number
+  EXPECT_FALSE(
+      schema.CheckBase(base, engine_.symbols(), engine_.versions()).ok());
+}
+
+TEST_F(SchemaTest, CheckBaseRejectsDoubleValueOnSingleValued) {
+  Schema schema = MustParse(kEnterpriseSchema);
+  ObjectBase base = Base("phil.sal -> 1.  phil.sal -> 2.");
+  Status s = schema.CheckBase(base, engine_.symbols(), engine_.versions());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("single-valued"), std::string::npos);
+  // The same two results on a set-valued method are fine.
+  ObjectBase ok = Base("phil.isa -> empl.  phil.isa -> mgr.");
+  EXPECT_TRUE(
+      schema.CheckBase(ok, engine_.symbols(), engine_.versions()).ok());
+}
+
+TEST_F(SchemaTest, CheckBaseChecksArity) {
+  Schema schema = MustParse("method at/2: number, single.");
+  ObjectBase good = Base("m.at@1,2 -> 30.");
+  EXPECT_TRUE(
+      schema.CheckBase(good, engine_.symbols(), engine_.versions()).ok());
+  ObjectBase bad = Base("m.at@1 -> 30.");
+  EXPECT_FALSE(
+      schema.CheckBase(bad, engine_.symbols(), engine_.versions()).ok());
+}
+
+TEST_F(SchemaTest, CheckProgramStaticChecks) {
+  Schema schema = MustParse(kEnterpriseSchema);
+  Result<Program> good = ParseProgram(
+      "r: mod[E].sal -> (S, S2) <- E.isa -> empl, E.sal -> S, "
+      "S2 = S * 1.1.", engine_.symbols());
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(schema.CheckProgram(*good, engine_.symbols()).ok());
+
+  Result<Program> undeclared = ParseProgram(
+      "r: ins[E].hobby -> chess <- E.isa -> empl.", engine_.symbols());
+  ASSERT_TRUE(undeclared.ok());
+  EXPECT_FALSE(schema.CheckProgram(*undeclared, engine_.symbols()).ok());
+
+  Result<Program> bad_kind = ParseProgram(
+      "r: ins[E].sal -> lots <- E.isa -> empl.", engine_.symbols());
+  ASSERT_TRUE(bad_kind.ok());
+  EXPECT_FALSE(schema.CheckProgram(*bad_kind, engine_.symbols()).ok());
+
+  Result<Program> bad_arity = ParseProgram(
+      "r: ins[E].boss@x -> y <- E.isa -> empl.", engine_.symbols());
+  ASSERT_TRUE(bad_arity.ok());
+  EXPECT_FALSE(schema.CheckProgram(*bad_arity, engine_.symbols()).ok());
+
+  // delete-all heads carry no method and always pass the head check.
+  Result<Program> del_all = ParseProgram(
+      "r: del[mod(E)].* <- mod(E).isa -> empl.", engine_.symbols());
+  ASSERT_TRUE(del_all.ok());
+  EXPECT_TRUE(schema.CheckProgram(*del_all, engine_.symbols()).ok());
+}
+
+TEST_F(SchemaTest, CheckProgramChecksModifyNewResult) {
+  Schema schema = MustParse(kEnterpriseSchema);
+  Result<Program> bad = ParseProgram(
+      "r: mod[E].sal -> (S, lots) <- E.sal -> S.", engine_.symbols());
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(schema.CheckProgram(*bad, engine_.symbols()).ok());
+}
+
+// End-to-end: schema-check the committed base after a run.
+TEST_F(SchemaTest, CommittedBaseStaysConforming) {
+  Schema schema = MustParse(
+      "method isa/0: symbol, set.  method pos/0: symbol, single. "
+      "method sal/0: number, single.  method boss/0: symbol, set.");
+  ObjectBase base = Base(R"(
+      phil.isa -> empl.  phil.pos -> mgr.   phil.sal -> 4000.
+      bob.isa -> empl.   bob.boss -> phil.  bob.sal -> 4200.
+  )");
+  Result<Program> program = ParseProgram(
+      "r1: mod[E].sal -> (S, S2) <- E.isa -> empl / sal -> S, "
+      "S2 = S * 1.1.", engine_.symbols());
+  ASSERT_TRUE(program.ok());
+  Result<RunOutcome> outcome = engine_.Run(*program, base);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(schema.CheckBase(outcome->new_base, engine_.symbols(),
+                               engine_.versions()).ok());
+}
+
+}  // namespace
+}  // namespace verso

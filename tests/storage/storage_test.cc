@@ -1,0 +1,318 @@
+// Persistence substrate: codec round-trips, snapshot integrity, WAL
+// framing with torn-tail recovery, and the Database facade.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/pretty.h"
+#include "parser/parser.h"
+#include "storage/codec.h"
+#include "storage/database.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+#include "util/io.h"
+
+namespace verso {
+namespace {
+
+// ---- codec primitives ------------------------------------------------------
+
+TEST(CodecTest, VarintRoundTrip) {
+  const std::vector<uint64_t> values = {0,   1,        127,       128,
+                                        300, 1ull << 40, UINT64_MAX};
+  BufferWriter w;
+  for (uint64_t v : values) w.Varint(v);
+  BufferReader r(w.buffer());
+  for (uint64_t v : values) {
+    Result<uint64_t> back = r.Varint();
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(CodecTest, ZigZagRoundTrip) {
+  const std::vector<int64_t> values = {0, -1, 1, -64, 64, INT64_MIN,
+                                       INT64_MAX};
+  BufferWriter w;
+  for (int64_t v : values) w.ZigZag(v);
+  BufferReader r(w.buffer());
+  for (int64_t v : values) {
+    Result<int64_t> back = r.ZigZag();
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(CodecTest, StrRoundTripAndTruncation) {
+  BufferWriter w;
+  w.Str("hello");
+  w.Str("");
+  BufferReader r(w.buffer());
+  EXPECT_EQ(*r.Str(), "hello");
+  EXPECT_EQ(*r.Str(), "");
+  // Truncated buffer errors out rather than reading past the end.
+  BufferReader bad(std::string_view(w.buffer().data(), 3));
+  EXPECT_FALSE(bad.Str().ok());
+}
+
+// ---- object base / delta round-trips --------------------------------------
+
+class StorageFixture : public ::testing::Test {
+ protected:
+  StorageFixture() {
+    dir_ = ::testing::TempDir() + "/verso_storage_test";
+    std::filesystem::remove_all(dir_);
+    EnsureDirectory(dir_).ok();
+  }
+
+  ObjectBase Base(const char* text, Engine& engine) {
+    Result<ObjectBase> base = ParseObjectBase(text, engine);
+    EXPECT_TRUE(base.ok()) << base.status().ToString();
+    return std::move(base).value();
+  }
+
+  std::string dir_;
+};
+
+constexpr const char* kRichBase = R"(
+    phil.isa -> empl.  phil.sal -> 4600.
+    mod(phil).sal -> 5060.
+    del(mod(bob)).exists -> bob.
+    m.at@1,2 -> 20.   m.at@1,"s" -> -3.5.
+)";
+
+TEST_F(StorageFixture, ObjectBaseEncodesAcrossEngines) {
+  Engine a;
+  ObjectBase base = Base(kRichBase, a);
+  std::string payload = EncodeObjectBase(base, a.symbols(), a.versions());
+
+  // Decode into a *different* engine whose interning order differs.
+  Engine b;
+  b.symbols().Symbol("unrelated");
+  b.symbols().Symbol("phil");
+  ObjectBase decoded = b.MakeBase();
+  ASSERT_TRUE(DecodeObjectBaseInto(payload, b.symbols(), b.versions(),
+                                   decoded)
+                  .ok());
+  EXPECT_EQ(ObjectBaseToString(decoded, b.symbols(), b.versions()),
+            ObjectBaseToString(base, a.symbols(), a.versions()));
+}
+
+TEST_F(StorageFixture, DeltaComputeApplyInverts) {
+  Engine engine;
+  ObjectBase before = Base("a.m -> 1.  b.m -> 2.  c.m -> 3.", engine);
+  ObjectBase after = Base("a.m -> 1.  b.m -> 20.  d.m -> 4.", engine);
+  FactDelta delta = ComputeDelta(before, after);
+  EXPECT_EQ(delta.added.size(), 2u);    // b.m->20, d.m->4
+  EXPECT_EQ(delta.removed.size(), 2u);  // b.m->2, c.m->3
+  ObjectBase patched = before;
+  ApplyDelta(delta, patched);
+  EXPECT_TRUE(patched == after);
+
+  std::string payload = EncodeDelta(delta, engine.symbols(),
+                                    engine.versions());
+  Result<FactDelta> back =
+      DecodeDelta(payload, engine.symbols(), engine.versions());
+  ASSERT_TRUE(back.ok());
+  ObjectBase patched2 = before;
+  ApplyDelta(*back, patched2);
+  EXPECT_TRUE(patched2 == after);
+}
+
+TEST_F(StorageFixture, CorruptPayloadIsDetected) {
+  Engine engine;
+  ObjectBase base = Base("a.m -> 1.", engine);
+  std::string payload = EncodeObjectBase(base, engine.symbols(),
+                                         engine.versions());
+  payload.resize(payload.size() - 1);  // truncate
+  ObjectBase out = engine.MakeBase();
+  EXPECT_FALSE(DecodeObjectBaseInto(payload, engine.symbols(),
+                                    engine.versions(), out)
+                   .ok());
+}
+
+// ---- snapshot ---------------------------------------------------------------
+
+TEST_F(StorageFixture, SnapshotRoundTrip) {
+  Engine a;
+  ObjectBase base = Base(kRichBase, a);
+  std::string path = dir_ + "/snap.vsnp";
+  ASSERT_TRUE(WriteSnapshot(path, base, a.symbols(), a.versions()).ok());
+
+  Engine b;
+  ObjectBase loaded = b.MakeBase();
+  ASSERT_TRUE(
+      ReadSnapshotInto(path, b.symbols(), b.versions(), loaded).ok());
+  EXPECT_EQ(ObjectBaseToString(loaded, b.symbols(), b.versions()),
+            ObjectBaseToString(base, a.symbols(), a.versions()));
+}
+
+TEST_F(StorageFixture, SnapshotBitFlipIsCorruption) {
+  Engine engine;
+  ObjectBase base = Base("a.m -> 1.", engine);
+  std::string path = dir_ + "/snap.vsnp";
+  ASSERT_TRUE(
+      WriteSnapshot(path, base, engine.symbols(), engine.versions()).ok());
+  std::string bytes = *ReadFile(path);
+  bytes[bytes.size() / 2] ^= 0x40;
+  ASSERT_TRUE(WriteFile(path, bytes).ok());
+  ObjectBase out = engine.MakeBase();
+  Status s = ReadSnapshotInto(path, engine.symbols(), engine.versions(), out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+// ---- WAL --------------------------------------------------------------------
+
+TEST_F(StorageFixture, WalAppendAndRead) {
+  std::string path = dir_ + "/wal.log";
+  WalWriter writer(path);
+  ASSERT_TRUE(writer.Append("first").ok());
+  ASSERT_TRUE(writer.Append("").ok());
+  ASSERT_TRUE(writer.Append("third record").ok());
+  Result<WalReadResult> r = ReadWal(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->truncated_tail);
+  ASSERT_EQ(r->records.size(), 3u);
+  EXPECT_EQ(r->records[0], "first");
+  EXPECT_EQ(r->records[1], "");
+  EXPECT_EQ(r->records[2], "third record");
+}
+
+TEST_F(StorageFixture, MissingWalIsEmpty) {
+  Result<WalReadResult> r = ReadWal(dir_ + "/none.log");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->records.empty());
+}
+
+TEST_F(StorageFixture, TornTailIsDroppedNotFatal) {
+  std::string path = dir_ + "/wal.log";
+  WalWriter writer(path);
+  ASSERT_TRUE(writer.Append("keep me").ok());
+  ASSERT_TRUE(writer.Append("torn").ok());
+  std::string bytes = *ReadFile(path);
+  bytes.resize(bytes.size() - 2);  // simulate crash mid-write
+  ASSERT_TRUE(WriteFile(path, bytes).ok());
+  Result<WalReadResult> r = ReadWal(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->truncated_tail);
+  ASSERT_EQ(r->records.size(), 1u);
+  EXPECT_EQ(r->records[0], "keep me");
+}
+
+TEST_F(StorageFixture, CorruptMiddleRecordStopsReplay) {
+  std::string path = dir_ + "/wal.log";
+  WalWriter writer(path);
+  ASSERT_TRUE(writer.Append("one").ok());
+  ASSERT_TRUE(writer.Append("two").ok());
+  std::string bytes = *ReadFile(path);
+  bytes[10] ^= 0xff;  // corrupt payload of the first record
+  ASSERT_TRUE(WriteFile(path, bytes).ok());
+  Result<WalReadResult> r = ReadWal(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->truncated_tail);
+  EXPECT_TRUE(r->records.empty());
+}
+
+// ---- Database ----------------------------------------------------------------
+
+TEST_F(StorageFixture, DatabaseExecuteAndRecover) {
+  std::string dbdir = dir_ + "/db";
+  {
+    Engine engine;
+    Result<std::unique_ptr<Database>> db = Database::Open(dbdir, engine);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ObjectBase base = Base("henry.isa -> empl.  henry.sal -> 100.", engine);
+    ASSERT_TRUE((*db)->ImportBase(base).ok());
+    Result<Program> raise = ParseProgram(
+        "r: mod[E].sal -> (S, S2) <- E.isa -> empl, E.sal -> S, "
+        "S2 = S * 2.", engine);
+    ASSERT_TRUE(raise.ok());
+    ASSERT_TRUE((*db)->Execute(*raise).ok());
+    EXPECT_EQ((*db)->wal_records_since_checkpoint(), 2u);
+  }
+  // Reopen without a checkpoint: recovery replays the WAL.
+  {
+    Engine engine;
+    Result<std::unique_ptr<Database>> db = Database::Open(dbdir, engine);
+    ASSERT_TRUE(db.ok());
+    Vid henry = engine.versions().OfOid(engine.symbols().Symbol("henry"));
+    GroundApp sal;
+    sal.result = engine.symbols().Int(200);
+    EXPECT_TRUE((*db)->current().Contains(
+        henry, engine.symbols().Method("sal"), sal));
+    // Checkpoint folds the WAL into the snapshot.
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    EXPECT_EQ((*db)->wal_records_since_checkpoint(), 0u);
+    EXPECT_FALSE(FileExists(dbdir + "/wal.log"));
+  }
+  // And a third open loads from the snapshot alone.
+  {
+    Engine engine;
+    Result<std::unique_ptr<Database>> db = Database::Open(dbdir, engine);
+    ASSERT_TRUE(db.ok());
+    EXPECT_EQ((*db)->wal_records_since_checkpoint(), 0u);
+    Vid henry = engine.versions().OfOid(engine.symbols().Symbol("henry"));
+    GroundApp sal;
+    sal.result = engine.symbols().Int(200);
+    EXPECT_TRUE((*db)->current().Contains(
+        henry, engine.symbols().Method("sal"), sal));
+  }
+}
+
+TEST_F(StorageFixture, DatabaseSurvivesTornWalTail) {
+  std::string dbdir = dir_ + "/db2";
+  {
+    Engine engine;
+    Result<std::unique_ptr<Database>> db = Database::Open(dbdir, engine);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->ImportBase(Base("a.m -> 1.", engine)).ok());
+    ASSERT_TRUE((*db)->ImportBase(Base("a.m -> 1. a.n -> 2.", engine)).ok());
+  }
+  // Tear the final record.
+  std::string bytes = *ReadFile(dbdir + "/wal.log");
+  bytes.resize(bytes.size() - 3);
+  ASSERT_TRUE(WriteFile(dbdir + "/wal.log", bytes).ok());
+  {
+    Engine engine;
+    Result<std::unique_ptr<Database>> db = Database::Open(dbdir, engine);
+    ASSERT_TRUE(db.ok());
+    EXPECT_TRUE((*db)->recovered_from_torn_wal());
+    // The first import survived; the torn second one is gone.
+    Vid a = engine.versions().OfOid(engine.symbols().Symbol("a"));
+    GroundApp one;
+    one.result = engine.symbols().Int(1);
+    EXPECT_TRUE(
+        (*db)->current().Contains(a, engine.symbols().Method("m"), one));
+    GroundApp two;
+    two.result = engine.symbols().Int(2);
+    EXPECT_FALSE(
+        (*db)->current().Contains(a, engine.symbols().Method("n"), two));
+  }
+}
+
+TEST_F(StorageFixture, FailedProgramLeavesDatabaseUntouched) {
+  std::string dbdir = dir_ + "/db3";
+  Engine engine;
+  Result<std::unique_ptr<Database>> db = Database::Open(dbdir, engine);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ImportBase(Base("o.m -> a.", engine)).ok());
+  // Non-linear program: Execute fails, current() unchanged.
+  Result<Program> bad = ParseProgram(
+      "r1: mod[o].m -> (a, b) <- o.m -> a."
+      "r2: del[o].m -> a <- o.m -> a.", engine);
+  ASSERT_TRUE(bad.ok());
+  size_t records = (*db)->wal_records_since_checkpoint();
+  Result<RunOutcome> out = (*db)->Execute(*bad);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ((*db)->wal_records_since_checkpoint(), records);
+  Vid o = engine.versions().OfOid(engine.symbols().Symbol("o"));
+  GroundApp m;
+  m.result = engine.symbols().Symbol("a");
+  EXPECT_TRUE((*db)->current().Contains(o, engine.symbols().Method("m"), m));
+}
+
+}  // namespace
+}  // namespace verso

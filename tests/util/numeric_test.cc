@@ -1,0 +1,148 @@
+#include "util/numeric.h"
+
+#include <gtest/gtest.h>
+
+namespace verso {
+namespace {
+
+Numeric N(int64_t num, int64_t den = 1) {
+  Result<Numeric> r = Numeric::FromRatio(num, den);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+TEST(NumericTest, DefaultIsZero) {
+  Numeric zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_TRUE(zero.is_integer());
+  EXPECT_EQ(zero.ToString(), "0");
+}
+
+TEST(NumericTest, FromRatioNormalizes) {
+  EXPECT_EQ(N(4, 8), N(1, 2));
+  EXPECT_EQ(N(-4, 8), N(-1, 2));
+  EXPECT_EQ(N(4, -8), N(-1, 2));   // sign moves to numerator
+  EXPECT_EQ(N(-4, -8), N(1, 2));
+  EXPECT_EQ(N(0, 7), N(0));
+}
+
+TEST(NumericTest, FromRatioRejectsZeroDenominator) {
+  EXPECT_FALSE(Numeric::FromRatio(1, 0).ok());
+}
+
+TEST(NumericTest, ParseIntegers) {
+  EXPECT_EQ(*Numeric::Parse("250"), N(250));
+  EXPECT_EQ(*Numeric::Parse("-12"), N(-12));
+  EXPECT_EQ(*Numeric::Parse("+7"), N(7));
+  EXPECT_EQ(*Numeric::Parse("0"), N(0));
+}
+
+TEST(NumericTest, ParseDecimalsExactly) {
+  EXPECT_EQ(*Numeric::Parse("1.1"), N(11, 10));
+  EXPECT_EQ(*Numeric::Parse("3.50"), N(7, 2));
+  EXPECT_EQ(*Numeric::Parse(".5"), N(1, 2));
+  EXPECT_EQ(*Numeric::Parse("-0.25"), N(-1, 4));
+}
+
+TEST(NumericTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Numeric::Parse("").ok());
+  EXPECT_FALSE(Numeric::Parse("abc").ok());
+  EXPECT_FALSE(Numeric::Parse("1.2.3").ok());
+  EXPECT_FALSE(Numeric::Parse("1e5").ok());
+  EXPECT_FALSE(Numeric::Parse("-").ok());
+  EXPECT_FALSE(Numeric::Parse(".").ok());
+}
+
+// The property the whole library leans on: the paper's salary arithmetic
+// is exact. 250 * 1.1 == 275 and 4000 * 1.1 + 200 == 4600, with equality
+// being plain == on the normalized representation.
+TEST(NumericTest, PaperSalaryArithmeticIsExact) {
+  Numeric rate = *Numeric::Parse("1.1");
+  EXPECT_EQ(*Numeric::Mul(N(250), rate), N(275));
+  EXPECT_EQ(*Numeric::Add(*Numeric::Mul(N(4000), rate), N(200)), N(4600));
+  EXPECT_EQ(*Numeric::Mul(N(4200), rate), N(4620));
+}
+
+TEST(NumericTest, AddSubMulDiv) {
+  EXPECT_EQ(*Numeric::Add(N(1, 3), N(1, 6)), N(1, 2));
+  EXPECT_EQ(*Numeric::Sub(N(1, 2), N(1, 3)), N(1, 6));
+  EXPECT_EQ(*Numeric::Mul(N(2, 3), N(3, 4)), N(1, 2));
+  EXPECT_EQ(*Numeric::Div(N(1, 2), N(1, 4)), N(2));
+  EXPECT_FALSE(Numeric::Div(N(1), N(0)).ok());
+  EXPECT_EQ(*Numeric::Neg(N(3, 7)), N(-3, 7));
+}
+
+TEST(NumericTest, CompareTotalOrder) {
+  EXPECT_LT(Numeric::Compare(N(1, 3), N(1, 2)), 0);
+  EXPECT_GT(Numeric::Compare(N(-1, 3), N(-1, 2)), 0);
+  EXPECT_EQ(Numeric::Compare(N(2, 4), N(1, 2)), 0);
+  EXPECT_TRUE(N(1, 3) < N(34, 100));
+}
+
+TEST(NumericTest, CompareDoesNotOverflow) {
+  // Cross-multiplication of near-max values must not wrap.
+  Numeric big1 = N(INT64_MAX - 1, 3);
+  Numeric big2 = N(INT64_MAX - 2, 3);
+  EXPECT_GT(Numeric::Compare(big1, big2), 0);
+}
+
+TEST(NumericTest, OverflowIsAnErrorNotWrap) {
+  Numeric big = N(INT64_MAX);
+  EXPECT_FALSE(Numeric::Add(big, N(1)).ok());
+  EXPECT_FALSE(Numeric::Mul(big, N(2)).ok());
+  // But g-c-d rescue works: (MAX/2) * 2 fits.
+  EXPECT_TRUE(Numeric::Mul(N(INT64_MAX / 2), N(2)).ok());
+}
+
+TEST(NumericTest, ToStringIntegers) {
+  EXPECT_EQ(N(42).ToString(), "42");
+  EXPECT_EQ(N(-42).ToString(), "-42");
+}
+
+TEST(NumericTest, ToStringFiniteDecimals) {
+  EXPECT_EQ(N(11, 10).ToString(), "1.1");
+  EXPECT_EQ(N(7, 2).ToString(), "3.5");
+  EXPECT_EQ(N(-1, 4).ToString(), "-0.25");
+  EXPECT_EQ(N(1, 8).ToString(), "0.125");
+  EXPECT_EQ(N(605, 2).ToString(), "302.5");
+}
+
+TEST(NumericTest, ToStringFallsBackToFraction) {
+  EXPECT_EQ(N(1, 3).ToString(), "1/3");
+  EXPECT_EQ(N(-2, 7).ToString(), "-2/7");
+}
+
+TEST(NumericTest, HashEqualForEqualValues) {
+  EXPECT_EQ(N(2, 4).Hash(), N(1, 2).Hash());
+  EXPECT_EQ(std::hash<Numeric>()(N(5)), N(5).Hash());
+}
+
+// Property sweep: parse(ToString(x)) == x whenever ToString produces a
+// decimal or integer (i.e., denominator divides a power of ten).
+class NumericRoundTrip : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(NumericRoundTrip, ParsePrintRoundTrips) {
+  auto [num, den] = GetParam();
+  Numeric value = N(num, den);
+  Result<Numeric> back = Numeric::Parse(value.ToString());
+  ASSERT_TRUE(back.ok()) << value.ToString();
+  EXPECT_EQ(*back, value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, NumericRoundTrip,
+    ::testing::Values(std::pair<int64_t, int64_t>{0, 1},
+                      std::pair<int64_t, int64_t>{1, 1},
+                      std::pair<int64_t, int64_t>{-1, 1},
+                      std::pair<int64_t, int64_t>{11, 10},
+                      std::pair<int64_t, int64_t>{-11, 10},
+                      std::pair<int64_t, int64_t>{1, 2},
+                      std::pair<int64_t, int64_t>{3, 8},
+                      std::pair<int64_t, int64_t>{7, 5},
+                      std::pair<int64_t, int64_t>{123456789, 100},
+                      std::pair<int64_t, int64_t>{1, 1000000},
+                      std::pair<int64_t, int64_t>{INT64_MAX, 1},
+                      std::pair<int64_t, int64_t>{INT64_MIN + 1, 1}));
+
+}  // namespace
+}  // namespace verso

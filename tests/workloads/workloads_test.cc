@@ -1,0 +1,126 @@
+// The synthetic workload generators: determinism, shape, and the
+// reference closure used by the property sweeps.
+
+#include "workloads/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pretty.h"
+#include "parser/parser.h"
+
+namespace verso {
+namespace {
+
+TEST(RngTest, DeterministicStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng c(124);
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i) differs |= a2.Next() != c.Next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, BelowStaysBelow) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(7), 7u);
+  }
+  EXPECT_EQ(rng.Below(0), 0u);
+}
+
+TEST(WorkloadsTest, EnterpriseIsDeterministicAcrossEngines) {
+  std::string first;
+  for (int run = 0; run < 2; ++run) {
+    Engine engine;
+    ObjectBase base = engine.MakeBase();
+    EnterpriseOptions options;
+    options.employees = 20;
+    options.seed = 5;
+    MakeEnterprise(options, engine, base);
+    std::string printed =
+        ObjectBaseToString(base, engine.symbols(), engine.versions());
+    if (run == 0) {
+      first = printed;
+    } else {
+      EXPECT_EQ(printed, first);
+    }
+  }
+}
+
+TEST(WorkloadsTest, EnterpriseShape) {
+  Engine engine;
+  ObjectBase base = engine.MakeBase();
+  EnterpriseOptions options;
+  options.employees = 24;
+  options.manager_every = 6;
+  options.bystanders = 3;
+  Enterprise e = MakeEnterprise(options, engine, base);
+  ASSERT_EQ(e.names.size(), 24u);
+  size_t managers = 0;
+  for (size_t i = 0; i < e.names.size(); ++i) {
+    if (e.is_manager[i]) {
+      ++managers;
+      EXPECT_EQ(e.boss[i], -1);  // managers are forest roots here
+    } else {
+      ASSERT_GE(e.boss[i], 0);
+      EXPECT_TRUE(e.is_manager[static_cast<size_t>(e.boss[i])]);
+    }
+    EXPECT_GE(e.salary[i], options.min_salary);
+    EXPECT_LE(e.salary[i], options.max_salary);
+  }
+  EXPECT_EQ(managers, 4u);
+  // Facts: per employee isa+sal (+pos for mgr, +boss for worker), plus
+  // 2 per bystander.
+  EXPECT_EQ(base.fact_count(), 24u * 3u + 3u * 2u);
+}
+
+TEST(WorkloadsTest, GenealogyIsAcyclicAndClosureMatchesBruteForce) {
+  Engine engine;
+  ObjectBase base = engine.MakeBase();
+  GenealogyOptions options;
+  options.persons = 20;
+  options.seed = 3;
+  Genealogy g = MakeGenealogy(options, engine, base);
+  // Acyclic by construction: parents have strictly larger indices.
+  for (size_t i = 0; i < g.parents.size(); ++i) {
+    for (int p : g.parents[i]) {
+      EXPECT_GT(p, static_cast<int>(i));
+    }
+  }
+  // Closure is reflexive-free and transitive.
+  std::vector<std::vector<int>> closure = g.AncestorClosure();
+  for (size_t i = 0; i < closure.size(); ++i) {
+    for (int a : closure[i]) {
+      EXPECT_NE(a, static_cast<int>(i));
+      // Transitivity: ancestors of my ancestors are my ancestors.
+      for (int b : closure[static_cast<size_t>(a)]) {
+        bool found = false;
+        for (int c : closure[i]) found |= c == b;
+        EXPECT_TRUE(found);
+      }
+    }
+  }
+}
+
+TEST(WorkloadsTest, GraphFactCountsAndDeterminism) {
+  Engine engine;
+  ObjectBase base = engine.MakeBase();
+  MakeGraph(10, 25, /*seed=*/1, engine, base);
+  // 10 isa facts + up to 25 edges (duplicates collapse by set semantics).
+  EXPECT_GE(base.fact_count(), 10u);
+  EXPECT_LE(base.fact_count(), 35u);
+}
+
+TEST(WorkloadsTest, SharedProgramTextsParse) {
+  Engine engine;
+  EXPECT_TRUE(ParseProgram(kEnterpriseProgramText, engine).ok());
+  EXPECT_TRUE(ParseProgram(kAncestorsProgramText, engine).ok());
+  EXPECT_TRUE(ParseProgram(HypotheticalProgramText("peter"), engine).ok());
+}
+
+}  // namespace
+}  // namespace verso
