@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <stdexcept>
 
 #include "core/engine.h"
 #include "parser/parser.h"

@@ -72,6 +72,50 @@ void BM_TpMatchOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_TpMatchOnly)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 
+// Iterated fixpoint: the recursive ancestors closure needs one round per
+// generation, so the full run prices repeated T_P application. Naive mode
+// re-matches every rule body in every round; semi-naive mode seeds rounds
+// >= 1 from the previous round's fact delta — the body_matches counter
+// shows the re-derivation volume each mode pays.
+void RunTpFixpoint(benchmark::State& state, bool semi_naive) {
+  const size_t persons = static_cast<size_t>(state.range(0));
+  auto world = std::make_unique<World>();
+  world->base = world->engine->MakeBase();
+  GenealogyOptions options;
+  options.persons = persons;
+  options.max_parents = 2;
+  MakeGenealogy(options, *world->engine, world->base);
+  Result<Program> program =
+      ParseProgram(kAncestorsProgramText, *world->engine);
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  world->program = std::move(program).value();
+
+  EvalOptions eval;
+  eval.semi_naive = semi_naive;
+  EvalStats stats;
+  for (auto _ : state) {
+    RunOutcome outcome = MustRun(*world, state, eval);
+    stats = outcome.stats;
+    benchmark::DoNotOptimize(outcome.result);
+  }
+  state.counters["rounds"] = static_cast<double>(stats.total_rounds());
+  state.counters["t1_updates"] = static_cast<double>(stats.total_t1_updates());
+  state.counters["body_matches"] =
+      static_cast<double>(stats.total_body_matches());
+}
+
+void BM_TpFixpointSemiNaive(benchmark::State& state) {
+  RunTpFixpoint(state, /*semi_naive=*/true);
+}
+void BM_TpFixpointNaive(benchmark::State& state) {
+  RunTpFixpoint(state, /*semi_naive=*/false);
+}
+BENCHMARK(BM_TpFixpointSemiNaive)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_TpFixpointNaive)->Arg(256)->Arg(1024)->Arg(4096);
+
 }  // namespace
 }  // namespace verso::bench
 

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds the benchmarks in Release mode and records the T_P-operator perf
+# trajectory: bench_tp_operator (single application + iterated fixpoint,
+# naive vs semi-naive) and bench_fig2_enterprise (the paper's end-to-end
+# enterprise update). JSON results land next to this repo's root so
+# successive PRs can diff them.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build-bench}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+      --target bench_tp_operator bench_fig2_enterprise
+
+"$BUILD_DIR"/bench_tp_operator \
+    --benchmark_format=json \
+    --benchmark_out=BENCH_tp.json \
+    --benchmark_out_format=json
+"$BUILD_DIR"/bench_fig2_enterprise \
+    --benchmark_format=json \
+    --benchmark_out=BENCH_fig2.json \
+    --benchmark_out_format=json
+
+echo "Wrote BENCH_tp.json and BENCH_fig2.json"

@@ -1,0 +1,65 @@
+#include "core/delta.h"
+
+#include "core/rule.h"
+#include "core/version_table.h"
+
+namespace verso {
+
+bool SeedBindingsFromDelta(const Rule& rule, uint32_t literal_index,
+                           const DeltaFact& fact, VersionTable& versions,
+                           Bindings& bindings) {
+  const Literal& lit = rule.body[literal_index];
+  if (lit.negated) return false;
+  const VidTerm* vterm = nullptr;
+  const AppPattern* app = nullptr;
+  switch (lit.kind) {
+    case Literal::Kind::kVersion:
+      vterm = &lit.version.version;
+      app = &lit.version.app;
+      break;
+    case Literal::Kind::kUpdate:
+      // Body truth of ins[V].m->r is exactly membership in ins(V); del and
+      // mod body literals involve v* and are not plain membership tests.
+      if (lit.update.kind != UpdateKind::kInsert) return false;
+      vterm = &lit.update.version;
+      app = &lit.update.app;
+      break;
+    case Literal::Kind::kBuiltin:
+      return false;
+  }
+  if (app->method != fact.method) return false;
+
+  bindings.assign(rule.var_count(), Oid());
+  // The fact's VID must have exactly the literal's shape (variables range
+  // over OIDs, never over versioned terms). For an ins-update literal the
+  // fact lives in the target version ins(V), one functor deeper.
+  std::vector<UpdateKind> ops;
+  if (lit.kind == Literal::Kind::kUpdate) {
+    ops.reserve(vterm->ops.size() + 1);
+    ops.push_back(UpdateKind::kInsert);
+    ops.insert(ops.end(), vterm->ops.begin(), vterm->ops.end());
+  } else {
+    ops = vterm->ops;
+  }
+  if (versions.shape(fact.vid) != versions.InternShape(ops)) return false;
+  if (vterm->base.is_var) {
+    bindings[vterm->base.var.value] = versions.root(fact.vid);
+  } else if (vterm->base.oid != versions.root(fact.vid)) {
+    return false;
+  }
+
+  if (app->args.size() != fact.app.args.size()) return false;
+  auto bind = [&](const ObjTerm& term, Oid value) {
+    if (!term.is_var) return term.oid == value;
+    Oid& slot = bindings[term.var.value];
+    if (slot.valid()) return slot == value;
+    slot = value;
+    return true;
+  };
+  for (size_t i = 0; i < app->args.size(); ++i) {
+    if (!bind(app->args[i], fact.app.args[i])) return false;
+  }
+  return bind(app->result, fact.app.result);
+}
+
+}  // namespace verso

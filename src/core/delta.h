@@ -1,0 +1,44 @@
+#ifndef VERSO_CORE_DELTA_H_
+#define VERSO_CORE_DELTA_H_
+
+#include <vector>
+
+#include "core/expr.h"
+#include "core/ids.h"
+#include "core/term.h"
+
+namespace verso {
+
+struct Rule;
+class VersionTable;
+
+/// One element of a semi-naive delta: a fact-level change to the object
+/// base observed while installing one round of T_P (or one round of the
+/// query layer's derived-method fixpoint). `added` distinguishes
+/// insertions from erasures; both matter for deciding which rules a delta
+/// can affect, but only added facts can seed new body matches of positive
+/// literals.
+struct DeltaFact {
+  Vid vid;
+  MethodId method;
+  GroundApp app;
+  bool added = true;
+};
+
+/// The fact-level changes of one fixpoint round, in application order.
+using DeltaLog = std::vector<DeltaFact>;
+
+/// Tries to bind the rule body literal at `literal_index` — a positive
+/// version-term or a positive body ins-update-term, both of which are
+/// plain membership tests — against an added delta fact, producing the
+/// seed `bindings` for ForEachBodyMatchFrom. Returns false when the
+/// literal is not seedable or the fact's method, VID shape, or constants
+/// do not match the literal's pattern. On success every variable the
+/// literal would bind is bound in `bindings` (all other slots invalid).
+bool SeedBindingsFromDelta(const Rule& rule, uint32_t literal_index,
+                           const DeltaFact& fact, VersionTable& versions,
+                           Bindings& bindings);
+
+}  // namespace verso
+
+#endif  // VERSO_CORE_DELTA_H_

@@ -43,6 +43,9 @@ Result<EvalStats> Evaluator::Run(const Program& program,
     if (trace_ != nullptr) trace_->OnStratumBegin(stratum, rules.size());
     StratumStats& sstats = stats.strata[stratum];
 
+    TpStratumState sstate;
+    DeltaLog delta;
+    DeltaLog next_delta;
     for (uint32_t round = 0;; ++round) {
       if (round >= options_.max_rounds_per_stratum) {
         return Status::Divergence(
@@ -51,28 +54,42 @@ Result<EvalStats> Evaluator::Run(const Program& program,
             std::to_string(options_.max_rounds_per_stratum) + " rounds");
       }
       if (trace_ != nullptr) trace_->OnRoundBegin(stratum, round);
-      VERSO_ASSIGN_OR_RETURN(TpResult tp_result,
-                             tp.Apply(program, rules, base, trace_));
-      sstats.t1_updates += tp_result.t1_updates;
-      sstats.copied_facts += tp_result.t2_copied_facts;
 
-      bool changed = false;
-      for (auto& [target, state] : tp_result.new_states) {
-        bool was_materialized = base.StateOf(target) != nullptr;
-        bool replaced = base.ReplaceVersion(target, std::move(state));
-        if (replaced) {
-          changed = true;
-          ++sstats.states_replaced;
-        }
-        if (!was_materialized && base.StateOf(target) != nullptr) {
-          ++stats.versions_materialized;
-          if (options_.check_version_linearity) {
-            VERSO_RETURN_IF_ERROR(NoteMaterialized(target, deepest));
-          }
+      TpRoundStats rstats;
+      if (round == 0 || !options_.semi_naive) {
+        VERSO_RETURN_IF_ERROR(
+            tp.DeriveFull(program, rules, base, sstate, rstats, trace_));
+      } else {
+        VERSO_RETURN_IF_ERROR(tp.DeriveSeeded(program, rules, base, delta,
+                                              sstate, rstats, trace_));
+      }
+
+      next_delta.clear();
+      VERSO_ASSIGN_OR_RETURN(
+          TpApplyResult applied,
+          tp.ApplyRound(sstate, base, next_delta, rstats, trace_));
+      for (Vid vid : applied.materialized) {
+        ++stats.versions_materialized;
+        if (options_.check_version_linearity) {
+          VERSO_RETURN_IF_ERROR(NoteMaterialized(vid, deepest));
         }
       }
+
       sstats.rounds = round + 1;
-      if (!changed) break;
+      sstats.t1_updates += rstats.fresh_updates;
+      sstats.states_replaced += rstats.states_changed;
+      sstats.copied_facts += rstats.copied_facts;
+      sstats.body_matches += rstats.body_matches;
+      sstats.delta_facts += next_delta.size();
+      sstats.seed_probes += rstats.seed_probes;
+      sstats.residual_rule_runs += rstats.residual_rules;
+      if (trace_ != nullptr && round > 0 && options_.semi_naive) {
+        trace_->OnDeltaRound(stratum, round, delta.size(), rstats.seed_probes,
+                             rstats.residual_rules);
+      }
+
+      delta.swap(next_delta);
+      if (delta.empty()) break;
     }
     if (trace_ != nullptr) {
       trace_->OnStratumFixpoint(stratum, sstats.rounds);

@@ -23,13 +23,30 @@ struct EvalOptions {
   /// evaluating (the paper recommends a run-time check; turning it off is
   /// exercised by the linearity ablation benchmark).
   bool check_version_linearity = true;
+
+  /// Drive rounds >= 1 of each stratum's fixpoint from the previous
+  /// round's fact delta (semi-naive evaluation) instead of re-matching
+  /// every rule body in full. Both modes compute identical results and
+  /// identical cumulative T¹ sets; naive mode is kept for differential
+  /// testing and the ablation benchmarks.
+  bool semi_naive = true;
 };
 
 struct StratumStats {
   uint32_t rounds = 0;
+  /// Distinct ground updates derived over the stratum's fixpoint (the
+  /// cumulative |T¹|; identical between naive and semi-naive modes).
   size_t t1_updates = 0;
   size_t states_replaced = 0;
   size_t copied_facts = 0;
+
+  // Delta-evaluation counters (semi-naive mode; in naive mode
+  // body_matches and delta_facts still fill in, the seed/residual
+  // counters stay 0).
+  size_t body_matches = 0;    // satisfying body bindings enumerated
+  size_t delta_facts = 0;     // fact-level changes installed
+  size_t seed_probes = 0;     // delta-seeded partial matches launched
+  size_t residual_rule_runs = 0;  // full re-matches in delta rounds
 };
 
 struct EvalStats {
@@ -46,13 +63,21 @@ struct EvalStats {
     for (const StratumStats& s : strata) n += s.t1_updates;
     return n;
   }
+  size_t total_body_matches() const {
+    size_t n = 0;
+    for (const StratumStats& s : strata) n += s.body_matches;
+    return n;
+  }
 };
 
 /// Bottom-up evaluation of an update-program (Section 4): iterate T_P
 /// stratum by stratum until each stratum reaches its fixpoint, evolving
-/// `base` into result(P). Applying one T_P result replaces the states of
-/// the relevant VIDs (the classical union for inserts; the copy-then-
-/// update reading for deletes and modifies).
+/// `base` into result(P). Round 0 of a stratum matches every rule in
+/// full; installing a round's fresh updates produces a fact-level delta,
+/// and subsequent rounds (in semi-naive mode) derive only from that
+/// delta — seeding fully seedable rules through ForEachBodyMatchFrom and
+/// re-matching residual rules only when the delta touches a method they
+/// depend on.
 class Evaluator {
  public:
   Evaluator(SymbolTable& symbols, VersionTable& versions,

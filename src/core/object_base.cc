@@ -5,8 +5,25 @@
 
 namespace verso {
 
+VersionState::MethodList::iterator VersionState::LowerBound(MethodId method) {
+  return std::lower_bound(
+      methods_.begin(), methods_.end(), method,
+      [](const MethodEntry& e, MethodId m) { return e.first < m; });
+}
+
+VersionState::MethodList::const_iterator VersionState::LowerBound(
+    MethodId method) const {
+  return std::lower_bound(
+      methods_.begin(), methods_.end(), method,
+      [](const MethodEntry& e, MethodId m) { return e.first < m; });
+}
+
 bool VersionState::Insert(MethodId method, GroundApp app) {
-  std::vector<GroundApp>& apps = methods_[method];
+  auto mit = LowerBound(method);
+  if (mit == methods_.end() || mit->first != method) {
+    mit = methods_.emplace(mit, method, std::vector<GroundApp>());
+  }
+  std::vector<GroundApp>& apps = mit->second;
   auto it = std::lower_bound(apps.begin(), apps.end(), app);
   if (it != apps.end() && *it == app) return false;
   apps.insert(it, std::move(app));
@@ -15,8 +32,8 @@ bool VersionState::Insert(MethodId method, GroundApp app) {
 }
 
 bool VersionState::Erase(MethodId method, const GroundApp& app) {
-  auto mit = methods_.find(method);
-  if (mit == methods_.end()) return false;
+  auto mit = LowerBound(method);
+  if (mit == methods_.end() || mit->first != method) return false;
   std::vector<GroundApp>& apps = mit->second;
   auto it = std::lower_bound(apps.begin(), apps.end(), app);
   if (it == apps.end() || !(*it == app)) return false;
@@ -27,21 +44,21 @@ bool VersionState::Erase(MethodId method, const GroundApp& app) {
 }
 
 bool VersionState::Contains(MethodId method, const GroundApp& app) const {
-  auto mit = methods_.find(method);
-  if (mit == methods_.end()) return false;
-  const std::vector<GroundApp>& apps = mit->second;
-  auto it = std::lower_bound(apps.begin(), apps.end(), app);
-  return it != apps.end() && *it == app;
+  const std::vector<GroundApp>* apps = Find(method);
+  if (apps == nullptr) return false;
+  auto it = std::lower_bound(apps->begin(), apps->end(), app);
+  return it != apps->end() && *it == app;
 }
 
 const std::vector<GroundApp>* VersionState::Find(MethodId method) const {
-  auto mit = methods_.find(method);
-  return mit == methods_.end() ? nullptr : &mit->second;
+  auto mit = LowerBound(method);
+  return mit == methods_.end() || mit->first != method ? nullptr
+                                                       : &mit->second;
 }
 
 bool VersionState::OnlyExists(MethodId exists_method) const {
   if (methods_.empty()) return true;
-  return methods_.size() == 1 && methods_.begin()->first == exists_method;
+  return methods_.size() == 1 && methods_.front().first == exists_method;
 }
 
 bool ObjectBase::Insert(Vid version, MethodId method, GroundApp app) {
@@ -76,30 +93,87 @@ const VersionState* ObjectBase::StateOf(Vid version) const {
   return it == states_.end() ? nullptr : &it->second;
 }
 
-bool ObjectBase::ReplaceVersion(Vid version, VersionState state) {
+bool ObjectBase::ReplaceVersion(Vid version, VersionState state,
+                                DeltaLog* diff) {
   auto it = states_.find(version);
   if (it == states_.end()) {
     if (state.empty()) return false;
-    // New version: index all methods.
+    // New version: index all methods; every fact is an addition.
     for (const auto& [method, apps] : state.methods()) {
       IndexAdd(version, method, static_cast<uint32_t>(apps.size()));
+      if (diff != nullptr) {
+        for (const GroundApp& app : apps) {
+          diff->push_back({version, method, app, /*added=*/true});
+        }
+      }
     }
     fact_count_ += state.fact_count();
     states_.emplace(version, std::move(state));
     return true;
   }
-  if (it->second == state) return false;
-  // Drop the old index contributions, install the new state.
-  for (const auto& [method, apps] : it->second.methods()) {
-    IndexRemove(version, method, static_cast<uint32_t>(apps.size()));
+
+  // Merge-walk the two sorted method lists, diffing each method's sorted
+  // application vector. This finds the fact-level changes in one pass (no
+  // deep == pre-check) and keeps the method index adjusted incrementally.
+  bool changed = false;
+  const VersionState::MethodList& old_methods = it->second.methods();
+  const VersionState::MethodList& new_methods = state.methods();
+  size_t oi = 0;
+  size_t ni = 0;
+  auto removed = [&](MethodId method, const GroundApp& app) {
+    changed = true;
+    if (diff != nullptr) diff->push_back({version, method, app, false});
+  };
+  auto added = [&](MethodId method, const GroundApp& app) {
+    changed = true;
+    if (diff != nullptr) diff->push_back({version, method, app, true});
+  };
+  while (oi < old_methods.size() || ni < new_methods.size()) {
+    if (ni == new_methods.size() ||
+        (oi < old_methods.size() &&
+         old_methods[oi].first < new_methods[ni].first)) {
+      const auto& [method, apps] = old_methods[oi++];
+      for (const GroundApp& app : apps) removed(method, app);
+      IndexRemove(version, method, static_cast<uint32_t>(apps.size()));
+      continue;
+    }
+    if (oi == old_methods.size() ||
+        new_methods[ni].first < old_methods[oi].first) {
+      const auto& [method, apps] = new_methods[ni++];
+      for (const GroundApp& app : apps) added(method, app);
+      IndexAdd(version, method, static_cast<uint32_t>(apps.size()));
+      continue;
+    }
+    // Same method on both sides: diff the sorted application vectors.
+    const MethodId method = old_methods[oi].first;
+    const std::vector<GroundApp>& old_apps = old_methods[oi++].second;
+    const std::vector<GroundApp>& new_apps = new_methods[ni++].second;
+    size_t oa = 0;
+    size_t na = 0;
+    uint32_t removed_count = 0;
+    uint32_t added_count = 0;
+    while (oa < old_apps.size() || na < new_apps.size()) {
+      if (na == new_apps.size() ||
+          (oa < old_apps.size() && old_apps[oa] < new_apps[na])) {
+        removed(method, old_apps[oa++]);
+        ++removed_count;
+      } else if (oa == old_apps.size() || new_apps[na] < old_apps[oa]) {
+        added(method, new_apps[na++]);
+        ++added_count;
+      } else {
+        ++oa;
+        ++na;
+      }
+    }
+    if (removed_count != 0) IndexRemove(version, method, removed_count);
+    if (added_count != 0) IndexAdd(version, method, added_count);
   }
+  if (!changed) return false;
+
   fact_count_ -= it->second.fact_count();
   if (state.empty()) {
     states_.erase(it);
     return true;
-  }
-  for (const auto& [method, apps] : state.methods()) {
-    IndexAdd(version, method, static_cast<uint32_t>(apps.size()));
   }
   fact_count_ += state.fact_count();
   it->second = std::move(state);

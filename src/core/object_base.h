@@ -2,10 +2,11 @@
 #define VERSO_CORE_OBJECT_BASE_H_
 
 #include <cstdint>
-#include <map>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "core/delta.h"
 #include "core/ids.h"
 #include "core/term.h"
 #include "core/version_table.h"
@@ -13,10 +14,15 @@
 namespace verso {
 
 /// The state of one version: all ground method-applications that hold for
-/// it. Per (method) the applications are kept sorted, so membership is a
-/// binary search and states compare with ==.
+/// it. Methods are kept in a flat vector sorted by MethodId (versions
+/// carry a handful of methods, so binary search over contiguous storage
+/// beats ordered-map node hops); per method the applications are kept
+/// sorted, so membership is a binary search and states compare with ==.
 class VersionState {
  public:
+  using MethodEntry = std::pair<MethodId, std::vector<GroundApp>>;
+  using MethodList = std::vector<MethodEntry>;
+
   /// Returns true if the application was new.
   bool Insert(MethodId method, GroundApp app);
   /// Returns true if the application was present.
@@ -29,9 +35,9 @@ class VersionState {
   size_t fact_count() const { return fact_count_; }
   bool empty() const { return fact_count_ == 0; }
 
-  const std::map<MethodId, std::vector<GroundApp>>& methods() const {
-    return methods_;
-  }
+  /// Entries sorted by MethodId (iteration order matches the previous
+  /// std::map-based layout).
+  const MethodList& methods() const { return methods_; }
 
   /// True iff the state carries no information beyond `exists` — such a
   /// version contributes no object to the new object base (Section 5).
@@ -42,7 +48,10 @@ class VersionState {
   }
 
  private:
-  std::map<MethodId, std::vector<GroundApp>> methods_;
+  MethodList::iterator LowerBound(MethodId method);
+  MethodList::const_iterator LowerBound(MethodId method) const;
+
+  MethodList methods_;
   size_t fact_count_ = 0;
 };
 
@@ -74,8 +83,12 @@ class ObjectBase {
 
   /// Swaps in a whole new state for `version` (the evaluator's application
   /// of T_P replaces the states of all relevant VIDs). An empty state
-  /// removes the version. Returns true iff anything changed.
-  bool ReplaceVersion(Vid version, VersionState state);
+  /// removes the version. Returns true iff anything changed; when `diff`
+  /// is given, the fact-level changes (merge of the old and new sorted
+  /// states) are appended to it instead of being detected by a deep
+  /// equality check, and the method index is adjusted incrementally.
+  bool ReplaceVersion(Vid version, VersionState state,
+                      DeltaLog* diff = nullptr);
 
   /// True iff `version.exists -> root(version)` is in the base — the
   /// paper's notion of the version being materialized/"active".

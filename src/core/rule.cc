@@ -165,6 +165,52 @@ Status AnalyzeRule(Rule& rule, const SymbolTable& symbols) {
     bind_literal(rule.body[static_cast<size_t>(best)]);
   }
 
+  // ---- Semi-naive plan: seed literals, seedability, relevant methods.
+  rule.seed_literals.clear();
+  rule.relevant_methods.clear();
+  rule.rerun_on_any_delta = rule.head.delete_all;
+  bool all_body_seedable = true;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    const Literal& lit = rule.body[i];
+    switch (lit.kind) {
+      case Literal::Kind::kVersion:
+        rule.relevant_methods.push_back(lit.version.app.method);
+        if (!lit.negated) {
+          rule.seed_literals.push_back(static_cast<uint32_t>(i));
+        } else {
+          all_body_seedable = false;
+        }
+        break;
+      case Literal::Kind::kUpdate:
+        rule.relevant_methods.push_back(lit.update.app.method);
+        if (!lit.negated && lit.update.kind == UpdateKind::kInsert) {
+          rule.seed_literals.push_back(static_cast<uint32_t>(i));
+        } else {
+          // del/mod body literals read v*, whose identity shifts when a
+          // deeper stage materializes (an exists-fact addition); negated
+          // literals react to removals. Either way: full re-match.
+          all_body_seedable = false;
+          if (lit.update.kind != UpdateKind::kInsert) {
+            rule.relevant_methods.push_back(exists);
+          }
+        }
+        break;
+      case Literal::Kind::kBuiltin:
+        break;  // depends on bindings only
+    }
+  }
+  if (!rule.head.delete_all && rule.head.kind != UpdateKind::kInsert) {
+    // Head truth of del/mod requires the old application in v*'s state.
+    rule.relevant_methods.push_back(rule.head.app.method);
+    rule.relevant_methods.push_back(exists);
+  }
+  rule.fully_seedable = all_body_seedable && !rule.head.delete_all &&
+                        rule.head.kind == UpdateKind::kInsert;
+  std::sort(rule.relevant_methods.begin(), rule.relevant_methods.end());
+  rule.relevant_methods.erase(
+      std::unique(rule.relevant_methods.begin(), rule.relevant_methods.end()),
+      rule.relevant_methods.end());
+
   // All head variables must now be bound.
   std::vector<VarId> head_vars;
   CollectObjVars(rule.head.version.base, &head_vars);

@@ -24,6 +24,35 @@ struct Rule {
   /// matched (safety analysis doubles as a greedy join-order planner).
   std::vector<uint32_t> execution_order;
 
+  // ---- Semi-naive evaluation plan (also filled in by AnalyzeRule) ----
+  //
+  // Within one stratum the evaluator re-derives rule matches round by
+  // round; the plan below tells it which rules can be driven from the
+  // per-round fact delta instead of a full body re-match.
+
+  /// Body literal indices that are plain membership tests (positive
+  /// version-terms and positive ins-update-terms): an added delta fact
+  /// matching one of them can seed ForEachBodyMatchFrom.
+  std::vector<uint32_t> seed_literals;
+
+  /// True iff delta-seeding through `seed_literals` finds every match the
+  /// rule can newly produce in a round: the head is a plain insert (head
+  /// truth never depends on the evolving base) and every body literal is
+  /// either a seed literal or a built-in. Rules where this is false are
+  /// re-matched in full ("residual" rules) whenever the round's delta
+  /// touches one of `relevant_methods`.
+  bool fully_seedable = false;
+
+  /// True for `del[V].*` heads, which expand over every method of v* and
+  /// therefore react to any fact change at all.
+  bool rerun_on_any_delta = false;
+
+  /// Sorted, deduplicated methods whose fact changes can affect this
+  /// rule's matches or head truth. Includes `exists` when the rule reads
+  /// v* (del/mod literals or a del/mod head), since materializations move
+  /// the latest existing stage.
+  std::vector<MethodId> relevant_methods;
+
   uint32_t var_count() const {
     return static_cast<uint32_t>(var_names.size());
   }

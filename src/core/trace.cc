@@ -16,6 +16,16 @@ void RecordingTrace::OnRoundBegin(uint32_t stratum, uint32_t round) {
                    std::to_string(round));
 }
 
+void RecordingTrace::OnDeltaRound(uint32_t stratum, uint32_t round,
+                                  size_t delta_facts, size_t seed_probes,
+                                  size_t residual_rules) {
+  lines_.push_back("  delta " + std::to_string(stratum) + "." +
+                   std::to_string(round) + ": " +
+                   std::to_string(delta_facts) + " fact(s), " +
+                   std::to_string(seed_probes) + " seed probe(s), " +
+                   std::to_string(residual_rules) + " residual rule(s)");
+}
+
 void RecordingTrace::OnUpdateDerived(const Rule& rule,
                                      const GroundUpdate& update) {
   lines_.push_back("    " + rule.DisplayName() + " derives " +
@@ -52,6 +62,14 @@ void StreamTrace::OnStratumBegin(uint32_t stratum, size_t rule_count) {
 
 void StreamTrace::OnRoundBegin(uint32_t stratum, uint32_t round) {
   out_ << "  round " << stratum << "." << round << "\n";
+}
+
+void StreamTrace::OnDeltaRound(uint32_t stratum, uint32_t round,
+                               size_t delta_facts, size_t seed_probes,
+                               size_t residual_rules) {
+  out_ << "  delta " << stratum << "." << round << ": " << delta_facts
+       << " fact(s), " << seed_probes << " seed probe(s), " << residual_rules
+       << " residual rule(s)\n";
 }
 
 void StreamTrace::OnUpdateDerived(const Rule& rule,

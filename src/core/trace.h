@@ -29,6 +29,18 @@ class TraceSink {
     (void)stratum;
     (void)round;
   }
+  /// A semi-naive round finished: `delta_facts` fact-level changes were
+  /// consumed, `seed_probes` delta-seeded partial matches were launched,
+  /// and `residual_rules` rules needed a full re-match.
+  virtual void OnDeltaRound(uint32_t stratum, uint32_t round,
+                            size_t delta_facts, size_t seed_probes,
+                            size_t residual_rules) {
+    (void)stratum;
+    (void)round;
+    (void)delta_facts;
+    (void)seed_probes;
+    (void)residual_rules;
+  }
   /// A rule instance contributed `update` to T¹ in the current round.
   virtual void OnUpdateDerived(const Rule& rule, const GroundUpdate& update) {
     (void)rule;
@@ -56,6 +68,8 @@ class RecordingTrace : public TraceSink {
 
   void OnStratumBegin(uint32_t stratum, size_t rule_count) override;
   void OnRoundBegin(uint32_t stratum, uint32_t round) override;
+  void OnDeltaRound(uint32_t stratum, uint32_t round, size_t delta_facts,
+                    size_t seed_probes, size_t residual_rules) override;
   void OnUpdateDerived(const Rule& rule, const GroundUpdate& update) override;
   void OnVersionMaterialized(Vid version, Vid copied_from,
                              size_t copied_facts) override;
@@ -81,6 +95,8 @@ class StreamTrace : public TraceSink {
 
   void OnStratumBegin(uint32_t stratum, size_t rule_count) override;
   void OnRoundBegin(uint32_t stratum, uint32_t round) override;
+  void OnDeltaRound(uint32_t stratum, uint32_t round, size_t delta_facts,
+                    size_t seed_probes, size_t residual_rules) override;
   void OnUpdateDerived(const Rule& rule, const GroundUpdate& update) override;
   void OnVersionMaterialized(Vid version, Vid copied_from,
                              size_t copied_facts) override;

@@ -5,19 +5,13 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/delta.h"
 #include "core/match.h"
 #include "parser/parser.h"
 
 namespace verso {
 
 namespace {
-
-/// One element of a semi-naive delta: a freshly derived fact.
-struct DeltaFact {
-  Vid vid;
-  MethodId method;
-  GroundApp app;
-};
 
 /// Method-level stratification of derived rules w.r.t. negation: classic
 /// stratified Datalog, with methods in the role of predicates.
@@ -68,36 +62,6 @@ Result<std::vector<std::vector<uint32_t>>> StratifyByMethod(
         static_cast<uint32_t>(r));
   }
   return strata;
-}
-
-/// Tries to bind a rule body literal's version-term + application pattern
-/// against a concrete delta fact, writing into `bindings` (fresh copy).
-bool SeedFromDelta(const Rule& rule, const Literal& lit,
-                   const DeltaFact& fact, const VersionTable& versions,
-                   VersionTable& mutable_versions, Bindings& bindings) {
-  bindings.assign(rule.var_count(), Oid());
-  const VidTerm& vt = lit.version.version;
-  // Shape must match exactly (variables range over OIDs).
-  VidShape shape = mutable_versions.InternShape(vt.ops);
-  if (versions.shape(fact.vid) != shape) return false;
-  if (vt.base.is_var) {
-    bindings[vt.base.var.value] = versions.root(fact.vid);
-  } else if (vt.base.oid != versions.root(fact.vid)) {
-    return false;
-  }
-  const AppPattern& app = lit.version.app;
-  if (app.args.size() != fact.app.args.size()) return false;
-  auto bind = [&](const ObjTerm& term, Oid value) {
-    if (!term.is_var) return term.oid == value;
-    Oid& slot = bindings[term.var.value];
-    if (slot.valid()) return slot == value;
-    slot = value;
-    return true;
-  };
-  for (size_t i = 0; i < app.args.size(); ++i) {
-    if (!bind(app.args[i], fact.app.args[i])) return false;
-  }
-  return bind(app.result, fact.app.result);
 }
 
 }  // namespace
@@ -157,7 +121,7 @@ Result<ObjectBase> EvaluateQueries(QueryProgram& program,
         return Status::Internal("unbound head version in derived rule");
       }
       GroundApp app = ResolveApp(rule.head.app, bindings);
-      DeltaFact fact{vid, rule.head.app.method, app};
+      DeltaFact fact{vid, rule.head.app.method, app, /*added=*/true};
       if (working.Insert(vid, rule.head.app.method, std::move(app))) {
         ++local.derived_facts;
         delta.push_back(std::move(fact));
@@ -210,9 +174,9 @@ Result<ObjectBase> EvaluateQueries(QueryProgram& program,
           if (lit.kind != Literal::Kind::kVersion || lit.negated) continue;
           if (!stratum_methods.count(lit.version.app.method.value)) continue;
           for (const DeltaFact& fact : frontier) {
-            if (fact.method != lit.version.app.method) continue;
             Bindings seed;
-            if (!SeedFromDelta(rule, lit, fact, versions, versions, seed)) {
+            if (!SeedBindingsFromDelta(rule, static_cast<uint32_t>(li), fact,
+                                       versions, seed)) {
               continue;
             }
             ++local.delta_joins;

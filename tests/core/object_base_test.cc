@@ -100,6 +100,66 @@ TEST_F(ObjectBaseTest, ReplaceVersionSwapsStateAndIndex) {
   EXPECT_EQ(base_.fact_count(), 0u);
 }
 
+TEST_F(ObjectBaseTest, ReplaceVersionReportsFactLevelDiff) {
+  Vid o = versions_.OfOid(symbols_.Symbol("o"));
+  MethodId m1 = symbols_.Method("m1");
+  MethodId m2 = symbols_.Method("m2");
+  MethodId m3 = symbols_.Method("m3");
+  base_.Insert(o, m1, App(symbols_.Int(1)));
+  base_.Insert(o, m2, App(symbols_.Int(2)));
+  base_.Insert(o, m2, App(symbols_.Int(3)));
+
+  // New state: m1 unchanged, m2 loses 2 and gains 4, m3 appears.
+  VersionState next;
+  next.Insert(m1, App(symbols_.Int(1)));
+  next.Insert(m2, App(symbols_.Int(3)));
+  next.Insert(m2, App(symbols_.Int(4)));
+  next.Insert(m3, App(symbols_.Int(5)));
+
+  DeltaLog diff;
+  EXPECT_TRUE(base_.ReplaceVersion(o, next, &diff));
+  ASSERT_EQ(diff.size(), 3u);
+  // Merge order: methods ascending, removals/additions per method in
+  // application order.
+  EXPECT_EQ(diff[0].method, m2);
+  EXPECT_FALSE(diff[0].added);
+  EXPECT_EQ(diff[0].app, App(symbols_.Int(2)));
+  EXPECT_EQ(diff[1].method, m2);
+  EXPECT_TRUE(diff[1].added);
+  EXPECT_EQ(diff[1].app, App(symbols_.Int(4)));
+  EXPECT_EQ(diff[2].method, m3);
+  EXPECT_TRUE(diff[2].added);
+  for (const DeltaFact& fact : diff) EXPECT_EQ(fact.vid, o);
+
+  // The method index followed the diff.
+  EXPECT_NE(base_.VidsWithMethod(m3), nullptr);
+  EXPECT_EQ(base_.fact_count(), 4u);
+
+  // Equal state: no change, no diff entries.
+  diff.clear();
+  EXPECT_FALSE(base_.ReplaceVersion(o, next, &diff));
+  EXPECT_TRUE(diff.empty());
+}
+
+TEST_F(ObjectBaseTest, ReplaceVersionDiffOnNewAndRemovedVersions) {
+  Vid o = versions_.OfOid(symbols_.Symbol("o"));
+  MethodId m = symbols_.Method("m");
+
+  VersionState first;
+  first.Insert(m, App(symbols_.Int(1)));
+  DeltaLog diff;
+  EXPECT_TRUE(base_.ReplaceVersion(o, first, &diff));
+  ASSERT_EQ(diff.size(), 1u);  // every fact of a new version is an addition
+  EXPECT_TRUE(diff[0].added);
+
+  diff.clear();
+  EXPECT_TRUE(base_.ReplaceVersion(o, VersionState(), &diff));
+  ASSERT_EQ(diff.size(), 1u);  // removal wipes every fact
+  EXPECT_FALSE(diff[0].added);
+  EXPECT_EQ(base_.StateOf(o), nullptr);
+  EXPECT_EQ(base_.VidsWithMethod(m), nullptr);
+}
+
 TEST_F(ObjectBaseTest, SealExistenceAddsExistsForPlainObjects) {
   Vid o = versions_.OfOid(symbols_.Symbol("o"));
   MethodId isa = symbols_.Method("isa");

@@ -62,7 +62,10 @@ TEST(CodecTest, StrRoundTripAndTruncation) {
 class StorageFixture : public ::testing::Test {
  protected:
   StorageFixture() {
-    dir_ = ::testing::TempDir() + "/verso_storage_test";
+    // One directory per test: ctest runs each TEST as its own process,
+    // possibly in parallel, so a shared fixed path races.
+    dir_ = ::testing::TempDir() + "/verso_storage_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
     EnsureDirectory(dir_).ok();
   }
