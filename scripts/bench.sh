@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Builds the benchmarks in Release mode and records the T_P-operator perf
-# trajectory: bench_tp_operator (single application + iterated fixpoint,
-# naive vs semi-naive) and bench_fig2_enterprise (the paper's end-to-end
-# enterprise update). JSON results land next to this repo's root so
+# Builds the benchmarks in Release mode and records the perf trajectory:
+# bench_tp_operator (single application + iterated fixpoint, naive vs
+# semi-naive), bench_fig2_enterprise (the paper's end-to-end enterprise
+# update), and bench_views (incremental view maintenance vs from-scratch
+# recomputation). JSON results land next to this repo's root so
 # successive PRs can diff them.
 set -euo pipefail
 
@@ -11,7 +12,7 @@ BUILD_DIR=${BUILD_DIR:-build-bench}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-      --target bench_tp_operator bench_fig2_enterprise
+      --target bench_tp_operator bench_fig2_enterprise bench_views
 
 "$BUILD_DIR"/bench_tp_operator \
     --benchmark_format=json \
@@ -21,5 +22,9 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
     --benchmark_format=json \
     --benchmark_out=BENCH_fig2.json \
     --benchmark_out_format=json
+"$BUILD_DIR"/bench_views \
+    --benchmark_format=json \
+    --benchmark_out=BENCH_views.json \
+    --benchmark_out_format=json
 
-echo "Wrote BENCH_tp.json and BENCH_fig2.json"
+echo "Wrote BENCH_tp.json, BENCH_fig2.json, and BENCH_views.json"

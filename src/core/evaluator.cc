@@ -82,6 +82,7 @@ Result<EvalStats> Evaluator::Run(const Program& program,
       sstats.body_matches += rstats.body_matches;
       sstats.delta_facts += next_delta.size();
       sstats.seed_probes += rstats.seed_probes;
+      sstats.seed_pairs_skipped += rstats.seed_pairs_skipped;
       sstats.residual_rule_runs += rstats.residual_rules;
       if (trace_ != nullptr && round > 0 && options_.semi_naive) {
         trace_->OnDeltaRound(stratum, round, delta.size(), rstats.seed_probes,

@@ -46,6 +46,7 @@ struct StratumStats {
   size_t body_matches = 0;    // satisfying body bindings enumerated
   size_t delta_facts = 0;     // fact-level changes installed
   size_t seed_probes = 0;     // delta-seeded partial matches launched
+  size_t seed_pairs_skipped = 0;  // pairs pruned by the frontier index
   size_t residual_rule_runs = 0;  // full re-matches in delta rounds
 };
 

@@ -161,7 +161,16 @@ Status TpOperator::DeriveSeeded(const Program& program,
                                 TraceSink* trace) {
   MatchContext ctx{symbols_, versions_, base};
   std::unordered_set<uint32_t> touched_methods;
-  for (const DeltaFact& fact : delta) touched_methods.insert(fact.method.value);
+  size_t added_total = 0;
+  for (const DeltaFact& fact : delta) {
+    touched_methods.insert(fact.method.value);
+    if (fact.added) ++added_total;
+  }
+  // Frontier index: probing per (seed literal, delta fact) pair is
+  // quadratic in wide deltas; grouping the added facts by (method, shape)
+  // jumps straight to the facts a literal can possibly unify with.
+  DeltaIndex index;
+  index.Build(delta, versions_);
 
   Bindings seed;
   for (uint32_t rule_index : rule_indices) {
@@ -171,11 +180,22 @@ Status TpOperator::DeriveSeeded(const Program& program,
     };
     if (rule.fully_seedable) {
       // Every way this rule can newly match goes through an added fact at
-      // one of its membership literals: probe each (literal, fact) pair.
+      // one of its membership literals.
       for (uint32_t li : rule.seed_literals) {
-        for (const DeltaFact& fact : delta) {
-          if (!fact.added) continue;
-          if (!SeedBindingsFromDelta(rule, li, fact, versions_, seed)) {
+        MethodId method;
+        VidShape shape;
+        if (!SeedKeyForLiteral(rule, li, versions_, &method, &shape)) {
+          continue;
+        }
+        const std::vector<const DeltaFact*>* bucket =
+            index.Added(method, shape);
+        if (bucket == nullptr) {
+          stats.seed_pairs_skipped += added_total;
+          continue;
+        }
+        stats.seed_pairs_skipped += added_total - bucket->size();
+        for (const DeltaFact* fact : *bucket) {
+          if (!SeedBindingsFromDelta(rule, li, *fact, versions_, seed)) {
             continue;
           }
           ++stats.seed_probes;

@@ -37,6 +37,8 @@ struct TpRoundStats {
   size_t body_matches = 0;    // satisfying body bindings enumerated
   size_t fresh_updates = 0;   // updates first derived this round
   size_t seed_probes = 0;     // delta-seeded partial matches launched
+  size_t seed_pairs_skipped = 0;  // (literal, fact) pairs pruned by the
+                                  // frontier's (method, shape) index
   size_t residual_rules = 0;  // rules re-matched in full in a delta round
   size_t states_changed = 0;  // targets whose state effectively changed
   size_t copied_facts = 0;    // facts copied materializing new targets

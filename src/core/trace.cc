@@ -47,6 +47,17 @@ void RecordingTrace::OnStratumFixpoint(uint32_t stratum, uint32_t rounds) {
                    std::to_string(rounds) + " round(s)");
 }
 
+void RecordingTrace::OnViewMaintenance(std::string_view view,
+                                       size_t delta_facts, size_t added,
+                                       size_t removed, size_t overdeleted,
+                                       size_t rederived) {
+  lines_.push_back("view " + std::string(view) + ": " +
+                   std::to_string(delta_facts) + " delta fact(s) -> +" +
+                   std::to_string(added) + "/-" + std::to_string(removed) +
+                   " (overdeleted " + std::to_string(overdeleted) +
+                   ", rederived " + std::to_string(rederived) + ")");
+}
+
 std::string RecordingTrace::ToString() const {
   std::string out;
   for (const std::string& line : lines_) {
@@ -90,6 +101,14 @@ void StreamTrace::OnVersionMaterialized(Vid version, Vid copied_from,
 void StreamTrace::OnStratumFixpoint(uint32_t stratum, uint32_t rounds) {
   out_ << "stratum " << stratum << " fixpoint after " << rounds
        << " round(s)\n";
+}
+
+void StreamTrace::OnViewMaintenance(std::string_view view, size_t delta_facts,
+                                    size_t added, size_t removed,
+                                    size_t overdeleted, size_t rederived) {
+  out_ << "view " << view << ": " << delta_facts << " delta fact(s) -> +"
+       << added << "/-" << removed << " (overdeleted " << overdeleted
+       << ", rederived " << rederived << ")\n";
 }
 
 }  // namespace verso

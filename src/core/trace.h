@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/rule.h"
@@ -58,6 +59,20 @@ class TraceSink {
     (void)stratum;
     (void)rounds;
   }
+  /// A materialized view absorbed one committed delta: `delta_facts`
+  /// base-level changes were consumed, `added`/`removed` view facts were
+  /// installed/retracted, and DRed overdeleted/rederived that many facts
+  /// in recursive strata (both 0 for purely counting-maintained views).
+  virtual void OnViewMaintenance(std::string_view view, size_t delta_facts,
+                                 size_t added, size_t removed,
+                                 size_t overdeleted, size_t rederived) {
+    (void)view;
+    (void)delta_facts;
+    (void)added;
+    (void)removed;
+    (void)overdeleted;
+    (void)rederived;
+  }
 };
 
 /// Records a readable line per event; handy in tests and examples.
@@ -74,6 +89,9 @@ class RecordingTrace : public TraceSink {
   void OnVersionMaterialized(Vid version, Vid copied_from,
                              size_t copied_facts) override;
   void OnStratumFixpoint(uint32_t stratum, uint32_t rounds) override;
+  void OnViewMaintenance(std::string_view view, size_t delta_facts,
+                         size_t added, size_t removed, size_t overdeleted,
+                         size_t rederived) override;
 
   const std::vector<std::string>& lines() const { return lines_; }
   /// All lines joined with newlines.
@@ -101,6 +119,9 @@ class StreamTrace : public TraceSink {
   void OnVersionMaterialized(Vid version, Vid copied_from,
                              size_t copied_facts) override;
   void OnStratumFixpoint(uint32_t stratum, uint32_t rounds) override;
+  void OnViewMaintenance(std::string_view view, size_t delta_facts,
+                         size_t added, size_t removed, size_t overdeleted,
+                         size_t rederived) override;
 
  private:
   std::ostream& out_;

@@ -3,6 +3,7 @@
 
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "core/engine.h"
@@ -43,11 +44,40 @@ struct QueryProgram {
 Result<QueryProgram> ParseQueryProgram(std::string_view source,
                                        SymbolTable& symbols);
 
+/// One stratum of a derived-method program: a strongly connected component
+/// of the method dependency graph (methods in the role of predicates),
+/// emitted in bottom-up dependency order.
+struct QueryStratum {
+  /// Indices into QueryProgram::rules, in program order.
+  std::vector<uint32_t> rules;
+  /// Derived methods defined by this stratum's rule heads (sorted).
+  std::vector<MethodId> methods;
+  /// True iff some rule body reads a method of this same stratum — the
+  /// stratum needs fixpoint iteration (and, in the views subsystem,
+  /// delete-and-rederive instead of counting maintenance).
+  bool recursive = false;
+};
+
+/// SCC-condensation stratification of a derived-method program, the
+/// dependency information incremental view maintenance is planned from.
+struct QueryStratification {
+  std::vector<QueryStratum> strata;
+  /// Derived method -> index into `strata` of its defining stratum.
+  std::unordered_map<uint32_t, uint32_t> stratum_of_method;
+};
+
+/// Runs AnalyzeRule over every rule and computes the SCC-based
+/// stratification. Fails (kNotStratifiable) when a negation occurs inside
+/// a strongly connected component — recursion through negation.
+Result<QueryStratification> AnalyzeQueryProgram(QueryProgram& program,
+                                                const SymbolTable& symbols);
+
 struct QueryStats {
   uint32_t strata = 0;
   uint32_t rounds = 0;          // total fixpoint rounds across strata
   size_t derived_facts = 0;     // facts added by rules
   size_t delta_joins = 0;       // semi-naive delta-seeded join probes
+  size_t seed_pairs_skipped = 0;  // pairs pruned by the frontier index
 };
 
 struct QueryOptions {
@@ -56,6 +86,27 @@ struct QueryOptions {
   bool semi_naive = true;
   uint32_t max_rounds_per_stratum = 1u << 20;
 };
+
+/// Resolves a rule's head under a complete body binding to the ground
+/// view fact it derives (`added` always true). The single head-resolution
+/// path shared by EvaluateQueries, SolveRecursiveStratum, and the views
+/// maintainer's sinks.
+Result<DeltaFact> ResolveHeadFact(const Rule& rule, const Bindings& bindings,
+                                  VersionTable& versions);
+
+/// Semi-naive fixpoint of one recursive stratum over `working`: round 0
+/// full-matches every stratum rule, later rounds probe only the frontier
+/// facts, found through their (method, shape) index. Newly derived head
+/// facts are installed into `working` directly; counters accumulate into
+/// `stats` when given (rounds, derived_facts, delta_joins,
+/// seed_pairs_skipped). Rules must already be analyzed
+/// (AnalyzeQueryProgram). Shared by EvaluateQueries and the views
+/// subsystem's initial materialization.
+Status SolveRecursiveStratum(const QueryProgram& program,
+                             const QueryStratum& stratum,
+                             SymbolTable& symbols, VersionTable& versions,
+                             ObjectBase& working, uint32_t max_rounds,
+                             QueryStats* stats);
 
 /// Evaluates the derived methods over `base`, returning a new object base
 /// containing `base` plus all derived facts. Fails if a derived method

@@ -224,9 +224,11 @@ void ApplyDelta(const FactDelta& delta, ObjectBase& base) {
   }
 }
 
-std::string EncodeDelta(const FactDelta& delta, const SymbolTable& symbols,
-                        const VersionTable& versions) {
-  BufferWriter writer;
+namespace {
+
+void EncodeDeltaInto(BufferWriter& writer, const FactDelta& delta,
+                     const SymbolTable& symbols,
+                     const VersionTable& versions) {
   writer.Varint(delta.added.size());
   for (const DecodedFact& fact : delta.added) {
     EncodeFact(writer, fact.vid, fact.method, fact.app, symbols, versions);
@@ -235,12 +237,10 @@ std::string EncodeDelta(const FactDelta& delta, const SymbolTable& symbols,
   for (const DecodedFact& fact : delta.removed) {
     EncodeFact(writer, fact.vid, fact.method, fact.app, symbols, versions);
   }
-  return writer.Take();
 }
 
-Result<FactDelta> DecodeDelta(std::string_view data, SymbolTable& symbols,
-                              VersionTable& versions) {
-  BufferReader reader(data);
+Result<FactDelta> DecodeDeltaFrom(BufferReader& reader, SymbolTable& symbols,
+                                  VersionTable& versions) {
   FactDelta delta;
   VERSO_ASSIGN_OR_RETURN(uint64_t added, reader.Varint());
   for (uint64_t i = 0; i < added; ++i) {
@@ -254,10 +254,80 @@ Result<FactDelta> DecodeDelta(std::string_view data, SymbolTable& symbols,
                            DecodeFact(reader, symbols, versions));
     delta.removed.push_back(std::move(fact));
   }
+  return delta;
+}
+
+}  // namespace
+
+std::string EncodeDelta(const FactDelta& delta, const SymbolTable& symbols,
+                        const VersionTable& versions) {
+  BufferWriter writer;
+  EncodeDeltaInto(writer, delta, symbols, versions);
+  return writer.Take();
+}
+
+Result<FactDelta> DecodeDelta(std::string_view data, SymbolTable& symbols,
+                              VersionTable& versions) {
+  BufferReader reader(data);
+  VERSO_ASSIGN_OR_RETURN(FactDelta delta,
+                         DecodeDeltaFrom(reader, symbols, versions));
   if (!reader.AtEnd()) {
     return Status::Corruption("delta payload has trailing bytes");
   }
   return delta;
+}
+
+std::string EncodeDeltaBatch(const std::vector<FactDelta>& deltas,
+                             const SymbolTable& symbols,
+                             const VersionTable& versions) {
+  BufferWriter writer;
+  writer.Varint(deltas.size());
+  for (const FactDelta& delta : deltas) {
+    EncodeDeltaInto(writer, delta, symbols, versions);
+  }
+  return writer.Take();
+}
+
+std::string EncodeDeltaBatch(const FactDelta& delta,
+                             const SymbolTable& symbols,
+                             const VersionTable& versions) {
+  BufferWriter writer;
+  writer.Varint(1);
+  EncodeDeltaInto(writer, delta, symbols, versions);
+  return writer.Take();
+}
+
+Result<std::vector<FactDelta>> DecodeDeltaBatch(std::string_view data,
+                                                SymbolTable& symbols,
+                                                VersionTable& versions) {
+  BufferReader reader(data);
+  VERSO_ASSIGN_OR_RETURN(uint64_t count, reader.Varint());
+  if (count > data.size()) {
+    return Status::Corruption("codec: implausible batch transaction count");
+  }
+  std::vector<FactDelta> deltas;
+  deltas.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    VERSO_ASSIGN_OR_RETURN(FactDelta delta,
+                           DecodeDeltaFrom(reader, symbols, versions));
+    deltas.push_back(std::move(delta));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("batch payload has trailing bytes");
+  }
+  return deltas;
+}
+
+DeltaLog ToDeltaLog(const FactDelta& delta) {
+  DeltaLog log;
+  log.reserve(delta.added.size() + delta.removed.size());
+  for (const DecodedFact& fact : delta.removed) {
+    log.push_back({fact.vid, fact.method, fact.app, /*added=*/false});
+  }
+  for (const DecodedFact& fact : delta.added) {
+    log.push_back({fact.vid, fact.method, fact.app, /*added=*/true});
+  }
+  return log;
 }
 
 }  // namespace verso

@@ -89,6 +89,25 @@ std::string EncodeDelta(const FactDelta& delta, const SymbolTable& symbols,
 Result<FactDelta> DecodeDelta(std::string_view data, SymbolTable& symbols,
                               VersionTable& versions);
 
+/// Group-commit payload: the deltas of a whole batch of transactions, in
+/// commit order, framed as one WAL record (WalRecordKind::kBatch).
+/// Format: varint transaction count, then each transaction's delta image.
+std::string EncodeDeltaBatch(const std::vector<FactDelta>& deltas,
+                             const SymbolTable& symbols,
+                             const VersionTable& versions);
+/// Single-transaction batch (the common Execute path), copy-free.
+std::string EncodeDeltaBatch(const FactDelta& delta,
+                             const SymbolTable& symbols,
+                             const VersionTable& versions);
+Result<std::vector<FactDelta>> DecodeDeltaBatch(std::string_view data,
+                                                SymbolTable& symbols,
+                                                VersionTable& versions);
+
+/// The commit-stream view of a delta: removals first, then additions —
+/// exactly the order ApplyDelta installs them, so observers replaying the
+/// log fact-by-fact reconstruct the same intermediate states.
+DeltaLog ToDeltaLog(const FactDelta& delta);
+
 }  // namespace verso
 
 #endif  // VERSO_STORAGE_CODEC_H_

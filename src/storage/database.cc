@@ -1,5 +1,7 @@
 #include "storage/database.h"
 
+#include <algorithm>
+
 #include "storage/codec.h"
 #include "storage/snapshot.h"
 #include "util/io.h"
@@ -17,25 +19,73 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
   }
   VERSO_ASSIGN_OR_RETURN(WalReadResult wal, ReadWal(db->wal_.path()));
   db->recovered_torn_ = wal.truncated_tail;
-  for (const std::string& record : wal.records) {
-    VERSO_ASSIGN_OR_RETURN(
-        FactDelta delta,
-        DecodeDelta(record, engine.symbols(), engine.versions()));
-    ApplyDelta(delta, db->current_);
+  for (const WalRecord& record : wal.records) {
+    switch (record.kind) {
+      case WalRecordKind::kDelta: {
+        VERSO_ASSIGN_OR_RETURN(
+            FactDelta delta,
+            DecodeDelta(record.payload, engine.symbols(), engine.versions()));
+        ApplyDelta(delta, db->current_);
+        break;
+      }
+      case WalRecordKind::kBatch: {
+        VERSO_ASSIGN_OR_RETURN(
+            std::vector<FactDelta> deltas,
+            DecodeDeltaBatch(record.payload, engine.symbols(),
+                             engine.versions()));
+        for (const FactDelta& delta : deltas) {
+          ApplyDelta(delta, db->current_);
+        }
+        break;
+      }
+    }
     ++db->wal_records_;
   }
   return db;
+}
+
+Database::~Database() {
+  for (CommitObserver* observer : observers_) observer->OnDatabaseClosed();
+}
+
+void Database::AddObserver(CommitObserver* observer) {
+  observers_.push_back(observer);
+}
+
+void Database::RemoveObserver(CommitObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+Status Database::NotifyObservers(const DeltaLog& delta) {
+  // Every observer sees every committed delta even if one errors —
+  // aborting delivery would silently desynchronize the healthy observers
+  // from current(). The first error is reported as kObserverFailed so the
+  // caller can tell "committed, but an observer broke" (never retry) from
+  // an evaluation failure (base untouched, retry is safe).
+  Status first_error;
+  for (CommitObserver* observer : observers_) {
+    Status status = observer->OnCommit(delta, current_);
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  if (!first_error.ok()) {
+    return Status::ObserverFailed("commit is durable but an observer "
+                                  "failed: " +
+                                  first_error.ToString());
+  }
+  return Status::Ok();
 }
 
 Status Database::CommitDelta(const ObjectBase& next) {
   FactDelta delta = ComputeDelta(current_, next);
   if (delta.empty()) return Status::Ok();
   std::string payload =
-      EncodeDelta(delta, engine_.symbols(), engine_.versions());
-  VERSO_RETURN_IF_ERROR(wal_.Append(payload));  // durability first
+      EncodeDeltaBatch(delta, engine_.symbols(), engine_.versions());
+  // Durability first: the record hits the log before memory moves.
+  VERSO_RETURN_IF_ERROR(wal_.Append(WalRecordKind::kBatch, payload));
   ApplyDelta(delta, current_);
   ++wal_records_;
-  return Status::Ok();
+  return NotifyObservers(ToDeltaLog(delta));
 }
 
 Status Database::ImportBase(const ObjectBase& base) {
@@ -48,6 +98,52 @@ Result<RunOutcome> Database::Execute(Program& program,
                          engine_.Run(program, current_, options));
   VERSO_RETURN_IF_ERROR(CommitDelta(outcome.new_base));
   return outcome;
+}
+
+Result<std::vector<RunOutcome>> Database::ExecuteBatch(
+    const std::vector<Program*>& programs, const EvalOptions& options) {
+  std::vector<RunOutcome> outcomes;
+  std::vector<FactDelta> deltas;
+  outcomes.reserve(programs.size());
+  deltas.reserve(programs.size());
+
+  // Evaluate the whole batch against the evolving (uncommitted) base; a
+  // failing transaction aborts the batch before anything touches the log.
+  // The outcomes vector keeps every new_base alive, so the evolving base
+  // is tracked by pointer instead of copying it per transaction.
+  const ObjectBase* working = &current_;
+  for (Program* program : programs) {
+    VERSO_ASSIGN_OR_RETURN(RunOutcome outcome,
+                           engine_.Run(*program, *working, options));
+    deltas.push_back(ComputeDelta(*working, outcome.new_base));
+    outcomes.push_back(std::move(outcome));
+    working = &outcomes.back().new_base;
+  }
+
+  bool any_change = false;
+  for (const FactDelta& delta : deltas) any_change |= !delta.empty();
+  if (!any_change) return outcomes;
+
+  // One WAL record — one durability write — for the whole group. Every
+  // delta is installed in memory before observers run: the batch is
+  // durable, so an observer error must not leave current() behind the log.
+  std::string payload =
+      EncodeDeltaBatch(deltas, engine_.symbols(), engine_.versions());
+  VERSO_RETURN_IF_ERROR(wal_.Append(WalRecordKind::kBatch, payload));
+  ++wal_records_;
+  for (const FactDelta& delta : deltas) {
+    ApplyDelta(delta, current_);
+  }
+  // Deliver every delta even if an observer errors on one of them: all of
+  // them are durable and installed, so later deltas must reach the
+  // observers that are still healthy.
+  Status first_error;
+  for (const FactDelta& delta : deltas) {
+    Status status = NotifyObservers(ToDeltaLog(delta));
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  VERSO_RETURN_IF_ERROR(first_error);
+  return outcomes;
 }
 
 Status Database::Checkpoint() {

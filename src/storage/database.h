@@ -3,12 +3,37 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "core/delta.h"
 #include "core/engine.h"
 #include "storage/wal.h"
 #include "util/result.h"
 
 namespace verso {
+
+/// Observer of committed transactions: the database invokes OnCommit once
+/// per transaction, after the delta is durable in the WAL and installed in
+/// the in-memory base. This is the delta stream incremental materialized
+/// views are maintained from (src/views). An observer error surfaces to
+/// the caller of Execute/ImportBase as kObserverFailed, but the commit
+/// itself stands — the delta is already durable; do not retry.
+class CommitObserver {
+ public:
+  virtual ~CommitObserver() = default;
+
+  /// `delta` lists the transaction's fact-level changes, removals first
+  /// then additions (the order ApplyDelta installs them). `committed` is
+  /// the database's current base; within an ExecuteBatch group it already
+  /// includes LATER transactions of the same batch, so observers tracking
+  /// exact per-transaction states must fold the deltas themselves.
+  virtual Status OnCommit(const DeltaLog& delta,
+                          const ObjectBase& committed) = 0;
+
+  /// The observed database is being destroyed; drop any pointer to it.
+  /// Called from ~Database for observers still registered at that point.
+  virtual void OnDatabaseClosed() {}
+};
 
 /// A persistent object base: update-programs execute as transactions.
 ///
@@ -22,6 +47,12 @@ namespace verso {
 /// *before* installing it in memory, and Checkpoint() folds the WAL into
 /// a fresh snapshot.
 ///
+/// Commits are batched at the WAL level: every append is one record
+/// carrying the whole delta of one transaction (or, via ExecuteBatch, of a
+/// whole group of transactions — one durability write for the group).
+/// Recovery replays both the batched format and the legacy
+/// one-delta-per-record format, so pre-batch logs stay loadable.
+///
 /// Not thread-safe; one writer per directory (the usual embedded-store
 /// contract).
 class Database {
@@ -30,8 +61,19 @@ class Database {
   static Result<std::unique_ptr<Database>> Open(const std::string& dir,
                                                 Engine& engine);
 
+  ~Database();
+
   /// The committed object base.
   const ObjectBase& current() const { return current_; }
+
+  Engine& engine() { return engine_; }
+
+  /// Registers a commit observer (not owned). Observers see only commits
+  /// after registration — recovery replay is not observed. An observer
+  /// still registered when the database is destroyed receives
+  /// OnDatabaseClosed.
+  void AddObserver(CommitObserver* observer);
+  void RemoveObserver(CommitObserver* observer);
 
   /// Replaces the committed base wholesale (initial load). Logged.
   Status ImportBase(const ObjectBase& base);
@@ -41,6 +83,15 @@ class Database {
   /// untouched.
   Result<RunOutcome> Execute(Program& program,
                              const EvalOptions& options = EvalOptions());
+
+  /// Group commit: evaluates each program against the evolving base and
+  /// writes the whole batch's deltas as ONE WAL record — one durability
+  /// write for N transactions. All-or-nothing: if any program fails to
+  /// evaluate, nothing is logged or installed. Observers still see one
+  /// OnCommit per transaction, in order.
+  Result<std::vector<RunOutcome>> ExecuteBatch(
+      const std::vector<Program*>& programs,
+      const EvalOptions& options = EvalOptions());
 
   /// Writes a fresh snapshot and truncates the WAL.
   Status Checkpoint();
@@ -58,11 +109,13 @@ class Database {
   std::string snapshot_path() const { return dir_ + "/snapshot.vsnp"; }
 
   Status CommitDelta(const ObjectBase& next);
+  Status NotifyObservers(const DeltaLog& delta);
 
   std::string dir_;
   Engine& engine_;
   ObjectBase current_;
   WalWriter wal_;
+  std::vector<CommitObserver*> observers_;
   size_t wal_records_ = 0;
   bool recovered_torn_ = false;
 };

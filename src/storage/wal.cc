@@ -25,10 +25,19 @@ uint32_t ReadU32(const char* p) {
 
 }  // namespace
 
-Status WalWriter::Append(std::string_view payload) {
+namespace {
+constexpr uint32_t kBatchBit = 0x80000000u;
+}
+
+Status WalWriter::Append(WalRecordKind kind, std::string_view payload) {
+  uint32_t length_word = static_cast<uint32_t>(payload.size());
+  if (length_word & kBatchBit) {
+    return Status::InvalidArgument("WAL payload exceeds 2 GiB frame limit");
+  }
+  if (kind == WalRecordKind::kBatch) length_word |= kBatchBit;
   std::string record;
   record.reserve(payload.size() + 8);
-  AppendU32(record, static_cast<uint32_t>(payload.size()));
+  AppendU32(record, length_word);
   AppendU32(record, Crc32(payload.data(), payload.size()));
   record.append(payload.data(), payload.size());
   return AppendFile(path_, record);
@@ -40,8 +49,11 @@ Result<WalReadResult> ReadWal(const std::string& path) {
   VERSO_ASSIGN_OR_RETURN(std::string file, ReadFile(path));
   size_t pos = 0;
   while (pos + 8 <= file.size()) {
-    uint32_t length = ReadU32(file.data() + pos);
+    uint32_t length_word = ReadU32(file.data() + pos);
     uint32_t crc = ReadU32(file.data() + pos + 4);
+    WalRecordKind kind = (length_word & kBatchBit) ? WalRecordKind::kBatch
+                                                   : WalRecordKind::kDelta;
+    uint32_t length = length_word & ~kBatchBit;
     if (pos + 8 + length > file.size()) {
       result.truncated_tail = true;  // torn final record: crashed writer
       break;
@@ -51,7 +63,7 @@ Result<WalReadResult> ReadWal(const std::string& path) {
       result.truncated_tail = true;
       break;
     }
-    result.records.emplace_back(payload, length);
+    result.records.push_back({kind, std::string(payload, length)});
     pos += 8 + length;
   }
   if (pos != file.size() && !result.truncated_tail) {

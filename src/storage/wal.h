@@ -1,6 +1,7 @@
 #ifndef VERSO_STORAGE_WAL_H_
 #define VERSO_STORAGE_WAL_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -8,9 +9,24 @@
 
 namespace verso {
 
+/// Payload framing of a WAL record, distinguished at the frame level so
+/// recovery can replay logs written by any version of the database layer.
+enum class WalRecordKind : uint8_t {
+  /// Legacy framing: the payload is one EncodeDelta image — one committed
+  /// transaction per record.
+  kDelta = 0,
+  /// Batched framing: the payload is one EncodeDeltaBatch image — a whole
+  /// group-committed sequence of transaction deltas in one record (one
+  /// durability write for the batch).
+  kBatch = 1,
+};
+
 /// Append-only write-ahead log of opaque records (the database layers
 /// fact-delta payloads on top). Record framing:
 ///     u32 length | u32 CRC32(payload) | payload
+/// Batched records set the high bit of the length word (payloads are far
+/// below 2 GiB, so the bit is free); legacy records leave it clear, which
+/// keeps old logs readable byte-for-byte.
 /// Recovery reads records until EOF or the first torn/corrupt record;
 /// everything before the tear is returned, the tail is ignored — the
 /// standard RocksDB-style contract for crashed writers.
@@ -18,7 +34,10 @@ class WalWriter {
  public:
   explicit WalWriter(std::string path) : path_(std::move(path)) {}
 
-  Status Append(std::string_view payload);
+  Status Append(std::string_view payload) {
+    return Append(WalRecordKind::kDelta, payload);
+  }
+  Status Append(WalRecordKind kind, std::string_view payload);
 
   const std::string& path() const { return path_; }
 
@@ -26,8 +45,13 @@ class WalWriter {
   std::string path_;
 };
 
+struct WalRecord {
+  WalRecordKind kind = WalRecordKind::kDelta;
+  std::string payload;
+};
+
 struct WalReadResult {
-  std::vector<std::string> records;
+  std::vector<WalRecord> records;
   /// True if a torn/corrupt tail was skipped (informational).
   bool truncated_tail = false;
 };

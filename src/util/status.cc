@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Corruption";
     case StatusCode::kNotFound:
       return "NotFound";
+    case StatusCode::kObserverFailed:
+      return "ObserverFailed";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -21,6 +21,9 @@ enum class StatusCode {
   kIoError,           // filesystem / serialization failure
   kCorruption,        // checksum or format mismatch in stored data
   kNotFound,          // lookup miss reported as an error
+  kObserverFailed,    // a commit was durable and installed, but a commit
+                      // observer (e.g. view maintenance) failed — do NOT
+                      // retry the transaction
   kInternal,          // invariant breach inside the library (a bug)
 };
 
@@ -62,6 +65,9 @@ class Status {
   }
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ObserverFailed(std::string msg) {
+    return Status(StatusCode::kObserverFailed, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

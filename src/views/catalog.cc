@@ -1,0 +1,97 @@
+#include "views/catalog.h"
+
+namespace verso {
+
+Status ViewCatalog::Register(std::string name, QueryProgram program,
+                             const ObjectBase& base) {
+  if (views_.count(name)) {
+    return Status::InvalidArgument("view '" + name + "' already registered");
+  }
+  VERSO_ASSIGN_OR_RETURN(
+      std::unique_ptr<MaterializedView> view,
+      MaterializedView::Create(name, std::move(program), base, symbols_,
+                               versions_, trace_));
+  views_.emplace(std::move(name), std::move(view));
+  return Status::Ok();
+}
+
+Status ViewCatalog::RegisterText(std::string name, std::string_view source,
+                                 const ObjectBase& base) {
+  VERSO_ASSIGN_OR_RETURN(QueryProgram program,
+                         ParseQueryProgram(source, symbols_));
+  return Register(std::move(name), std::move(program), base);
+}
+
+Status ViewCatalog::Drop(std::string_view name) {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound("view '" + std::string(name) +
+                            "' is not registered");
+  }
+  views_.erase(it);
+  return Status::Ok();
+}
+
+const MaterializedView* ViewCatalog::Find(std::string_view name) const {
+  auto it = views_.find(name);
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ViewCatalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(views_.size());
+  for (const auto& [name, view] : views_) out.push_back(name);
+  return out;
+}
+
+void ViewCatalog::Attach(Database& db) {
+  Detach();
+  attached_ = &db;
+  db.AddObserver(this);
+}
+
+void ViewCatalog::Detach() {
+  if (attached_ != nullptr) {
+    attached_->RemoveObserver(this);
+    attached_ = nullptr;
+  }
+}
+
+Status ViewCatalog::OnCommit(const DeltaLog& delta,
+                             const ObjectBase& committed) {
+  (void)committed;
+  // Fan the delta out to EVERY live view even if one fails: a failure
+  // poisons that view alone (see MaterializedView::health); the other
+  // views must keep tracking the commit stream. The error surfaces to the
+  // committer once — already-poisoned views are skipped afterwards, so a
+  // broken view does not wedge every subsequent commit (its health() and
+  // Drop/re-Register are the recovery path).
+  Status first_error;
+  for (auto& [name, view] : views_) {
+    if (!view->health().ok()) continue;
+    Status status = view->ApplyBaseDelta(delta);
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+ViewStats ViewCatalog::TotalStats() const {
+  ViewStats total;
+  for (const auto& [name, view] : views_) {
+    const ViewStats& s = view->stats();
+    total.full_evaluations += s.full_evaluations;
+    total.maintenance_runs += s.maintenance_runs;
+    total.delta_facts_seen += s.delta_facts_seen;
+    total.facts_added += s.facts_added;
+    total.facts_removed += s.facts_removed;
+    total.support_increments += s.support_increments;
+    total.support_decrements += s.support_decrements;
+    total.overdeleted += s.overdeleted;
+    total.rederived += s.rederived;
+    total.seed_probes += s.seed_probes;
+    total.rederive_probes += s.rederive_probes;
+  }
+  return total;
+}
+
+}  // namespace verso

@@ -1,0 +1,78 @@
+#ifndef VERSO_VIEWS_CATALOG_H_
+#define VERSO_VIEWS_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/database.h"
+#include "views/view.h"
+
+namespace verso {
+
+/// Registry of named materialized views, maintained from a Database's
+/// commit delta stream. Register a view once (full evaluation), attach the
+/// catalog to a database, and every committed transaction — Execute,
+/// ExecuteBatch, ImportBase — keeps all registered views incrementally
+/// up to date; result(name) always equals a from-scratch EvaluateQueries
+/// over the current committed base.
+class ViewCatalog : public CommitObserver {
+ public:
+  ViewCatalog(SymbolTable& symbols, VersionTable& versions,
+              TraceSink* trace = nullptr)
+      : symbols_(symbols), versions_(versions), trace_(trace) {}
+  explicit ViewCatalog(Engine& engine, TraceSink* trace = nullptr)
+      : ViewCatalog(engine.symbols(), engine.versions(), trace) {}
+  ~ViewCatalog() override { Detach(); }
+
+  ViewCatalog(const ViewCatalog&) = delete;
+  ViewCatalog& operator=(const ViewCatalog&) = delete;
+
+  /// Registers `program` as a materialized view over `base` (typically
+  /// db.current()), evaluating it in full once. Fails on duplicate names.
+  Status Register(std::string name, QueryProgram program,
+                  const ObjectBase& base);
+
+  /// Parses `source` as a derived-method program and registers it.
+  Status RegisterText(std::string name, std::string_view source,
+                      const ObjectBase& base);
+
+  /// Drops a registered view.
+  Status Drop(std::string_view name);
+
+  /// The registered view, or nullptr.
+  const MaterializedView* Find(std::string_view name) const;
+
+  /// Registered view names, sorted.
+  std::vector<std::string> names() const;
+  size_t size() const { return views_.size(); }
+
+  /// Subscribes this catalog to `db`'s commit stream (AddObserver). The
+  /// catalog must outlive the attachment; the destructor detaches.
+  void Attach(Database& db);
+  void Detach();
+
+  /// CommitObserver: routes the committed delta to every registered view.
+  Status OnCommit(const DeltaLog& delta, const ObjectBase& committed) override;
+
+  /// CommitObserver: the attached database is going away — forget it so
+  /// a later Detach()/destruction does not touch freed memory.
+  void OnDatabaseClosed() override { attached_ = nullptr; }
+
+  /// Counters summed over all registered views.
+  ViewStats TotalStats() const;
+
+ private:
+  SymbolTable& symbols_;
+  VersionTable& versions_;
+  TraceSink* trace_;
+  Database* attached_ = nullptr;
+  std::map<std::string, std::unique_ptr<MaterializedView>, std::less<>>
+      views_;
+};
+
+}  // namespace verso
+
+#endif  // VERSO_VIEWS_CATALOG_H_

@@ -1,0 +1,172 @@
+#ifndef VERSO_VIEWS_VIEW_H_
+#define VERSO_VIEWS_VIEW_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/delta.h"
+#include "core/object_base.h"
+#include "core/trace.h"
+#include "query/query.h"
+#include "util/hash.h"
+#include "util/result.h"
+
+namespace verso {
+
+/// A ground view fact (the key of the support-count store).
+struct ViewFactKey {
+  Vid vid;
+  MethodId method;
+  GroundApp app;
+
+  friend bool operator==(const ViewFactKey& a, const ViewFactKey& b) {
+    return a.vid == b.vid && a.method == b.method && a.app == b.app;
+  }
+};
+
+struct ViewFactKeyHash {
+  size_t operator()(const ViewFactKey& k) const {
+    size_t seed = k.vid.value;
+    HashCombine(seed, k.method.value);
+    for (Oid arg : k.app.args) HashCombine(seed, arg.value);
+    HashCombine(seed, k.app.result.value);
+    return seed;
+  }
+};
+
+/// Observability counters of one materialized view (cumulative).
+struct ViewStats {
+  uint64_t full_evaluations = 0;   // initial materializations
+  uint64_t maintenance_runs = 0;   // commits absorbed incrementally
+  uint64_t delta_facts_seen = 0;   // base fact changes consumed
+  uint64_t facts_added = 0;        // view facts installed by maintenance
+  uint64_t facts_removed = 0;      // view facts retracted by maintenance
+  uint64_t support_increments = 0;  // counting strata: derivations gained
+  uint64_t support_decrements = 0;  // counting strata: derivations lost
+  uint64_t overdeleted = 0;        // DRed strata: facts provisionally deleted
+  uint64_t rederived = 0;          // DRed strata: facts with alternative proofs
+  uint64_t seed_probes = 0;        // delta-seeded partial matches launched
+  uint64_t rederive_probes = 0;    // goal-directed head probes launched
+};
+
+/// A named materialized view: a derived-method program evaluated once in
+/// full over a committed base and thereafter maintained incrementally from
+/// each commit's fact-level DeltaLog.
+///
+/// Maintenance is planned from the program's SCC stratification
+/// (AnalyzeQueryProgram):
+///   * non-recursive strata use counting — every view fact carries its
+///     number of distinct derivations, kept exact per delta fact (a
+///     reverse sweep over the commit's delta reproduces, probe for probe,
+///     the textbook one-fact-at-a-time counting algorithm, including
+///     matches gained/lost through *negated* body literals);
+///   * recursive strata use delete-and-rederive (DRed) — overdelete every
+///     fact with a derivation through a deleted fact, rederive the ones
+///     with surviving alternative proofs via goal-directed head probes,
+///     then propagate insertions semi-naively.
+/// Each stratum emits its own fact-level delta, which feeds the strata
+/// above it, so a commit ripples through the view bottom-up.
+class MaterializedView {
+ public:
+  /// Fully evaluates `program` over `base` (which must not store facts of
+  /// any derived method) and returns the maintained view.
+  static Result<std::unique_ptr<MaterializedView>> Create(
+      std::string name, QueryProgram program, const ObjectBase& base,
+      SymbolTable& symbols, VersionTable& versions,
+      TraceSink* trace = nullptr);
+
+  const std::string& name() const { return name_; }
+  /// The maintained result: base plus all derived facts. Identical to a
+  /// from-scratch EvaluateQueries over the current committed base.
+  const ObjectBase& result() const { return working_; }
+  const ViewStats& stats() const { return stats_; }
+  const QueryStratification& stratification() const { return stratification_; }
+
+  /// True iff `method` is defined by this view's rules.
+  bool DefinesMethod(MethodId method) const {
+    return derived_methods_.count(method.value) != 0;
+  }
+
+  /// Absorbs one committed transaction's fact-level delta. The delta must
+  /// describe the transition from the base state the view currently
+  /// reflects; facts of derived methods are rejected (a base transaction
+  /// must not write view methods). A failure poisons the view: the error
+  /// is remembered, every further delta is refused with it, and result()
+  /// is stale from that commit on — drop and re-register to recover.
+  Status ApplyBaseDelta(const DeltaLog& delta);
+
+  /// Ok while the view is live; the first maintenance error otherwise.
+  const Status& health() const { return health_; }
+
+ private:
+  /// A maintenance trigger: a changed fact probed through either the
+  /// positive or the negated body occurrences of its method.
+  struct Trigger {
+    DeltaFact fact;
+    bool through_negation;
+  };
+
+  MaterializedView(std::string name, QueryProgram program,
+                   const ObjectBase& base, SymbolTable& symbols,
+                   VersionTable& versions, TraceSink* trace)
+      : name_(std::move(name)),
+        program_(std::move(program)),
+        symbols_(symbols),
+        versions_(versions),
+        trace_(trace),
+        working_(base) {}
+
+  Status Materialize();
+  Status MaintainAll(const DeltaLog& delta);
+
+  /// Stratum maintenance. `input` is the commit delta plus every lower
+  /// stratum's emitted delta; each appends its own fact changes to `out`.
+  Status MaintainCounting(const QueryStratum& stratum, const DeltaLog& input,
+                          DeltaLog& out);
+  Status MaintainDRed(const QueryStratum& stratum, const DeltaLog& input,
+                      DeltaLog& out);
+
+  /// Methods read by the stratum's rule bodies (positive or negated).
+  std::unordered_set<uint32_t> ReadMethods(const QueryStratum& stratum) const;
+
+  /// Derivations gained/lost when `fact` changes, counted through the
+  /// occurrences selected by `trigger.through_negation`: each match's head
+  /// fact is appended to `heads` (deduplicated across occurrences so one
+  /// derivation is counted exactly once). Enumerates against the current
+  /// working base; callers stage presence/absence of the fact around the
+  /// call.
+  Status ProbeTrigger(const QueryStratum& stratum, const Trigger& trigger,
+                      std::vector<ViewFactKey>& heads);
+
+  /// True iff `fact` (a view fact of this stratum) has a derivation in the
+  /// current working base: goal-directed probe unifying the fact with each
+  /// defining rule's head.
+  Result<bool> HasDerivation(const QueryStratum& stratum,
+                             const ViewFactKey& fact);
+
+  bool InWorking(const ViewFactKey& fact) const {
+    return working_.Contains(fact.vid, fact.method, fact.app);
+  }
+
+  std::string name_;
+  QueryProgram program_;
+  QueryStratification stratification_;
+  SymbolTable& symbols_;
+  VersionTable& versions_;
+  TraceSink* trace_;
+
+  /// Base plus derived facts (the served result).
+  ObjectBase working_;
+  /// Derivation counts for facts of counting-maintained strata.
+  std::unordered_map<ViewFactKey, int64_t, ViewFactKeyHash> support_;
+  std::unordered_set<uint32_t> derived_methods_;
+  ViewStats stats_;
+  Status health_ = Status::Ok();
+};
+
+}  // namespace verso
+
+#endif  // VERSO_VIEWS_VIEW_H_

@@ -179,9 +179,10 @@ TEST_F(StorageFixture, WalAppendAndRead) {
   ASSERT_TRUE(r.ok());
   EXPECT_FALSE(r->truncated_tail);
   ASSERT_EQ(r->records.size(), 3u);
-  EXPECT_EQ(r->records[0], "first");
-  EXPECT_EQ(r->records[1], "");
-  EXPECT_EQ(r->records[2], "third record");
+  EXPECT_EQ(r->records[0].payload, "first");
+  EXPECT_EQ(r->records[0].kind, WalRecordKind::kDelta);
+  EXPECT_EQ(r->records[1].payload, "");
+  EXPECT_EQ(r->records[2].payload, "third record");
 }
 
 TEST_F(StorageFixture, MissingWalIsEmpty) {
@@ -202,7 +203,7 @@ TEST_F(StorageFixture, TornTailIsDroppedNotFatal) {
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->truncated_tail);
   ASSERT_EQ(r->records.size(), 1u);
-  EXPECT_EQ(r->records[0], "keep me");
+  EXPECT_EQ(r->records[0].payload, "keep me");
 }
 
 TEST_F(StorageFixture, CorruptMiddleRecordStopsReplay) {
@@ -294,6 +295,144 @@ TEST_F(StorageFixture, DatabaseSurvivesTornWalTail) {
     EXPECT_FALSE(
         (*db)->current().Contains(a, engine.symbols().Method("n"), two));
   }
+}
+
+TEST_F(StorageFixture, ExecuteBatchGroupCommitsOneRecord) {
+  std::string dbdir = dir_ + "/db_batch";
+  {
+    Engine engine;
+    Result<std::unique_ptr<Database>> db = Database::Open(dbdir, engine);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->ImportBase(Base("a.sal -> 100.", engine)).ok());
+    Result<Program> p1 = ParseProgram(
+        "t: mod[a].sal -> (S, S2) <- a.sal -> S, S2 = S + 1.", engine);
+    Result<Program> p2 = ParseProgram("t: ins[b].sal -> 7.", engine);
+    Result<Program> p3 = ParseProgram(
+        "t: mod[a].sal -> (S, S2) <- a.sal -> S, S2 = S * 2.", engine);
+    ASSERT_TRUE(p1.ok() && p2.ok() && p3.ok());
+    std::vector<Program*> batch = {&*p1, &*p2, &*p3};
+    Result<std::vector<RunOutcome>> out = (*db)->ExecuteBatch(batch);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(out->size(), 3u);
+    // One record for the import, ONE for the whole three-transaction
+    // group — the second transaction sees the first's effects.
+    EXPECT_EQ((*db)->wal_records_since_checkpoint(), 2u);
+    Result<WalReadResult> wal = ReadWal(dbdir + "/wal.log");
+    ASSERT_TRUE(wal.ok());
+    ASSERT_EQ(wal->records.size(), 2u);
+    EXPECT_EQ(wal->records[1].kind, WalRecordKind::kBatch);
+  }
+  // Recovery replays every transaction of the batch in order.
+  {
+    Engine engine;
+    Result<std::unique_ptr<Database>> db = Database::Open(dbdir, engine);
+    ASSERT_TRUE(db.ok());
+    Vid a = engine.versions().OfOid(engine.symbols().Symbol("a"));
+    GroundApp sal;
+    sal.result = engine.symbols().Int(202);  // (100 + 1) * 2
+    EXPECT_TRUE(
+        (*db)->current().Contains(a, engine.symbols().Method("sal"), sal));
+    Vid b = engine.versions().OfOid(engine.symbols().Symbol("b"));
+    GroundApp seven;
+    seven.result = engine.symbols().Int(7);
+    EXPECT_TRUE(
+        (*db)->current().Contains(b, engine.symbols().Method("sal"), seven));
+  }
+}
+
+TEST_F(StorageFixture, ExecuteBatchIsAllOrNothing) {
+  std::string dbdir = dir_ + "/db_batch_fail";
+  Engine engine;
+  Result<std::unique_ptr<Database>> db = Database::Open(dbdir, engine);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ImportBase(Base("o.m -> a.", engine)).ok());
+  Result<Program> good = ParseProgram("t: ins[o].m -> b.", engine);
+  // Non-linear program: fails to evaluate.
+  Result<Program> bad = ParseProgram(
+      "r1: mod[o].m -> (a, b) <- o.m -> a."
+      "r2: del[o].m -> a <- o.m -> a.", engine);
+  ASSERT_TRUE(good.ok() && bad.ok());
+  size_t records = (*db)->wal_records_since_checkpoint();
+  std::vector<Program*> batch = {&*good, &*bad};
+  Result<std::vector<RunOutcome>> out = (*db)->ExecuteBatch(batch);
+  EXPECT_FALSE(out.ok());
+  // Neither the good nor the bad transaction committed.
+  EXPECT_EQ((*db)->wal_records_since_checkpoint(), records);
+  Vid o = engine.versions().OfOid(engine.symbols().Symbol("o"));
+  GroundApp b;
+  b.result = engine.symbols().Symbol("b");
+  EXPECT_FALSE((*db)->current().Contains(o, engine.symbols().Method("m"), b));
+}
+
+TEST_F(StorageFixture, RecoveryReplaysLegacyAndBatchedRecords) {
+  std::string dbdir = dir_ + "/db_mixed";
+  ASSERT_TRUE(EnsureDirectory(dbdir).ok());
+  // Hand-write a legacy (pre-batching) record: one bare EncodeDelta image
+  // per transaction, framed without the batch bit.
+  {
+    Engine engine;
+    ObjectBase before = engine.MakeBase();
+    ObjectBase after = Base("a.m -> 1.  b.m -> 2.", engine);
+    FactDelta delta = ComputeDelta(before, after);
+    WalWriter writer(dbdir + "/wal.log");
+    ASSERT_TRUE(writer
+                    .Append(WalRecordKind::kDelta,
+                            EncodeDelta(delta, engine.symbols(),
+                                        engine.versions()))
+                    .ok());
+  }
+  // A fresh database replays the legacy record, then appends batched
+  // records of its own; a third incarnation replays the mixed log.
+  {
+    Engine engine;
+    Result<std::unique_ptr<Database>> db = Database::Open(dbdir, engine);
+    ASSERT_TRUE(db.ok());
+    Vid a = engine.versions().OfOid(engine.symbols().Symbol("a"));
+    GroundApp one;
+    one.result = engine.symbols().Int(1);
+    ASSERT_TRUE(
+        (*db)->current().Contains(a, engine.symbols().Method("m"), one));
+    Result<Program> ins = ParseProgram("t: ins[c].m -> 3.", engine);
+    ASSERT_TRUE(ins.ok());
+    ASSERT_TRUE((*db)->Execute(*ins).ok());
+  }
+  {
+    Engine engine;
+    Result<std::unique_ptr<Database>> db = Database::Open(dbdir, engine);
+    ASSERT_TRUE(db.ok());
+    EXPECT_EQ((*db)->wal_records_since_checkpoint(), 2u);
+    Result<WalReadResult> wal = ReadWal(dbdir + "/wal.log");
+    ASSERT_TRUE(wal.ok());
+    ASSERT_EQ(wal->records.size(), 2u);
+    EXPECT_EQ(wal->records[0].kind, WalRecordKind::kDelta);
+    EXPECT_EQ(wal->records[1].kind, WalRecordKind::kBatch);
+    for (const char* obj : {"a", "b", "c"}) {
+      Vid vid = engine.versions().OfOid(engine.symbols().Symbol(obj));
+      EXPECT_NE((*db)->current().StateOf(vid), nullptr) << obj;
+    }
+  }
+}
+
+TEST_F(StorageFixture, DeltaBatchRoundTrip) {
+  Engine engine;
+  ObjectBase empty = engine.MakeBase();
+  ObjectBase one = Base("a.m -> 1.", engine);
+  ObjectBase two = Base("a.m -> 1.  b.m -> 2.", engine);
+  std::vector<FactDelta> deltas = {ComputeDelta(empty, one),
+                                   ComputeDelta(one, two)};
+  std::string payload =
+      EncodeDeltaBatch(deltas, engine.symbols(), engine.versions());
+  Result<std::vector<FactDelta>> back =
+      DecodeDeltaBatch(payload, engine.symbols(), engine.versions());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 2u);
+  ObjectBase replayed = engine.MakeBase();
+  for (const FactDelta& delta : *back) ApplyDelta(delta, replayed);
+  EXPECT_TRUE(replayed == two);
+  // Truncation is corruption, not silent data loss.
+  payload.resize(payload.size() - 1);
+  EXPECT_FALSE(
+      DecodeDeltaBatch(payload, engine.symbols(), engine.versions()).ok());
 }
 
 TEST_F(StorageFixture, FailedProgramLeavesDatabaseUntouched) {
