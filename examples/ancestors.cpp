@@ -2,69 +2,75 @@
 // set-valued `anc` method as stored facts via recursive inserts, then
 // contrast with the derived-method query layer (the Section 6 extension),
 // which computes the same closure without modifying the object base.
+//
+// Through the client API the contrast is a snapshot-isolation story: the
+// query session pins the original base BEFORE the update commits, so its
+// derived closure reads the unmodified genealogy even though the writer
+// has long since committed the stored one.
 
 #include <iostream>
 
-#include "core/engine.h"
+#include "api/api.h"
 #include "core/pretty.h"
-#include "parser/parser.h"
-#include "query/query.h"
 
 int main() {
-  verso::Engine engine;
+  verso::Result<std::unique_ptr<verso::Connection>> conn =
+      verso::Connection::OpenInMemory();
+  if (!conn.ok()) {
+    std::cerr << conn.status().ToString() << "\n";
+    return 1;
+  }
 
   // A five-generation chain plus a branch.
-  verso::Result<verso::ObjectBase> base = verso::ParseObjectBase(R"(
+  verso::Status loaded = (*conn)->ImportText(R"(
       ada.isa -> person.    ada.parents -> bert.  ada.parents -> cleo.
       bert.isa -> person.   bert.parents -> dora.
       cleo.isa -> person.
       dora.isa -> person.   dora.parents -> emil.
       emil.isa -> person.
-  )", engine);
+  )");
+  if (!loaded.ok()) {
+    std::cerr << loaded.ToString() << "\n";
+    return 1;
+  }
+
+  // The reader pins the committed state *now*: everything it evaluates
+  // sees this epoch, regardless of later commits.
+  std::unique_ptr<verso::Session> reader = (*conn)->OpenSession();
 
   // 1) The paper's recursive *update* program: ancestors become stored
-  //    facts of the updated objects.
-  verso::Result<verso::Program> updates = verso::ParseProgram(R"(
+  //    facts of the updated objects — a committed transaction.
+  std::unique_ptr<verso::Session> writer = (*conn)->OpenSession();
+  verso::Result<verso::ResultSet> committed = writer->Execute(R"(
       r1: ins[X].anc -> P <- X.isa -> person / parents -> P.
       r2: ins[X].anc -> P <- ins(X).isa -> person / anc -> A,
                              A.isa -> person / parents -> P.
-  )", engine);
-  if (!base.ok() || !updates.ok()) {
-    std::cerr << (base.ok() ? updates.status() : base.status()).ToString()
-              << "\n";
-    return 1;
-  }
-  verso::Result<verso::RunOutcome> outcome = engine.Run(*updates, *base);
-  if (!outcome.ok()) {
-    std::cerr << outcome.status().ToString() << "\n";
+  )");
+  if (!committed.ok()) {
+    std::cerr << committed.status().ToString() << "\n";
     return 1;
   }
   std::cout << "== ob' after the recursive insert program ==\n"
-            << ObjectBaseToString(outcome->new_base, engine.symbols(),
-                                  engine.versions());
+            << ObjectBaseToString(writer->base(), (*conn)->symbols(),
+                                  (*conn)->versions());
 
-  // 2) The same closure as *derived* methods (query layer): nothing is
-  //    updated; `ancq` is computed on demand over the original base.
-  verso::Result<verso::QueryProgram> queries = verso::ParseQueryProgram(R"(
+  // 2) The same closure as *derived* methods over the reader's pinned
+  //    snapshot: nothing is updated, and the pinned base does not even
+  //    contain the writer's stored `anc` facts.
+  verso::Result<verso::ResultSet> derived = reader->Execute(R"(
       q1: derive X.ancq -> P <- X.isa -> person / parents -> P.
       q2: derive X.ancq -> P <- X.ancq -> A, A.parents -> P.
-  )", engine.symbols());
-  if (!queries.ok()) {
-    std::cerr << queries.status().ToString() << "\n";
-    return 1;
-  }
-  verso::QueryStats qstats;
-  verso::Result<verso::ObjectBase> derived =
-      EvaluateQueries(*queries, *base, engine, &qstats);
+  )");
   if (!derived.ok()) {
     std::cerr << derived.status().ToString() << "\n";
     return 1;
   }
-  std::cout << "\n== original base + derived ancq (query layer) ==\n"
-            << ObjectBaseToString(*derived, engine.symbols(),
-                                  engine.versions())
-            << "\nderived " << qstats.derived_facts << " facts in "
-            << qstats.rounds << " semi-naive rounds ("
-            << qstats.delta_joins << " delta joins)\n";
+  std::cout << "\n== derived ancq over the PINNED pre-update snapshot ==\n";
+  while (derived->Next()) std::cout << derived->RowToString() << "\n";
+  const verso::QueryStats& qstats = *derived->query_stats();
+  std::cout << "derived " << qstats.derived_facts << " facts in "
+            << qstats.rounds << " semi-naive rounds (" << qstats.delta_joins
+            << " delta joins), reading epoch " << derived->epoch()
+            << " while the head is at epoch " << (*conn)->epoch() << "\n";
   return 0;
 }

@@ -7,16 +7,17 @@
 //    called hpe (high-paid-employees)."
 //
 // Runs the four update-rules on phil ($4000, manager) and bob ($4200,
-// phil's subordinate) with a full process trace — the programmatic
-// equivalent of Figure 2 — and prints the strata of Section 4.
+// phil's subordinate) through the client API with a full process trace —
+// the programmatic equivalent of Figure 2 — and prints the strata of
+// Section 4 using the ResultSet's write introspection (stratification,
+// result(P), per-object histories).
 
 #include <iostream>
 
-#include "core/engine.h"
+#include "api/api.h"
 #include "core/pretty.h"
 #include "core/trace.h"
 #include "history/history.h"
-#include "parser/parser.h"
 
 namespace {
 
@@ -56,47 +57,62 @@ bob.isa -> empl.   bob.boss -> phil.  bob.sal -> 4200.
 }  // namespace
 
 int main() {
-  verso::Engine engine;
-  verso::Result<verso::ObjectBase> base = verso::ParseObjectBase(kBase, engine);
-  verso::Result<verso::Program> program = verso::ParseProgram(kProgram, engine);
-  if (!base.ok() || !program.ok()) {
-    std::cerr << (base.ok() ? program.status() : base.status()).ToString()
-              << "\n";
+  verso::Result<std::unique_ptr<verso::Connection>> conn =
+      verso::Connection::OpenInMemory();
+  if (!conn.ok()) {
+    std::cerr << conn.status().ToString() << "\n";
+    return 1;
+  }
+  if (!(*conn)->ImportText(kBase).ok()) return 1;
+
+  // The trace sink renders through the connection's own tables and
+  // observes every later transaction — Figure 2 as a live stream.
+  verso::StreamTrace trace(std::cout, (*conn)->engine().symbols(),
+                           (*conn)->engine().versions());
+  (*conn)->SetTrace(&trace);
+
+  std::unique_ptr<verso::Session> session = (*conn)->OpenSession();
+  verso::Result<verso::Statement> stmt = session->Prepare(kProgram);
+  if (!stmt.ok()) {
+    std::cerr << stmt.status().ToString() << "\n";
     return 1;
   }
 
-  std::cout << "== update-program ==\n"
-            << ProgramToString(*program, engine.symbols()) << "\n";
-
-  verso::StreamTrace trace(std::cout, engine.symbols(), engine.versions());
   std::cout << "== update-process trace (cf. Figure 2) ==\n";
-  verso::Result<verso::RunOutcome> outcome =
-      engine.Run(*program, *base, verso::EvalOptions(), &trace);
-  if (!outcome.ok()) {
-    std::cerr << outcome.status().ToString() << "\n";
+  verso::Result<verso::ResultSet> rs = stmt->Execute();
+  if (!rs.ok()) {
+    std::cerr << rs.status().ToString() << "\n";
     return 1;
+  }
+
+  const verso::SymbolTable& symbols = (*conn)->symbols();
+  const verso::VersionTable& versions = (*conn)->versions();
+
+  std::cout << "\n== committed delta ==\n";
+  while (rs->Next()) {
+    std::cout << (rs->added() ? "+ " : "- ") << rs->RowToString() << "\n";
   }
 
   std::cout << "\n== stratification (Section 4) ==\n"
-            << StratificationToString(outcome->stratification, *program);
+            << StratificationToString(*rs->stratification(),
+                                      stmt->program());
 
+  // result(P) — the full fixpoint with every intermediate version — and
+  // the per-object histories come from the write introspection.
   std::cout << "\n== result(P): all object versions ==\n"
-            << ObjectBaseToString(outcome->result, engine.symbols(),
-                                  engine.versions());
+            << ObjectBaseToString(*rs->update_result(), symbols, versions);
 
   std::cout << "\n== per-object update histories (Figure 1 as data) ==\n";
   verso::Result<std::vector<verso::ObjectHistory>> histories =
-      AllHistories(outcome->result, engine.symbols(), engine.versions());
+      AllHistories(*rs->update_result(), symbols, versions);
   if (histories.ok()) {
     for (const verso::ObjectHistory& history : *histories) {
-      std::cout << HistoryToString(history, engine.symbols(),
-                                   engine.versions());
+      std::cout << HistoryToString(history, symbols, versions);
     }
   }
 
   std::cout << "\n== new object base ob' ==\n"
-            << ObjectBaseToString(outcome->new_base, engine.symbols(),
-                                  engine.versions());
+            << ObjectBaseToString(session->base(), symbols, versions);
 
   std::cout << "\nphil keeps his (raised) $4600 salary and joins hpe;\n"
                "bob was fired: no information about him survives in ob'.\n";

@@ -4,24 +4,33 @@
 // The raise is performed on version mod(e) and *revised right away* on
 // mod(mod(e)); the answer is derived from the middle (hypothetical)
 // versions while the committed object base keeps the original salaries.
-// Demonstrates querying result(P) for intermediate versions.
+// Demonstrates querying result(P) — the ResultSet's update_result() —
+// for intermediate versions through the client API.
 
 #include <iostream>
 
-#include "core/engine.h"
+#include "api/api.h"
 #include "core/pretty.h"
-#include "parser/parser.h"
 
 int main() {
-  verso::Engine engine;
-
-  verso::Result<verso::ObjectBase> base = verso::ParseObjectBase(R"(
+  verso::Result<std::unique_ptr<verso::Connection>> conn =
+      verso::Connection::OpenInMemory();
+  if (!conn.ok()) {
+    std::cerr << conn.status().ToString() << "\n";
+    return 1;
+  }
+  verso::Status loaded = (*conn)->ImportText(R"(
       peter.isa -> empl.  peter.sal -> 100.  peter.factor -> 3.
       anna.isa -> empl.   anna.sal -> 200.   anna.factor -> 1.
       felix.isa -> empl.  felix.sal -> 120.  felix.factor -> 2.
-  )", engine);
+  )");
+  if (!loaded.ok()) {
+    std::cerr << loaded.ToString() << "\n";
+    return 1;
+  }
 
-  verso::Result<verso::Program> program = verso::ParseProgram(R"(
+  std::unique_ptr<verso::Session> session = (*conn)->OpenSession();
+  verso::Result<verso::ResultSet> rs = session->Execute(R"(
       % r1: the hypothetical (non-linear) raise ...
       r1: mod[E].sal -> (S, S2) <- E.sal -> S / factor -> F, S2 = S * F.
       % r2: ... revised right away: mod(mod(e)) equals the e-version again.
@@ -31,29 +40,23 @@ int main() {
           mod(E).sal -> SE, mod(peter).sal -> SP, SE > SP.
       r4: ins[ins(mod(mod(peter)))].richest -> yes <-
           not ins(mod(mod(peter))).richest -> no.
-  )", engine);
-
-  if (!base.ok() || !program.ok()) {
-    std::cerr << (base.ok() ? program.status() : base.status()).ToString()
-              << "\n";
-    return 1;
-  }
-
-  verso::Result<verso::RunOutcome> outcome = engine.Run(*program, *base);
-  if (!outcome.ok()) {
-    std::cerr << outcome.status().ToString() << "\n";
+  )");
+  if (!rs.ok()) {
+    std::cerr << rs.status().ToString() << "\n";
     return 1;
   }
 
   // Inspect the hypothetical stage directly in result(P): mod(peter)
-  // carries the raised salary, mod(mod(peter)) the restored one.
-  verso::SymbolTable& sym = engine.symbols();
-  verso::VersionTable& ver = engine.versions();
+  // carries the raised salary, mod(mod(peter)) the restored one. The
+  // engine accessor is the advanced path for handle-level lookups.
+  const verso::ObjectBase& result = *rs->update_result();
+  verso::SymbolTable& sym = (*conn)->engine().symbols();
+  verso::VersionTable& ver = (*conn)->engine().versions();
   verso::Vid peter = ver.OfOid(sym.Symbol("peter"));
   verso::Vid mod_peter = ver.Child(peter, verso::UpdateKind::kModify);
 
   auto salary_of = [&](verso::Vid vid) -> std::string {
-    const verso::VersionState* state = outcome->result.StateOf(vid);
+    const verso::VersionState* state = result.StateOf(vid);
     if (state == nullptr) return "<no version>";
     const std::vector<verso::GroundApp>* apps =
         state->Find(sym.FindMethod("sal"));
@@ -66,6 +69,6 @@ int main() {
             << "peter's salary, revised (mod(mod(peter))):            "
             << salary_of(ver.Child(mod_peter, verso::UpdateKind::kModify))
             << "\n\n== committed object base (raises revised away) ==\n"
-            << ObjectBaseToString(outcome->new_base, sym, ver);
+            << ObjectBaseToString(session->base(), sym, ver);
   return 0;
 }

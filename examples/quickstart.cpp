@@ -1,67 +1,67 @@
-// Quickstart: the smallest end-to-end use of the verso public API.
+// Quickstart: the smallest end-to-end use of the verso client API.
 //
-// Builds a two-employee object base, runs the paper's Section 2.1 salary
-// raise (10% for every employee), and prints the updated object base.
-// Demonstrates: Engine, object-base construction, parsing an
-// update-program, running it, and reading results back.
+// Opens an in-memory connection, loads a two-employee object base, runs
+// the paper's Section 2.1 salary raise (10% for every employee) as one
+// transaction, and walks the committed delta through the ResultSet
+// cursor. Demonstrates: Connection, Session, Execute, ResultSet.
 
-#include <cstdio>
 #include <iostream>
 
-#include "core/engine.h"
+#include "api/api.h"
 #include "core/pretty.h"
-#include "parser/parser.h"
 
 int main() {
-  verso::Engine engine;
-
-  // An object base can be assembled programmatically ...
-  verso::ObjectBase base = engine.MakeBase();
-  engine.AddFact(base, "henry", "isa", "empl");
-  engine.AddFact(base, "henry", "salary", int64_t{250});
-
-  // ... or parsed from the textual .vob syntax.
-  verso::Result<verso::ObjectBase> parsed = verso::ParseObjectBase(
-      "mary.isa -> empl.  mary.salary -> 1000.", engine);
-  if (!parsed.ok()) {
-    std::cerr << parsed.status().ToString() << "\n";
+  verso::Result<std::unique_ptr<verso::Connection>> conn =
+      verso::Connection::OpenInMemory();
+  if (!conn.ok()) {
+    std::cerr << conn.status().ToString() << "\n";
     return 1;
   }
-  for (const auto& [vid, state] : parsed->versions()) {
-    for (const auto& [method, apps] : state.methods()) {
-      for (const verso::GroundApp& app : apps) base.Insert(vid, method, app);
-    }
+
+  // Load the object base (textual .vob syntax) as the first transaction.
+  verso::Status loaded = (*conn)->ImportText(R"(
+      henry.isa -> empl.  henry.salary -> 250.
+      mary.isa -> empl.   mary.salary -> 1000.
+  )");
+  if (!loaded.ok()) {
+    std::cerr << loaded.ToString() << "\n";
+    return 1;
   }
+
+  verso::ObjectBase before = (*conn)->OpenSession()->base();
 
   // The update-program: one rule, exactly the paper's first example.
   // Versioning makes it terminate: the rule only applies to not-yet-
   // updated employees E (a variable ranges over OIDs, never VIDs).
-  verso::Result<verso::Program> program = verso::ParseProgram(R"(
+  std::unique_ptr<verso::Session> session = (*conn)->OpenSession();
+  verso::Result<verso::ResultSet> rs = session->Execute(R"(
       raise: mod[E].salary -> (S, S2) <-
           E.isa -> empl, E.salary -> S, S2 = S * 1.1.
-  )", engine);
-  if (!program.ok()) {
-    std::cerr << program.status().ToString() << "\n";
-    return 1;
-  }
-
-  verso::Result<verso::RunOutcome> outcome = engine.Run(*program, base);
-  if (!outcome.ok()) {
-    std::cerr << outcome.status().ToString() << "\n";
+  )");
+  if (!rs.ok()) {
+    std::cerr << rs.status().ToString() << "\n";
     return 1;
   }
 
   std::cout << "== input object base ==\n"
-            << ObjectBaseToString(base, engine.symbols(), engine.versions())
-            << "\n== updated object base (ob') ==\n"
-            << ObjectBaseToString(outcome->new_base, engine.symbols(),
-                                  engine.versions());
+            << ObjectBaseToString(before, (*conn)->symbols(),
+                                  (*conn)->versions())
+            << "\n== committed delta (epoch " << rs->epoch() << ") ==\n";
+  while (rs->Next()) {
+    std::cout << (rs->added() ? "+ " : "- ") << rs->RowToString() << "\n";
+  }
 
-  std::cout << "\nstrata: " << outcome->stratification.stratum_count()
-            << ", rounds: " << outcome->stats.total_rounds()
-            << ", updates derived: " << outcome->stats.total_t1_updates()
-            << ", versions materialized: "
-            << outcome->stats.versions_materialized << "\n";
+  // The session re-pinned to its own commit: base() is the new state.
+  std::cout << "\n== updated object base (ob') ==\n"
+            << ObjectBaseToString(session->base(), (*conn)->symbols(),
+                                  (*conn)->versions());
+
+  const verso::EvalStats& stats = *rs->eval_stats();
+  std::cout << "\nstrata: " << rs->stratification()->stratum_count()
+            << ", rounds: " << stats.total_rounds()
+            << ", updates derived: " << stats.total_t1_updates()
+            << ", versions materialized: " << stats.versions_materialized
+            << "\n";
 
   // Note 250 * 1.1 == exactly 275: verso arithmetic is exact rationals.
   return 0;

@@ -1,4 +1,5 @@
-// versoc — command-line driver for verso update-programs.
+// versoc — command-line driver for verso update-programs, built on the
+// client API (an in-memory Connection/Session per run).
 //
 // Usage:
 //   versoc <object-base.vob> <program.vup> [options]
@@ -17,11 +18,10 @@
 #include <iostream>
 #include <string>
 
-#include "core/engine.h"
+#include "api/api.h"
 #include "core/pretty.h"
 #include "core/trace.h"
 #include "history/history.h"
-#include "parser/parser.h"
 #include "schema/schema.h"
 #include "util/io.h"
 
@@ -65,17 +65,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  verso::Engine engine;
+  verso::Result<std::unique_ptr<verso::Connection>> conn =
+      verso::Connection::OpenInMemory();
+  if (!conn.ok()) {
+    std::cerr << conn.status().ToString() << "\n";
+    return 1;
+  }
+  const verso::SymbolTable& symbols = (*conn)->symbols();
+  const verso::VersionTable& versions = (*conn)->versions();
 
   verso::Result<std::string> base_text = verso::ReadFile(base_path);
   if (!base_text.ok()) {
     std::cerr << base_text.status().ToString() << "\n";
     return 1;
   }
-  verso::Result<verso::ObjectBase> base =
-      verso::ParseObjectBase(*base_text, engine);
-  if (!base.ok()) {
-    std::cerr << base_path << ": " << base.status().ToString() << "\n";
+  verso::Status imported = (*conn)->ImportText(*base_text);
+  if (!imported.ok()) {
+    std::cerr << base_path << ": " << imported.ToString() << "\n";
     return 1;
   }
 
@@ -84,10 +90,10 @@ int main(int argc, char** argv) {
     std::cerr << program_text.status().ToString() << "\n";
     return 1;
   }
-  verso::Result<verso::Program> program =
-      verso::ParseProgram(*program_text, engine);
-  if (!program.ok()) {
-    std::cerr << program_path << ": " << program.status().ToString() << "\n";
+  std::unique_ptr<verso::Session> session = (*conn)->OpenSession();
+  verso::Result<verso::Statement> stmt = session->Prepare(*program_text);
+  if (!stmt.ok()) {
+    std::cerr << program_path << ": " << stmt.status().ToString() << "\n";
     return 1;
   }
 
@@ -99,37 +105,40 @@ int main(int argc, char** argv) {
       return 1;
     }
     verso::Result<verso::Schema> parsed =
-        verso::Schema::Parse(*schema_text, engine.symbols());
+        verso::Schema::Parse(*schema_text, (*conn)->engine().symbols());
     if (!parsed.ok()) {
       std::cerr << schema_path << ": " << parsed.status().ToString() << "\n";
       return 1;
     }
     schema = std::move(parsed).value();
-    verso::Status base_check =
-        schema.CheckBase(*base, engine.symbols(), engine.versions());
+    verso::Status base_check = schema.CheckBase(
+        session->base(), (*conn)->engine().symbols(),
+        (*conn)->engine().versions());
     if (!base_check.ok()) {
       std::cerr << base_path << ": " << base_check.ToString() << "\n";
       return 1;
     }
     verso::Status program_check =
-        schema.CheckProgram(*program, engine.symbols());
+        schema.CheckProgram(stmt->program(), (*conn)->engine().symbols());
     if (!program_check.ok()) {
       std::cerr << program_path << ": " << program_check.ToString() << "\n";
       return 1;
     }
   }
 
-  verso::StreamTrace trace(std::cerr, engine.symbols(), engine.versions());
-  verso::Result<verso::RunOutcome> outcome =
-      engine.Run(*program, *base, verso::EvalOptions(),
-                 want_trace ? &trace : nullptr);
-  if (!outcome.ok()) {
-    std::cerr << outcome.status().ToString() << "\n";
+  verso::StreamTrace trace(std::cerr, (*conn)->engine().symbols(),
+                           (*conn)->engine().versions());
+  if (want_trace) (*conn)->SetTrace(&trace);
+
+  verso::Result<verso::ResultSet> rs = stmt->Execute();
+  if (!rs.ok()) {
+    std::cerr << rs.status().ToString() << "\n";
     return 1;
   }
   if (!schema_path.empty()) {
     verso::Status post_check = schema.CheckBase(
-        outcome->new_base, engine.symbols(), engine.versions());
+        session->base(), (*conn)->engine().symbols(),
+        (*conn)->engine().versions());
     if (!post_check.ok()) {
       std::cerr << "post-update schema violation: " << post_check.ToString()
                 << "\n";
@@ -138,28 +147,27 @@ int main(int argc, char** argv) {
   }
   if (want_history) {
     verso::Result<std::vector<verso::ObjectHistory>> histories =
-        AllHistories(outcome->result, engine.symbols(), engine.versions());
+        AllHistories(*rs->update_result(), symbols, versions);
     if (histories.ok()) {
       for (const verso::ObjectHistory& history : *histories) {
-        std::cerr << HistoryToString(history, engine.symbols(),
-                                     engine.versions());
+        std::cerr << HistoryToString(history, symbols, versions);
       }
     }
   }
 
   if (want_strata) {
-    std::cerr << StratificationToString(outcome->stratification, *program);
+    std::cerr << StratificationToString(*rs->stratification(),
+                                        stmt->program());
   }
   if (want_stats) {
-    const verso::EvalStats& stats = outcome->stats;
-    std::cerr << "strata=" << outcome->stratification.stratum_count()
+    const verso::EvalStats& stats = *rs->eval_stats();
+    std::cerr << "strata=" << rs->stratification()->stratum_count()
               << " rounds=" << stats.total_rounds()
               << " updates=" << stats.total_t1_updates()
               << " versions=" << stats.versions_materialized << "\n";
   }
   const verso::ObjectBase& to_print =
-      want_result ? outcome->result : outcome->new_base;
-  std::cout << ObjectBaseToString(to_print, engine.symbols(),
-                                  engine.versions());
+      want_result ? *rs->update_result() : session->base();
+  std::cout << ObjectBaseToString(to_print, symbols, versions);
   return 0;
 }

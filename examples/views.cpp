@@ -1,110 +1,113 @@
-// Materialized views walk-through: register derived-method programs as
-// named views over a persistent database, run update-programs, and read
-// the incrementally maintained results — no recomputation.
+// Materialized views walk-through: create derived-method programs as
+// named views over a persistent connection, run update-programs, and
+// read the incrementally maintained results — no recomputation.
 //
-// Demonstrates: ViewCatalog, MaterializedView, the Database commit
-// observer hook, counting vs DRed strata, ViewStats, and the
-// OnViewMaintenance trace event.
+// Demonstrates: CREATE VIEW / QUERY statements, counting vs DRed strata,
+// view stats, and the OnViewMaintenance trace event, all through the
+// client API.
 
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
 
-#include "core/engine.h"
-#include "core/pretty.h"
-#include "parser/parser.h"
-#include "storage/database.h"
-#include "views/catalog.h"
+#include "api/api.h"
+#include "core/trace.h"
 
 namespace {
 
-bool Holds(verso::Engine& engine, const verso::ObjectBase& base,
-           const char* object, const char* method, const char* result) {
-  verso::Vid vid =
-      engine.versions().OfOid(engine.symbols().Symbol(object));
-  verso::GroundApp app;
-  app.result = engine.symbols().Symbol(result);
-  return base.Contains(vid, engine.symbols().Method(method), app);
+bool Holds(verso::Session& session, const char* view, const char* object,
+           const char* method, const char* result) {
+  verso::Result<verso::ResultSet> rs =
+      session.Execute(std::string("QUERY ") + view);
+  if (!rs.ok()) return false;
+  while (rs->Next()) {
+    if (rs->object() == object && rs->method() == method &&
+        rs->result_text() == result) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace
 
 int main() {
-  verso::Engine engine;
   std::string dir = std::filesystem::temp_directory_path() / "verso_views";
   std::filesystem::remove_all(dir);
 
-  verso::Result<std::unique_ptr<verso::Database>> db =
-      verso::Database::Open(dir, engine);
-  if (!db.ok()) {
-    std::cerr << db.status().ToString() << "\n";
+  verso::Result<std::unique_ptr<verso::Connection>> conn =
+      verso::Connection::Open(dir);
+  if (!conn.ok()) {
+    std::cerr << conn.status().ToString() << "\n";
     return 1;
   }
 
   // A small org chart.
-  verso::Result<verso::ObjectBase> base = verso::ParseObjectBase(R"(
+  verso::Status loaded = (*conn)->ImportText(R"(
       ann.isa -> empl.   ann.boss -> bob.   ann.sal -> 2000.
       bob.isa -> empl.   bob.boss -> eve.   bob.sal -> 6000.
       eve.isa -> empl.   eve.sal -> 9000.
-  )", engine);
-  if (!base.ok() || !(*db)->ImportBase(*base).ok()) return 1;
+  )");
+  if (!loaded.ok()) {
+    std::cerr << loaded.ToString() << "\n";
+    return 1;
+  }
 
-  // Register two views: `rich` is a single counting stratum (built-in
+  // Trace view maintenance to stdout.
+  verso::StreamTrace trace(std::cout, (*conn)->engine().symbols(),
+                           (*conn)->engine().versions());
+  (*conn)->SetTrace(&trace);
+
+  // Two views: `rich` is a single counting stratum (built-in
   // comparison), `chain` is a recursive stratum maintained with
-  // delete-and-rederive.
-  verso::StreamTrace trace(std::cout, engine.symbols(), engine.versions());
-  verso::ViewCatalog catalog(engine, &trace);
-  verso::Status s = catalog.RegisterText(
-      "rich", "q: derive X.rich -> yes <- X.sal -> S, S > 5000.",
-      (*db)->current());
-  if (!s.ok()) {
-    std::cerr << s.ToString() << "\n";
+  // delete-and-rederive. From CREATE VIEW on, every committed
+  // transaction maintains both.
+  std::unique_ptr<verso::Session> session = (*conn)->OpenSession();
+  verso::Result<verso::ResultSet> ddl = session->Execute(
+      "CREATE VIEW rich AS "
+      "q: derive X.rich -> yes <- X.sal -> S, S > 5000.");
+  if (!ddl.ok()) {
+    std::cerr << ddl.status().ToString() << "\n";
     return 1;
   }
-  s = catalog.RegisterText(
-      "chain",
+  ddl = session->Execute(
+      "CREATE VIEW chain AS "
       "q1: derive X.chain -> Y <- X.boss -> Y."
-      "q2: derive X.chain -> Z <- X.chain -> Y, Y.boss -> Z.",
-      (*db)->current());
-  if (!s.ok()) {
-    std::cerr << s.ToString() << "\n";
+      "q2: derive X.chain -> Z <- X.chain -> Y, Y.boss -> Z.");
+  if (!ddl.ok()) {
+    std::cerr << ddl.status().ToString() << "\n";
     return 1;
   }
 
-  // From here on, every committed transaction maintains both views.
-  catalog.Attach(**db);
-
-  const verso::MaterializedView* chain = catalog.Find("chain");
-  const verso::MaterializedView* rich = catalog.Find("rich");
   std::printf("ann.chain -> eve initially: %s\n",
-              Holds(engine, chain->result(), "ann", "chain", "eve")
-                  ? "yes" : "no");
+              Holds(*session, "chain", "ann", "chain", "eve") ? "yes"
+                                                              : "no");
 
   // Transaction 1: ann is promoted to report directly to eve.
-  verso::Result<verso::Program> promote = verso::ParseProgram(
-      "t: mod[ann].boss -> (bob, eve).", engine);
-  if (!promote.ok() || !(*db)->Execute(*promote).ok()) return 1;
+  verso::Result<verso::ResultSet> t1 =
+      session->Execute("t: mod[ann].boss -> (bob, eve).");
+  if (!t1.ok()) return 1;
 
   // Transaction 2: ann gets a big raise (crosses the `rich` bar).
-  verso::Result<verso::Program> raise = verso::ParseProgram(
-      "t: mod[ann].sal -> (S, S2) <- ann.sal -> S, S2 = S * 4.", engine);
-  if (!raise.ok() || !(*db)->Execute(*raise).ok()) return 1;
+  verso::Result<verso::ResultSet> t2 = session->Execute(
+      "t: mod[ann].sal -> (S, S2) <- ann.sal -> S, S2 = S * 4.");
+  if (!t2.ok()) return 1;
 
   std::printf("ann.chain -> bob after promotion: %s\n",
-              Holds(engine, chain->result(), "ann", "chain", "bob")
-                  ? "yes" : "no");
+              Holds(*session, "chain", "ann", "chain", "bob") ? "yes"
+                                                              : "no");
   std::printf("ann.rich after the raise: %s\n",
-              Holds(engine, rich->result(), "ann", "rich", "yes")
-                  ? "yes" : "no");
+              Holds(*session, "rich", "ann", "rich", "yes") ? "yes" : "no");
 
-  const verso::ViewStats& stats = chain->stats();
+  verso::Result<verso::ViewStats> stats = (*conn)->GetViewStats("chain");
+  if (!stats.ok()) return 1;
   std::printf(
       "chain view: %llu maintenance runs, +%llu/-%llu facts, "
       "%llu overdeleted, %llu rederived\n",
-      static_cast<unsigned long long>(stats.maintenance_runs),
-      static_cast<unsigned long long>(stats.facts_added),
-      static_cast<unsigned long long>(stats.facts_removed),
-      static_cast<unsigned long long>(stats.overdeleted),
-      static_cast<unsigned long long>(stats.rederived));
+      static_cast<unsigned long long>(stats->maintenance_runs),
+      static_cast<unsigned long long>(stats->facts_added),
+      static_cast<unsigned long long>(stats->facts_removed),
+      static_cast<unsigned long long>(stats->overdeleted),
+      static_cast<unsigned long long>(stats->rederived));
   return 0;
 }

@@ -2,9 +2,11 @@
 # Builds the benchmarks in Release mode and records the perf trajectory:
 # bench_tp_operator (single application + iterated fixpoint, naive vs
 # semi-naive), bench_fig2_enterprise (the paper's end-to-end enterprise
-# update), and bench_views (incremental view maintenance vs from-scratch
-# recomputation). JSON results land next to this repo's root so
-# successive PRs can diff them.
+# update), bench_views (incremental view maintenance vs from-scratch
+# recomputation), and bench_api (client-API facade: session open /
+# snapshot pin, snapshot reads under concurrent commits, subscription
+# fan-out). JSON results land next to this repo's root so successive PRs
+# can diff them.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,7 +14,7 @@ BUILD_DIR=${BUILD_DIR:-build-bench}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-      --target bench_tp_operator bench_fig2_enterprise bench_views
+      --target bench_tp_operator bench_fig2_enterprise bench_views bench_api
 
 "$BUILD_DIR"/bench_tp_operator \
     --benchmark_format=json \
@@ -26,5 +28,9 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
     --benchmark_format=json \
     --benchmark_out=BENCH_views.json \
     --benchmark_out_format=json
+"$BUILD_DIR"/bench_api \
+    --benchmark_format=json \
+    --benchmark_out=BENCH_api.json \
+    --benchmark_out_format=json
 
-echo "Wrote BENCH_tp.json, BENCH_fig2.json, and BENCH_views.json"
+echo "Wrote BENCH_tp.json, BENCH_fig2.json, BENCH_views.json, and BENCH_api.json"

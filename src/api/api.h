@@ -1,0 +1,435 @@
+#ifndef VERSO_API_API_H_
+#define VERSO_API_API_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.h"
+#include "query/query.h"
+#include "storage/database.h"
+#include "util/numeric.h"
+#include "views/catalog.h"
+
+/// The verso client API — the one public surface of the library.
+///
+///     Connection  owns the engine, the persistent database, and the view
+///                 catalog; all commits and DDL flow through it.
+///     Session     a per-client handle with SNAPSHOT-ISOLATED reads: the
+///                 session pins an epoch of the committed base and of
+///                 every materialized view, so long-running readers see a
+///                 consistent state while writers keep committing.
+///     Statement   one prepared statement: update-programs, ad-hoc
+///                 derived-method queries, CREATE VIEW / DROP VIEW /
+///                 QUERY text commands — one grammar, parsed once,
+///                 executable many times.
+///     ResultSet   a uniform typed-row cursor over the facts a statement
+///                 produced (committed delta for writes, derived facts
+///                 for queries).
+///
+/// Typical use:
+///
+///     auto conn = *verso::Connection::Open("/data/db");
+///     auto session = conn->OpenSession();
+///     session->Execute("t: ins[ann].sal -> 2000.");
+///     session->Execute("CREATE VIEW rich AS "
+///                      "derive X.rich -> yes <- X.sal -> S, S > 1000.");
+///     auto rs = *session->Execute("QUERY rich");
+///     while (rs.Next()) std::cout << rs.RowToString() << "\n";
+///
+/// Threading: like the layers below, a Connection and all its sessions
+/// belong to one thread (the usual embedded-store contract). Sessions and
+/// statements must not outlive their connection.
+namespace verso {
+
+class Connection;
+class Session;
+class Statement;
+class ResultSet;
+
+/// Options fixed when a connection opens.
+struct ConnectionOptions {
+  /// Evaluation of update-programs (writes).
+  EvalOptions eval;
+  /// Evaluation of ad-hoc derived-method queries (reads).
+  QueryOptions query;
+  /// Observes rule firings, commits, and view maintenance (not owned;
+  /// must outlive the connection).
+  TraceSink* trace = nullptr;
+};
+
+/// One commit's change to one materialized view's result, delivered to
+/// Session::Subscribe callbacks: the base transition plus every derived
+/// fact the maintenance run added or removed, in installation order.
+/// Replaying the `facts` of successive ViewDeltas on top of a pinned copy
+/// of the view result reconstructs the live result exactly — the delta
+/// stream a read replica would consume.
+struct ViewDelta {
+  std::string view;
+  /// The commit epoch this delta belongs to (Database::commit_epoch()).
+  uint64_t epoch = 0;
+  DeltaLog facts;
+};
+
+using ViewCallback = std::function<void(const ViewDelta&)>;
+
+namespace internal {
+
+/// A pinned point-in-time image: the committed base and every healthy
+/// view's result at one epoch. Shared (refcounted) between all sessions
+/// pinned to the same epoch; released when the last session lets go.
+struct Snapshot {
+  explicit Snapshot(ObjectBase b) : base(std::move(b)) {}
+
+  uint64_t epoch = 0;
+  ObjectBase base;
+
+  struct ViewEntry {
+    ObjectBase result;
+    std::vector<MethodId> methods;  // the view's derived methods, sorted
+  };
+  std::map<std::string, ViewEntry, std::less<>> views;
+};
+
+/// Canonical row order: by version, method, application, polarity.
+void SortRows(DeltaLog& rows);
+
+/// All facts of the given methods in `base`, as sorted added-rows.
+DeltaLog CollectFacts(const ObjectBase& base,
+                      const std::vector<MethodId>& methods);
+
+}  // namespace internal
+
+/// Uniform typed-row cursor over the facts a statement produced. Each row
+/// is one ground fact `object.method@args -> result`; rows are sorted
+/// canonically (by version, method, application), so equal states render
+/// identically. For write statements the rows are the committed delta
+/// (`added()` distinguishes insertions from removals); for queries and
+/// QUERY <view> they are the derived facts.
+///
+/// A ResultSet owns its rows — it stays valid after later commits — but
+/// renders names through its connection's symbol tables, so it must not
+/// outlive the connection.
+class ResultSet {
+ public:
+  enum class Kind {
+    kWrite,  // update-program: rows = committed delta
+    kQuery,  // ad-hoc derived query: rows = derived facts
+    kView,   // QUERY <view>: rows = the view's derived facts
+    kDdl,    // CREATE VIEW / DROP VIEW: no rows
+  };
+
+  ResultSet(ResultSet&&) = default;
+  ResultSet& operator=(ResultSet&&) = default;
+
+  Kind kind() const { return kind_; }
+  /// The commit epoch the statement executed at: for writes the epoch the
+  /// commit produced, for reads the session's pinned epoch.
+  uint64_t epoch() const { return epoch_; }
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Advances to the next row; false when the cursor moves past the end.
+  /// A fresh ResultSet starts before the first row.
+  bool Next();
+  /// Moves the cursor back before the first row.
+  void Rewind();
+  /// The current row; Next() must have returned true.
+  const DeltaFact& row() const { return *current_; }
+  /// All rows, in cursor order.
+  const DeltaLog& rows() const { return rows_; }
+
+  // -- typed accessors on the current row ------------------------------
+  /// The version term, rendered: "ann", "mod(ann)", ...
+  std::string object() const;
+  std::string method() const;
+  size_t arg_count() const { return row().app.args.size(); }
+  Oid arg(size_t i) const { return row().app.args[i]; }
+  std::string arg_text(size_t i) const;
+  Oid result() const { return row().app.result; }
+  bool result_is_number() const;
+  /// The result as an exact rational; result_is_number() must hold.
+  const Numeric& result_number() const;
+  std::string result_text() const;
+  /// False only for rows of a write's committed delta that were removals.
+  bool added() const { return row().added; }
+  /// The whole row in surface syntax: "vid.m@a1,..,ak -> r."
+  std::string RowToString() const;
+
+  // -- write-statement introspection (nullptr for other kinds) ---------
+  const EvalStats* eval_stats() const;
+  const Stratification* stratification() const;
+  /// result(P): the full fixpoint with all intermediate versions, for
+  /// hypothetical reasoning over the run's middle stages.
+  const ObjectBase* update_result() const;
+
+  // -- query-statement introspection (nullptr for other kinds) ---------
+  const QueryStats* query_stats() const;
+
+ private:
+  friend class Connection;
+  friend class Statement;
+
+  ResultSet(Kind kind, uint64_t epoch, DeltaLog rows,
+            const SymbolTable* symbols, const VersionTable* versions)
+      : kind_(kind),
+        epoch_(epoch),
+        rows_(std::move(rows)),
+        symbols_(symbols),
+        versions_(versions) {}
+
+  Kind kind_;
+  uint64_t epoch_;
+  DeltaLog rows_;
+  size_t next_ = 0;
+  const DeltaFact* current_ = nullptr;
+  const SymbolTable* symbols_;
+  const VersionTable* versions_;
+  std::shared_ptr<RunOutcome> outcome_;    // kWrite
+  std::shared_ptr<QueryStats> qstats_;     // kQuery
+};
+
+/// One prepared statement, bound to the session that prepared it. The
+/// text is parsed once at Prepare time; Execute() can run it repeatedly
+/// (each run re-reads the session's current snapshot or commits a new
+/// transaction). The unified grammar:
+///
+///     <update-program>                   e.g. "t: mod[E].sal -> (S,S2) <- ..."
+///     [label:] derive <rules>            ad-hoc derived-method query
+///     CREATE VIEW <name> AS <rules>      register a materialized view
+///     DROP VIEW <name>                   drop it
+///     QUERY <name>                       read a view from the snapshot
+///
+/// Keywords are case-insensitive; `%` starts a to-end-of-line comment.
+class Statement {
+ public:
+  enum class Kind { kUpdate, kQuery, kCreateView, kDropView, kQueryView };
+
+  Statement(Statement&&) = default;
+  Statement& operator=(Statement&&) = default;
+
+  Kind kind() const { return kind_; }
+  const std::string& text() const { return text_; }
+  /// The view a kCreateView/kDropView/kQueryView statement names.
+  const std::string& view_name() const { return view_name_; }
+  /// The parsed update-program of a kUpdate statement (pairs with a
+  /// write ResultSet's stratification() for StratificationToString).
+  const Program& program() const { return program_; }
+
+  /// Runs the statement. Reads (kQuery, kQueryView) evaluate against the
+  /// session's pinned snapshot; writes (kUpdate) commit against the
+  /// latest state and re-pin the session; DDL applies to the catalog.
+  Result<ResultSet> Execute();
+
+ private:
+  friend class Session;
+  friend class Connection;
+
+  Statement(Session* session, Kind kind, std::string text)
+      : session_(session), kind_(kind), text_(std::move(text)) {}
+
+  Session* session_;
+  Kind kind_;
+  std::string text_;
+  std::string view_name_;  // view statements
+  Program program_;        // kUpdate
+  QueryProgram query_;     // kQuery, kCreateView
+};
+
+/// A per-client handle. Opening a session pins the current commit epoch:
+/// the committed base and every healthy view's result are retained (via a
+/// refcounted snapshot shared by all sessions at that epoch) and every
+/// read — QUERY <view>, ad-hoc derive queries, base()/ViewSnapshot() —
+/// answers from the pinned state, unaffected by later commits.
+///
+/// Writes are not isolated: an update-program executed through a session
+/// commits against the latest state (first-committer-wins, as in the
+/// layers below), and on success the session re-pins to its own commit,
+/// so a session always reads its own writes. Refresh() re-pins to the
+/// latest committed state on demand.
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// The pinned commit epoch this session reads at.
+  uint64_t epoch() const;
+
+  /// Re-pins to the latest committed state (also picks up view DDL).
+  void Refresh();
+
+  /// Parses `text` into a prepared statement (see Statement for the
+  /// grammar). The statement must not outlive this session.
+  Result<Statement> Prepare(std::string_view text);
+
+  /// Prepare + Execute in one step.
+  Result<ResultSet> Execute(std::string_view text);
+
+  /// Group commit: executes the given kUpdate statements as one
+  /// durability write (one WAL record for the whole batch),
+  /// all-or-nothing on evaluation failure. Re-pins on success.
+  Result<std::vector<ResultSet>> ExecuteBatch(
+      const std::vector<Statement*>& statements);
+
+  /// The pinned committed base.
+  const ObjectBase& base() const;
+
+  /// The pinned result of a registered view (base + derived facts), or
+  /// NotFound if the view did not exist (or was poisoned) at pin time.
+  /// The pointer stays valid until the session re-pins or closes.
+  Result<const ObjectBase*> ViewSnapshot(std::string_view view) const;
+
+  /// Subscribes to a view's per-commit delta stream: from the next commit
+  /// on, `callback` receives one ViewDelta per committed transaction (the
+  /// first brick of read-replica fan-out). Delivery is synchronous within
+  /// the committing call, in subscription order; callbacks must not
+  /// commit or open sessions themselves.
+  ///
+  /// To build a replay seed (the ViewDelta recipe), pin and subscribe at
+  /// the same epoch: call Refresh(), then Subscribe, then copy
+  /// ViewSnapshot(view) — the stream continues exactly where the seed
+  /// stops. A seed pinned at an OLDER epoch than the subscription start
+  /// is missing the commits in between.
+  ///
+  /// Returns a token for Unsubscribe; closing the session cancels its
+  /// subscriptions, and so does dropping the subscribed view (a later
+  /// CREATE VIEW reusing the name is a new view — subscribe again).
+  /// Subscribing to a view that is not registered fails with NotFound.
+  Result<uint64_t> Subscribe(std::string_view view, ViewCallback callback);
+  Status Unsubscribe(uint64_t subscription);
+
+ private:
+  friend class Connection;
+  friend class Statement;
+
+  explicit Session(Connection* conn);
+
+  /// The pinned snapshot. Opening a session pins eagerly (the "pins the
+  /// current epoch" contract); after one of this session's OWN writes the
+  /// slot is cleared and re-pinned lazily at the next read, so a session
+  /// committing in a loop does not re-copy a snapshot per commit.
+  const internal::Snapshot& snap() const;
+
+  Connection* conn_;
+  mutable std::shared_ptr<const internal::Snapshot> snap_;
+};
+
+/// The unified client entry point: owns the engine (symbol/version
+/// universe), the database (durability + commit stream), and the view
+/// catalog (incremental maintenance), wired together. All client work
+/// flows through sessions; see the file comment for the model.
+class Connection : public ViewDeltaSink {
+ public:
+  /// Opens (creating if needed) a persistent connection on `dir`,
+  /// recovering committed state. Views are not persistent yet: re-create
+  /// them after opening (initial evaluation runs once per registration).
+  static Result<std::unique_ptr<Connection>> Open(
+      const std::string& dir, ConnectionOptions options = ConnectionOptions());
+
+  /// An ephemeral connection: same semantics, nothing touches disk.
+  static Result<std::unique_ptr<Connection>> OpenInMemory(
+      ConnectionOptions options = ConnectionOptions());
+
+  ~Connection() override;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Opens a session pinned to the current committed epoch. The session
+  /// must not outlive the connection.
+  std::unique_ptr<Session> OpenSession();
+
+  /// Parses `source` (.vob ground-fact syntax) and commits it as one
+  /// transaction. The usual initial-load path.
+  Status ImportText(std::string_view source);
+  /// Commits `base` (replacing the committed base wholesale) as one
+  /// transaction.
+  Status Import(const ObjectBase& base);
+
+  /// Number of transactions committed since open.
+  uint64_t epoch() const;
+
+  /// Registered view names, sorted.
+  std::vector<std::string> view_names() const;
+  /// Maintenance counters of one view, or NotFound.
+  Result<ViewStats> GetViewStats(std::string_view name) const;
+  /// Ok while the view is live; the first maintenance error after it
+  /// poisoned (drop and re-create to recover); NotFound if unregistered.
+  Status ViewHealth(std::string_view name) const;
+
+  /// Folds the WAL into a fresh snapshot (no-op for in-memory).
+  Status Checkpoint();
+  size_t wal_records_since_checkpoint() const;
+  /// True if recovery at open found a torn/corrupt WAL tail and dropped
+  /// it (the dropped bytes are kept in `wal.log.corrupt` for forensics).
+  bool recovered_from_torn_wal() const;
+
+  /// Symbol/version tables, for rendering results (pretty.h).
+  const SymbolTable& symbols() const { return engine_->symbols(); }
+  const VersionTable& versions() const { return engine_->versions(); }
+
+  /// Wires a trace sink after open — handy because a StreamTrace is built
+  /// over the connection's own tables. Applies to subsequent statement
+  /// executions and view registrations (not owned; nullptr to unwire).
+  void SetTrace(TraceSink* trace);
+
+  /// Internal escape hatches for code not yet migrated to the facade and
+  /// for tests; everything a client needs is on Connection/Session.
+  Engine& engine() { return *engine_; }
+  Database& database() { return *db_; }
+  ViewCatalog& catalog() { return *catalog_; }
+
+ private:
+  friend class Session;
+  friend class Statement;
+
+  explicit Connection(ConnectionOptions options);
+
+  /// Wires catalog + delta sink once db_ is open.
+  void Finish();
+
+  /// ViewDeltaSink: fans a view's per-commit delta out to subscriptions.
+  void OnViewDelta(const MaterializedView& view,
+                   const DeltaLog& view_delta) override;
+
+  /// The shared snapshot of the current epoch, built on first demand
+  /// after each commit (all sessions pinned between two commits share
+  /// one copy).
+  std::shared_ptr<const internal::Snapshot> Pin();
+  void InvalidateSnapshot() { cached_.reset(); }
+
+  Result<ResultSet> ExecuteWrite(Session& session, Program& program);
+  Result<std::vector<ResultSet>> ExecuteWriteBatch(
+      Session& session, const std::vector<Program*>& programs);
+  Result<ResultSet> CreateView(Session& session, const std::string& name,
+                               const QueryProgram& program);
+  Result<ResultSet> DropView(Session& session, const std::string& name);
+
+  uint64_t AddSubscription(std::string view, Session* owner,
+                           ViewCallback callback);
+  Status RemoveSubscription(Session* owner, uint64_t id);
+  void RemoveSessionSubscriptions(Session* owner);
+
+  ConnectionOptions options_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<ViewCatalog> catalog_;
+  std::shared_ptr<const internal::Snapshot> cached_;
+
+  struct SubscriptionRec {
+    uint64_t id;
+    std::string view;
+    Session* owner;
+    ViewCallback callback;
+  };
+  std::vector<SubscriptionRec> subscriptions_;
+  uint64_t next_subscription_ = 1;
+};
+
+}  // namespace verso
+
+#endif  // VERSO_API_API_H_

@@ -1,0 +1,219 @@
+#include <algorithm>
+#include <cctype>
+
+#include "api/api.h"
+#include "parser/parser.h"
+
+namespace verso {
+
+namespace {
+
+/// Keyword scanner for the statement-level grammar. Only the leading
+/// command words are recognized here; rule syntax is handed verbatim to
+/// the update-program / derived-method parsers.
+class TextScanner {
+ public:
+  explicit TextScanner(std::string_view text) : text_(text) {}
+
+  /// Next identifier-like word ([A-Za-z0-9_]+), lowercased; empty when
+  /// the next character is not a word character.
+  std::string Word() {
+    SkipWs();
+    std::string word;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        word.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return word;
+  }
+
+  /// Like Word() but preserving case (view names are case-sensitive).
+  std::string Identifier() {
+    SkipWs();
+    std::string word;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        word.push_back(c);
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return word;
+  }
+
+  char Peek() {
+    SkipWs();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void Consume() { ++pos_; }
+  size_t pos() const { return pos_; }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '%') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool IsIdentifier(const std::string& word) {
+  if (word.empty()) return false;
+  char c = word[0];
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// True iff the text's first clause is a derived-method rule: an optional
+/// `label:` prefix followed by the `derive` keyword.
+bool StartsWithDerive(std::string_view text) {
+  TextScanner scan(text);
+  std::string word = scan.Word();
+  if (scan.Peek() == ':') {
+    scan.Consume();
+    word = scan.Word();
+  }
+  return word == "derive";
+}
+
+}  // namespace
+
+Result<Statement> Session::Prepare(std::string_view text) {
+  SymbolTable& symbols = conn_->engine().symbols();
+  TextScanner scan(text);
+  TextScanner probe(text);
+  std::string first = probe.Word();
+  // A leading `word:` is a rule label, never a command keyword.
+  bool labeled = probe.Peek() == ':';
+
+  if (!labeled && first == "create") {
+    scan.Word();  // "create"
+    if (scan.Word() != "view") {
+      return Status::ParseError("expected VIEW after CREATE");
+    }
+    std::string name = scan.Identifier();
+    if (!IsIdentifier(name)) {
+      return Status::ParseError("CREATE VIEW expects a view name");
+    }
+    if (scan.Word() != "as") {
+      return Status::ParseError("expected AS after CREATE VIEW " + name);
+    }
+    Statement stmt(this, Statement::Kind::kCreateView, std::string(text));
+    stmt.view_name_ = std::move(name);
+    VERSO_ASSIGN_OR_RETURN(
+        stmt.query_, ParseQueryProgram(text.substr(scan.pos()), symbols));
+    return stmt;
+  }
+
+  if (!labeled && first == "drop") {
+    scan.Word();  // "drop"
+    if (scan.Word() != "view") {
+      return Status::ParseError("expected VIEW after DROP");
+    }
+    std::string name = scan.Identifier();
+    if (!IsIdentifier(name)) {
+      return Status::ParseError("DROP VIEW expects a view name");
+    }
+    if (scan.Peek() == '.') scan.Consume();
+    if (!scan.AtEnd()) {
+      return Status::ParseError("unexpected text after DROP VIEW " + name);
+    }
+    Statement stmt(this, Statement::Kind::kDropView, std::string(text));
+    stmt.view_name_ = std::move(name);
+    return stmt;
+  }
+
+  if (!labeled && first == "query") {
+    scan.Word();  // "query"
+    std::string name = scan.Identifier();
+    if (!IsIdentifier(name)) {
+      return Status::ParseError("QUERY expects a view name");
+    }
+    if (scan.Peek() == '.') scan.Consume();
+    if (!scan.AtEnd()) {
+      return Status::ParseError("unexpected text after QUERY " + name);
+    }
+    Statement stmt(this, Statement::Kind::kQueryView, std::string(text));
+    stmt.view_name_ = std::move(name);
+    return stmt;
+  }
+
+  if (StartsWithDerive(text)) {
+    Statement stmt(this, Statement::Kind::kQuery, std::string(text));
+    VERSO_ASSIGN_OR_RETURN(stmt.query_, ParseQueryProgram(text, symbols));
+    return stmt;
+  }
+
+  Statement stmt(this, Statement::Kind::kUpdate, std::string(text));
+  VERSO_ASSIGN_OR_RETURN(stmt.program_, ParseProgram(text, symbols));
+  return stmt;
+}
+
+Result<ResultSet> Statement::Execute() {
+  Connection* conn = session_->conn_;
+  switch (kind_) {
+    case Kind::kUpdate:
+      return conn->ExecuteWrite(*session_, program_);
+
+    case Kind::kQuery: {
+      const internal::Snapshot& snap = session_->snap();
+      auto qstats = std::make_shared<QueryStats>();
+      Result<ObjectBase> full = EvaluateQueries(
+          query_, snap.base, conn->engine().symbols(),
+          conn->engine().versions(), qstats.get(), conn->options_.query);
+      if (!full.ok()) return full.status();
+      std::vector<MethodId> methods = query_.derived_methods;
+      std::sort(methods.begin(), methods.end());
+      ResultSet rs(ResultSet::Kind::kQuery, snap.epoch,
+                   internal::CollectFacts(*full, methods), &conn->symbols(),
+                   &conn->versions());
+      rs.qstats_ = std::move(qstats);
+      return rs;
+    }
+
+    case Kind::kCreateView:
+      return conn->CreateView(*session_, view_name_, query_);
+
+    case Kind::kDropView:
+      return conn->DropView(*session_, view_name_);
+
+    case Kind::kQueryView: {
+      const internal::Snapshot& snap = session_->snap();
+      auto it = snap.views.find(view_name_);
+      if (it == snap.views.end()) {
+        return Status::NotFound(
+            "view '" + view_name_ + "' is not in this session's snapshot "
+            "(not registered, or poisoned, at pin time; Refresh() re-pins)");
+      }
+      return ResultSet(ResultSet::Kind::kView, snap.epoch,
+                       internal::CollectFacts(it->second.result,
+                                              it->second.methods),
+                       &conn->symbols(), &conn->versions());
+    }
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+}  // namespace verso

@@ -43,7 +43,8 @@ Result<RunOutcome> Engine::Run(Program& program, const ObjectBase& input,
                          BuildNewObjectBase(working, symbols_, versions_));
 
   RunOutcome outcome{std::move(working), std::move(fresh),
-                     std::move(stratification), std::move(stats)};
+                     std::move(stratification), std::move(stats),
+                     DeltaLog()};
   return outcome;
 }
 

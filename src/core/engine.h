@@ -24,6 +24,15 @@ struct RunOutcome {
   ObjectBase new_base;
   Stratification stratification;
   EvalStats stats;
+  /// The fact-level delta the transaction committed, removals first then
+  /// additions (ApplyDelta order). Filled by Database::Execute /
+  /// Database::ExecuteBatch after the commit is durable; empty for a bare
+  /// Engine::Run (nothing was committed) and for a no-op transaction.
+  DeltaLog committed_delta;
+  /// The database's commit epoch after this transaction committed (its
+  /// own epoch tag within a batch; a no-op transaction keeps the
+  /// previous epoch). 0 for a bare Engine::Run.
+  uint64_t committed_epoch = 0;
 };
 
 /// Facade tying the pipeline together:
@@ -64,6 +73,10 @@ class Engine {
   /// Runs `program` against `input` (untouched; the engine works on a
   /// copy sealed with exists-facts). Analyze() is applied to the program
   /// if it has not been already (execution orders are recomputed).
+  ///
+  /// NOTE: this is an internal entry point — nothing is committed or made
+  /// durable. Client code should execute programs through the
+  /// `verso::Connection` / `verso::Session` facade (src/api/api.h).
   Result<RunOutcome> Run(Program& program, const ObjectBase& input,
                          const EvalOptions& options = EvalOptions(),
                          TraceSink* trace = nullptr);

@@ -10,6 +10,11 @@ namespace verso {
 
 Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
                                                  Engine& engine) {
+  if (dir.empty()) {
+    return Status::InvalidArgument(
+        "database directory must not be empty (use OpenInMemory for an "
+        "ephemeral database)");
+  }
   VERSO_RETURN_IF_ERROR(EnsureDirectory(dir));
   std::unique_ptr<Database> db(new Database(dir, engine));
   if (FileExists(db->snapshot_path())) {
@@ -19,6 +24,22 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
   }
   VERSO_ASSIGN_OR_RETURN(WalReadResult wal, ReadWal(db->wal_.path()));
   db->recovered_torn_ = wal.truncated_tail;
+  if (wal.truncated_tail) {
+    // Chop the torn tail now: the next Append must extend the valid
+    // prefix, or everything committed after the tear would sit behind
+    // garbage and be lost to every future recovery. The chopped bytes
+    // are preserved in a side file first — a CRC failure MID-log (bit
+    // rot ahead of valid acknowledged records) is indistinguishable
+    // from a torn tail here, and destroying the evidence would make
+    // that data loss unrecoverable even by hand.
+    VERSO_ASSIGN_OR_RETURN(std::string raw, ReadFile(db->wal_.path()));
+    if (raw.size() > wal.valid_bytes) {
+      VERSO_RETURN_IF_ERROR(
+          AppendFile(db->wal_.path() + ".corrupt",
+                     std::string_view(raw).substr(wal.valid_bytes)));
+    }
+    VERSO_RETURN_IF_ERROR(TruncateFile(db->wal_.path(), wal.valid_bytes));
+  }
   for (const WalRecord& record : wal.records) {
     switch (record.kind) {
       case WalRecordKind::kDelta: {
@@ -44,11 +65,23 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
   return db;
 }
 
+Result<std::unique_ptr<Database>> Database::OpenInMemory(Engine& engine) {
+  std::unique_ptr<Database> db(new Database(std::string(), engine));
+  db->ephemeral_ = true;
+  return db;
+}
+
 Database::~Database() {
   for (CommitObserver* observer : observers_) observer->OnDatabaseClosed();
 }
 
 void Database::AddObserver(CommitObserver* observer) {
+  // Idempotent: a doubly-registered observer would see every commit twice
+  // (double view maintenance, double stats).
+  if (std::find(observers_.begin(), observers_.end(), observer) !=
+      observers_.end()) {
+    return;
+  }
   observers_.push_back(observer);
 }
 
@@ -76,16 +109,22 @@ Status Database::NotifyObservers(const DeltaLog& delta) {
   return Status::Ok();
 }
 
-Status Database::CommitDelta(const ObjectBase& next) {
+Status Database::CommitDelta(const ObjectBase& next, DeltaLog* committed) {
   FactDelta delta = ComputeDelta(current_, next);
   if (delta.empty()) return Status::Ok();
-  std::string payload =
-      EncodeDeltaBatch(delta, engine_.symbols(), engine_.versions());
-  // Durability first: the record hits the log before memory moves.
-  VERSO_RETURN_IF_ERROR(wal_.Append(WalRecordKind::kBatch, payload));
+  if (!ephemeral_) {
+    std::string payload =
+        EncodeDeltaBatch(delta, engine_.symbols(), engine_.versions());
+    // Durability first: the record hits the log before memory moves.
+    VERSO_RETURN_IF_ERROR(wal_.Append(WalRecordKind::kBatch, payload));
+    ++wal_records_;
+  }
   ApplyDelta(delta, current_);
-  ++wal_records_;
-  return NotifyObservers(ToDeltaLog(delta));
+  ++commit_epoch_;
+  DeltaLog log = ToDeltaLog(delta);
+  Status notify = NotifyObservers(log);
+  if (committed != nullptr) *committed = std::move(log);
+  return notify;
 }
 
 Status Database::ImportBase(const ObjectBase& base) {
@@ -93,15 +132,19 @@ Status Database::ImportBase(const ObjectBase& base) {
 }
 
 Result<RunOutcome> Database::Execute(Program& program,
-                                     const EvalOptions& options) {
+                                     const EvalOptions& options,
+                                     TraceSink* trace) {
   VERSO_ASSIGN_OR_RETURN(RunOutcome outcome,
-                         engine_.Run(program, current_, options));
-  VERSO_RETURN_IF_ERROR(CommitDelta(outcome.new_base));
+                         engine_.Run(program, current_, options, trace));
+  Status committed = CommitDelta(outcome.new_base, &outcome.committed_delta);
+  outcome.committed_epoch = commit_epoch_;
+  VERSO_RETURN_IF_ERROR(committed);
   return outcome;
 }
 
 Result<std::vector<RunOutcome>> Database::ExecuteBatch(
-    const std::vector<Program*>& programs, const EvalOptions& options) {
+    const std::vector<Program*>& programs, const EvalOptions& options,
+    TraceSink* trace) {
   std::vector<RunOutcome> outcomes;
   std::vector<FactDelta> deltas;
   outcomes.reserve(programs.size());
@@ -114,7 +157,7 @@ Result<std::vector<RunOutcome>> Database::ExecuteBatch(
   const ObjectBase* working = &current_;
   for (Program* program : programs) {
     VERSO_ASSIGN_OR_RETURN(RunOutcome outcome,
-                           engine_.Run(*program, *working, options));
+                           engine_.Run(*program, *working, options, trace));
     deltas.push_back(ComputeDelta(*working, outcome.new_base));
     outcomes.push_back(std::move(outcome));
     working = &outcomes.back().new_base;
@@ -122,24 +165,42 @@ Result<std::vector<RunOutcome>> Database::ExecuteBatch(
 
   bool any_change = false;
   for (const FactDelta& delta : deltas) any_change |= !delta.empty();
-  if (!any_change) return outcomes;
+  if (!any_change) {
+    for (RunOutcome& outcome : outcomes) {
+      outcome.committed_epoch = commit_epoch_;
+    }
+    return outcomes;
+  }
 
   // One WAL record — one durability write — for the whole group. Every
   // delta is installed in memory before observers run: the batch is
   // durable, so an observer error must not leave current() behind the log.
-  std::string payload =
-      EncodeDeltaBatch(deltas, engine_.symbols(), engine_.versions());
-  VERSO_RETURN_IF_ERROR(wal_.Append(WalRecordKind::kBatch, payload));
-  ++wal_records_;
+  if (!ephemeral_) {
+    std::string payload =
+        EncodeDeltaBatch(deltas, engine_.symbols(), engine_.versions());
+    VERSO_RETURN_IF_ERROR(wal_.Append(WalRecordKind::kBatch, payload));
+    ++wal_records_;
+  }
   for (const FactDelta& delta : deltas) {
     ApplyDelta(delta, current_);
   }
   // Deliver every delta even if an observer errors on one of them: all of
   // them are durable and installed, so later deltas must reach the
-  // observers that are still healthy.
+  // observers that are still healthy. The epoch advances once per
+  // transaction of the group, right before that transaction's observers
+  // run; a no-op member neither advances it nor notifies (matching the
+  // single-Execute path, where an empty delta commits nothing).
   Status first_error;
-  for (const FactDelta& delta : deltas) {
-    Status status = NotifyObservers(ToDeltaLog(delta));
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    if (deltas[i].empty()) {
+      outcomes[i].committed_epoch = commit_epoch_;
+      continue;
+    }
+    DeltaLog log = ToDeltaLog(deltas[i]);
+    ++commit_epoch_;
+    Status status = NotifyObservers(log);
+    outcomes[i].committed_delta = std::move(log);
+    outcomes[i].committed_epoch = commit_epoch_;
     if (!status.ok() && first_error.ok()) first_error = status;
   }
   VERSO_RETURN_IF_ERROR(first_error);
@@ -147,6 +208,7 @@ Result<std::vector<RunOutcome>> Database::ExecuteBatch(
 }
 
 Status Database::Checkpoint() {
+  if (ephemeral_) return Status::Ok();  // nothing to fold
   VERSO_RETURN_IF_ERROR(WriteSnapshot(snapshot_path(), current_,
                                       engine_.symbols(), engine_.versions()));
   VERSO_RETURN_IF_ERROR(RemoveFile(wal_.path()));

@@ -47,6 +47,11 @@ class CommitObserver {
 /// *before* installing it in memory, and Checkpoint() folds the WAL into
 /// a fresh snapshot.
 ///
+/// NOTE: this is an internal layer. Client code should use the
+/// `verso::Connection` / `verso::Session` facade (src/api/api.h), which
+/// adds snapshot-isolated reads, prepared statements, named views, and
+/// view subscriptions on top of the raw database.
+///
 /// Commits are batched at the WAL level: every append is one record
 /// carrying the whole delta of one transaction (or, via ExecuteBatch, of a
 /// whole group of transactions — one durability write for the group).
@@ -61,6 +66,11 @@ class Database {
   static Result<std::unique_ptr<Database>> Open(const std::string& dir,
                                                 Engine& engine);
 
+  /// An ephemeral database: the same transactional commit pipeline
+  /// (observers, epochs, batching) with no directory, no WAL, and no
+  /// snapshot. Checkpoint() is a no-op. Used by in-memory connections.
+  static Result<std::unique_ptr<Database>> OpenInMemory(Engine& engine);
+
   ~Database();
 
   /// The committed object base.
@@ -68,10 +78,19 @@ class Database {
 
   Engine& engine() { return engine_; }
 
+  /// Number of transactions committed since this handle was opened — the
+  /// epoch tag snapshot-isolated readers pin. Recovery replay does not
+  /// count; a no-op transaction (empty delta) does not advance the epoch.
+  /// The epoch is incremented after a transaction's delta is durable and
+  /// installed, *before* its observers run, so an observer always reads
+  /// the epoch of the commit it is being notified about.
+  uint64_t commit_epoch() const { return commit_epoch_; }
+
   /// Registers a commit observer (not owned). Observers see only commits
-  /// after registration — recovery replay is not observed. An observer
-  /// still registered when the database is destroyed receives
-  /// OnDatabaseClosed.
+  /// after registration — recovery replay is not observed. Registering an
+  /// already-registered observer is a no-op (it will still be notified
+  /// exactly once per commit). An observer still registered when the
+  /// database is destroyed receives OnDatabaseClosed.
   void AddObserver(CommitObserver* observer);
   void RemoveObserver(CommitObserver* observer);
 
@@ -80,9 +99,13 @@ class Database {
 
   /// Runs an update-program transactionally: evaluate, WAL-append the
   /// delta, install the new base. On failure the committed base is
-  /// untouched.
+  /// untouched — except kObserverFailed, which means the commit IS
+  /// durable and installed but a commit observer errored (do not retry;
+  /// see CommitObserver). On success the outcome's `committed_delta`
+  /// carries the fact-level changes the transaction committed.
   Result<RunOutcome> Execute(Program& program,
-                             const EvalOptions& options = EvalOptions());
+                             const EvalOptions& options = EvalOptions(),
+                             TraceSink* trace = nullptr);
 
   /// Group commit: evaluates each program against the evolving base and
   /// writes the whole batch's deltas as ONE WAL record — one durability
@@ -91,7 +114,8 @@ class Database {
   /// OnCommit per transaction, in order.
   Result<std::vector<RunOutcome>> ExecuteBatch(
       const std::vector<Program*>& programs,
-      const EvalOptions& options = EvalOptions());
+      const EvalOptions& options = EvalOptions(),
+      TraceSink* trace = nullptr);
 
   /// Writes a fresh snapshot and truncates the WAL.
   Status Checkpoint();
@@ -104,11 +128,11 @@ class Database {
       : dir_(std::move(dir)),
         engine_(engine),
         current_(engine.MakeBase()),
-        wal_(dir_ + "/wal.log") {}
+        wal_(dir_.empty() ? std::string() : dir_ + "/wal.log") {}
 
   std::string snapshot_path() const { return dir_ + "/snapshot.vsnp"; }
 
-  Status CommitDelta(const ObjectBase& next);
+  Status CommitDelta(const ObjectBase& next, DeltaLog* committed = nullptr);
   Status NotifyObservers(const DeltaLog& delta);
 
   std::string dir_;
@@ -117,7 +141,9 @@ class Database {
   WalWriter wal_;
   std::vector<CommitObserver*> observers_;
   size_t wal_records_ = 0;
+  uint64_t commit_epoch_ = 0;
   bool recovered_torn_ = false;
+  bool ephemeral_ = false;
 };
 
 }  // namespace verso

@@ -69,6 +69,7 @@ Result<WalReadResult> ReadWal(const std::string& path) {
   if (pos != file.size() && !result.truncated_tail) {
     result.truncated_tail = true;  // trailing garbage shorter than a header
   }
+  result.valid_bytes = pos;
   return result;
 }
 

@@ -54,6 +54,11 @@ struct WalReadResult {
   std::vector<WalRecord> records;
   /// True if a torn/corrupt tail was skipped (informational).
   bool truncated_tail = false;
+  /// Byte length of the valid record prefix. When `truncated_tail` is
+  /// set, recovery truncates the log to this length so later appends
+  /// land after valid data instead of after the garbage tail (which
+  /// would make them unreachable for every future recovery).
+  size_t valid_bytes = 0;
 };
 
 /// Reads all valid records; a missing file yields zero records.

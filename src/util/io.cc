@@ -61,6 +61,13 @@ Status RemoveFile(const std::string& path) {
   return Status::Ok();
 }
 
+Status TruncateFile(const std::string& path, size_t size) {
+  std::error_code ec;
+  fs::resize_file(path, size, ec);
+  if (ec) return Status::IoError("truncate '" + path + "': " + ec.message());
+  return Status::Ok();
+}
+
 Status EnsureDirectory(const std::string& path) {
   std::error_code ec;
   fs::create_directories(path, ec);

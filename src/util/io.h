@@ -29,6 +29,10 @@ bool FileExists(const std::string& path);
 /// Removes the file if it exists; missing files are not an error.
 Status RemoveFile(const std::string& path);
 
+/// Shrinks the file to `size` bytes (recovery chops torn log tails so
+/// later appends land after valid data, not after garbage).
+Status TruncateFile(const std::string& path, size_t size);
+
 /// Creates the directory (and parents) if missing.
 Status EnsureDirectory(const std::string& path);
 

@@ -45,6 +45,11 @@ std::vector<std::string> ViewCatalog::names() const {
 }
 
 void ViewCatalog::Attach(Database& db) {
+  // Re-attaching to the same database must not re-register the observer:
+  // a doubled registration would run maintenance twice per commit,
+  // doubling work and stats (and corrupting counting views, whose deltas
+  // would be applied twice).
+  if (attached_ == &db) return;
   Detach();
   attached_ = &db;
   db.AddObserver(this);
@@ -67,10 +72,17 @@ Status ViewCatalog::OnCommit(const DeltaLog& delta,
   // broken view does not wedge every subsequent commit (its health() and
   // Drop/re-Register are the recovery path).
   Status first_error;
+  DeltaLog view_delta;
   for (auto& [name, view] : views_) {
     if (!view->health().ok()) continue;
-    Status status = view->ApplyBaseDelta(delta);
-    if (!status.ok() && first_error.ok()) first_error = status;
+    view_delta.clear();
+    Status status = view->ApplyBaseDelta(
+        delta, sink_ != nullptr ? &view_delta : nullptr);
+    if (!status.ok()) {
+      if (first_error.ok()) first_error = status;
+      continue;  // a failed run has no coherent delta to publish
+    }
+    if (sink_ != nullptr) sink_->OnViewDelta(*view, view_delta);
   }
   return first_error;
 }

@@ -12,6 +12,19 @@
 
 namespace verso {
 
+/// Observer of per-commit view deltas: after a commit's maintenance run
+/// succeeds for a view, the catalog hands the *result-level* fact changes
+/// of that view (base transition + derived changes, in installation
+/// order) to its registered sink. This is the publication point view
+/// subscriptions (src/api) fan out from. Poisoned views and failed
+/// maintenance runs publish nothing.
+class ViewDeltaSink {
+ public:
+  virtual ~ViewDeltaSink() = default;
+  virtual void OnViewDelta(const MaterializedView& view,
+                           const DeltaLog& view_delta) = 0;
+};
+
 /// Registry of named materialized views, maintained from a Database's
 /// commit delta stream. Register a view once (full evaluation), attach the
 /// catalog to a database, and every committed transaction — Execute,
@@ -51,8 +64,18 @@ class ViewCatalog : public CommitObserver {
 
   /// Subscribes this catalog to `db`'s commit stream (AddObserver). The
   /// catalog must outlive the attachment; the destructor detaches.
+  /// Attaching to the database the catalog is already attached to is a
+  /// no-op — maintenance runs exactly once per commit regardless of how
+  /// often Attach is called.
   void Attach(Database& db);
   void Detach();
+
+  /// Registers the sink per-commit view deltas are published to (not
+  /// owned; nullptr to unregister). At most one sink.
+  void SetDeltaSink(ViewDeltaSink* sink) { sink_ = sink; }
+
+  /// Replaces the trace sink used for views registered from now on.
+  void set_trace(TraceSink* trace) { trace_ = trace; }
 
   /// CommitObserver: routes the committed delta to every registered view.
   Status OnCommit(const DeltaLog& delta, const ObjectBase& committed) override;
@@ -68,6 +91,7 @@ class ViewCatalog : public CommitObserver {
   SymbolTable& symbols_;
   VersionTable& versions_;
   TraceSink* trace_;
+  ViewDeltaSink* sink_ = nullptr;
   Database* attached_ = nullptr;
   std::map<std::string, std::unique_ptr<MaterializedView>, std::less<>>
       views_;

@@ -380,14 +380,22 @@ Status MaterializedView::MaintainDRed(const QueryStratum& stratum,
   return Status::Ok();
 }
 
-Status MaterializedView::ApplyBaseDelta(const DeltaLog& delta) {
+std::vector<MethodId> MaterializedView::DerivedMethods() const {
+  std::vector<MethodId> methods = program_.derived_methods;
+  std::sort(methods.begin(), methods.end());
+  return methods;
+}
+
+Status MaterializedView::ApplyBaseDelta(const DeltaLog& delta,
+                                        DeltaLog* view_delta) {
   if (!health_.ok()) return health_;
-  Status status = MaintainAll(delta);
+  Status status = MaintainAll(delta, view_delta);
   if (!status.ok()) health_ = status;
   return status;
 }
 
-Status MaterializedView::MaintainAll(const DeltaLog& delta) {
+Status MaterializedView::MaintainAll(const DeltaLog& delta,
+                                     DeltaLog* view_delta) {
   ++stats_.maintenance_runs;
   stats_.delta_facts_seen += delta.size();
   uint64_t added_before = stats_.facts_added;
@@ -434,6 +442,9 @@ Status MaterializedView::MaintainAll(const DeltaLog& delta) {
                               stats_.overdeleted - overdeleted_before,
                               stats_.rederived - rederived_before);
   }
+  // `stream` now holds the commit's base transition plus every stratum's
+  // emitted derived-fact changes — exactly the transition result() took.
+  if (view_delta != nullptr) *view_delta = std::move(stream);
   return Status::Ok();
 }
 

@@ -90,13 +90,23 @@ class MaterializedView {
     return derived_methods_.count(method.value) != 0;
   }
 
+  /// The methods defined by this view's rule heads, sorted.
+  std::vector<MethodId> DerivedMethods() const;
+
   /// Absorbs one committed transaction's fact-level delta. The delta must
   /// describe the transition from the base state the view currently
   /// reflects; facts of derived methods are rejected (a base transaction
   /// must not write view methods). A failure poisons the view: the error
   /// is remembered, every further delta is refused with it, and result()
   /// is stale from that commit on — drop and re-register to recover.
-  Status ApplyBaseDelta(const DeltaLog& delta);
+  ///
+  /// When `view_delta` is given, the *result-level* fact changes of this
+  /// maintenance run — the base transition plus every derived fact the
+  /// strata added or removed, in installation order — are written to it.
+  /// Replaying these deltas commit by commit on top of a copy of result()
+  /// taken before the commits reconstructs result() exactly; this is the
+  /// stream view subscriptions deliver.
+  Status ApplyBaseDelta(const DeltaLog& delta, DeltaLog* view_delta = nullptr);
 
   /// Ok while the view is live; the first maintenance error otherwise.
   const Status& health() const { return health_; }
@@ -120,7 +130,7 @@ class MaterializedView {
         working_(base) {}
 
   Status Materialize();
-  Status MaintainAll(const DeltaLog& delta);
+  Status MaintainAll(const DeltaLog& delta, DeltaLog* view_delta);
 
   /// Stratum maintenance. `input` is the commit delta plus every lower
   /// stratum's emitted delta; each appends its own fact changes to `out`.

@@ -413,6 +413,112 @@ TEST_F(StorageFixture, RecoveryReplaysLegacyAndBatchedRecords) {
   }
 }
 
+TEST_F(StorageFixture, TornTailInsideBatchedFrameDropsWholeGroup) {
+  std::string dbdir = dir_ + "/db_torn_batch";
+  {
+    Engine engine;
+    Result<std::unique_ptr<Database>> db = Database::Open(dbdir, engine);
+    ASSERT_TRUE(db.ok());
+    // Record 1: a plain import. Record 2: a three-transaction group
+    // commit — ONE kind-tagged batched frame.
+    ASSERT_TRUE((*db)->ImportBase(Base("a.m -> 1.", engine)).ok());
+    Result<Program> p1 = ParseProgram("t: ins[b].m -> 2.", engine);
+    Result<Program> p2 = ParseProgram("t: ins[c].m -> 3.", engine);
+    Result<Program> p3 = ParseProgram("t: ins[d].m -> 4.", engine);
+    ASSERT_TRUE(p1.ok() && p2.ok() && p3.ok());
+    std::vector<Program*> batch = {&*p1, &*p2, &*p3};
+    ASSERT_TRUE((*db)->ExecuteBatch(batch).ok());
+    EXPECT_EQ((*db)->wal_records_since_checkpoint(), 2u);
+  }
+  // Tear the tail INSIDE the batched frame: the payload of the second
+  // record loses its final bytes, as if the writer crashed mid-append.
+  std::string bytes = *ReadFile(dbdir + "/wal.log");
+  bytes.resize(bytes.size() - 5);
+  ASSERT_TRUE(WriteFile(dbdir + "/wal.log", bytes).ok());
+  {
+    Engine engine;
+    Result<std::unique_ptr<Database>> db = Database::Open(dbdir, engine);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_TRUE((*db)->recovered_from_torn_wal());
+    // The dropped bytes are preserved for forensics, not destroyed.
+    EXPECT_TRUE(FileExists(dbdir + "/wal.log.corrupt"));
+    // The frame is the durability unit: NONE of the group's three
+    // transactions survives — not even the ones whose bytes were intact —
+    // while the earlier record is fully recovered.
+    Vid a = engine.versions().OfOid(engine.symbols().Symbol("a"));
+    GroundApp one;
+    one.result = engine.symbols().Int(1);
+    EXPECT_TRUE(
+        (*db)->current().Contains(a, engine.symbols().Method("m"), one));
+    for (const char* obj : {"b", "c", "d"}) {
+      Vid vid = engine.versions().OfOid(engine.symbols().Symbol(obj));
+      EXPECT_EQ((*db)->current().StateOf(vid), nullptr) << obj;
+    }
+    // The torn tail is gone for good: later commits append after it.
+    Result<Program> p = ParseProgram("t: ins[e].m -> 5.", engine);
+    ASSERT_TRUE(p.ok());
+    ASSERT_TRUE((*db)->Execute(*p).ok());
+  }
+  {
+    Engine engine;
+    Result<std::unique_ptr<Database>> db = Database::Open(dbdir, engine);
+    ASSERT_TRUE(db.ok());
+    Vid e = engine.versions().OfOid(engine.symbols().Symbol("e"));
+    EXPECT_NE((*db)->current().StateOf(e), nullptr);
+  }
+}
+
+TEST_F(StorageFixture, InMemoryDatabaseCommitsWithoutTouchingDisk) {
+  Engine engine;
+  Result<std::unique_ptr<Database>> db = Database::OpenInMemory(engine);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ImportBase(Base("a.sal -> 100.", engine)).ok());
+  Result<Program> p = ParseProgram(
+      "t: mod[a].sal -> (S, S2) <- a.sal -> S, S2 = S * 2.", engine);
+  ASSERT_TRUE(p.ok());
+  Result<RunOutcome> out = (*db)->Execute(*p);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*db)->commit_epoch(), 2u);
+  EXPECT_EQ((*db)->wal_records_since_checkpoint(), 0u);
+  EXPECT_TRUE((*db)->Checkpoint().ok());  // no-op, not an error
+  // The committed delta is exposed on the outcome: the old salary fact
+  // removed, the doubled one added (plus the sealed exists fact).
+  MethodId sal = engine.symbols().Method("sal");
+  bool removed_100 = false, added_200 = false;
+  for (const DeltaFact& fact : out->committed_delta) {
+    if (fact.method != sal) continue;
+    if (!fact.added && fact.app.result == engine.symbols().Int(100)) {
+      removed_100 = true;
+    }
+    if (fact.added && fact.app.result == engine.symbols().Int(200)) {
+      added_200 = true;
+    }
+  }
+  EXPECT_TRUE(removed_100);
+  EXPECT_TRUE(added_200);
+  EXPECT_FALSE(Database::Open("", engine).ok());  // empty dir is rejected
+}
+
+TEST_F(StorageFixture, AddObserverIsIdempotent) {
+  class CountingObserver : public CommitObserver {
+   public:
+    Status OnCommit(const DeltaLog&, const ObjectBase&) override {
+      ++commits;
+      return Status::Ok();
+    }
+    int commits = 0;
+  };
+  Engine engine;
+  Result<std::unique_ptr<Database>> db = Database::OpenInMemory(engine);
+  ASSERT_TRUE(db.ok());
+  CountingObserver observer;
+  (*db)->AddObserver(&observer);
+  (*db)->AddObserver(&observer);  // no-op, not a second registration
+  ASSERT_TRUE((*db)->ImportBase(Base("a.m -> 1.", engine)).ok());
+  EXPECT_EQ(observer.commits, 1);
+  (*db)->RemoveObserver(&observer);
+}
+
 TEST_F(StorageFixture, DeltaBatchRoundTrip) {
   Engine engine;
   ObjectBase empty = engine.MakeBase();

@@ -404,6 +404,123 @@ TEST_F(ViewsTest, CatalogSurvivesDatabaseDestruction) {
   EXPECT_NE(catalog.Find("rich"), nullptr);
 }
 
+TEST_F(ViewsTest, DoubleAttachMaintainsOnce) {
+  std::unique_ptr<Database> db = OpenDb();
+  ASSERT_TRUE(db->ImportBase(Base("a.sal -> 100.")).ok());
+  ViewCatalog catalog(engine_);
+  ASSERT_TRUE(catalog.RegisterText("rich", kRichRules, db->current()).ok());
+  // Attaching twice (or thrice) must not double-register the observer:
+  // doubled maintenance would double stats and corrupt support counts.
+  catalog.Attach(*db);
+  catalog.Attach(*db);
+  catalog.Attach(*db);
+  Exec(*db, "t: mod[a].sal -> (S, 5000) <- a.sal -> S.");
+  const MaterializedView* view = catalog.Find("rich");
+  EXPECT_EQ(view->stats().maintenance_runs, 1u);
+  EXPECT_EQ(view->stats().facts_added, 1u);
+  EXPECT_TRUE(Holds(view->result(), "a", "rich", "yes"));
+  ExpectFresh(*view, db->current(), kRichRules);
+  // And one Detach fully severs the (single) registration.
+  catalog.Detach();
+  Exec(*db, "t: mod[a].sal -> (S, 100) <- a.sal -> S.");
+  EXPECT_EQ(view->stats().maintenance_runs, 1u);
+}
+
+TEST_F(ViewsTest, OnDatabaseClosedOrderingWhenCatalogOutlivesDatabase) {
+  // A second observer registered AFTER the catalog, to pin down the
+  // notification order among observers at destruction time.
+  class ClosedRecorder : public CommitObserver {
+   public:
+    explicit ClosedRecorder(std::vector<std::string>* log, std::string name)
+        : log_(log), name_(std::move(name)) {}
+    Status OnCommit(const DeltaLog&, const ObjectBase&) override {
+      return Status::Ok();
+    }
+    void OnDatabaseClosed() override { log_->push_back(name_); }
+
+   private:
+    std::vector<std::string>* log_;
+    std::string name_;
+  };
+
+  std::vector<std::string> closed;
+  ViewCatalog catalog(engine_);
+  ClosedRecorder recorder(&closed, "recorder");
+  {
+    std::unique_ptr<Database> db = OpenDb();
+    ASSERT_TRUE(db->ImportBase(Base("a.sal -> 100.")).ok());
+    ASSERT_TRUE(catalog.RegisterText("rich", kRichRules, db->current()).ok());
+    catalog.Attach(*db);
+    db->AddObserver(&recorder);
+    closed.push_back("alive");
+  }
+  // ~Database notified observers in registration order (catalog first),
+  // strictly after the last commit.
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0], "alive");
+  EXPECT_EQ(closed[1], "recorder");
+
+  // The catalog forgot the dead database: Detach is a no-op, and it can
+  // re-attach to a successor database and resume maintenance exactly
+  // where the view state left off.
+  catalog.Detach();
+  std::filesystem::remove_all(dir_);
+  std::unique_ptr<Database> next = OpenDb();
+  ASSERT_TRUE(next->ImportBase(Base("a.sal -> 100.")).ok());
+  catalog.Attach(*next);
+  Exec(*next, "t: mod[a].sal -> (S, 9000) <- a.sal -> S.");
+  const MaterializedView* view = catalog.Find("rich");
+  EXPECT_EQ(view->stats().maintenance_runs, 1u);
+  EXPECT_TRUE(Holds(view->result(), "a", "rich", "yes"));
+}
+
+TEST_F(ViewsTest, DeltaSinkPublishesResultLevelDeltas) {
+  class Recorder : public ViewDeltaSink {
+   public:
+    void OnViewDelta(const MaterializedView& view,
+                     const DeltaLog& delta) override {
+      names.push_back(view.name());
+      deltas.push_back(delta);
+    }
+    std::vector<std::string> names;
+    std::vector<DeltaLog> deltas;
+  };
+
+  std::unique_ptr<Database> db = OpenDb();
+  ASSERT_TRUE(db->ImportBase(Base("a.sal -> 100.")).ok());
+  ViewCatalog catalog(engine_);
+  ASSERT_TRUE(catalog.RegisterText("rich", kRichRules, db->current()).ok());
+  catalog.Attach(*db);
+  Recorder recorder;
+  catalog.SetDeltaSink(&recorder);
+
+  // Replaying the published delta on a copy of the pre-commit result
+  // must land exactly on the post-commit result.
+  ObjectBase replay = catalog.Find("rich")->result();
+  Exec(*db, "t: mod[a].sal -> (S, 5000) <- a.sal -> S.");
+  ASSERT_EQ(recorder.names, std::vector<std::string>{"rich"});
+  ASSERT_EQ(recorder.deltas.size(), 1u);
+  // The delta is result-level: the base transition AND the derived gain.
+  bool rich_gained = false;
+  for (const DeltaFact& fact : recorder.deltas[0]) {
+    if (fact.method == engine_.symbols().Method("rich") && fact.added) {
+      rich_gained = true;
+    }
+  }
+  EXPECT_TRUE(rich_gained);
+  for (const DeltaFact& fact : recorder.deltas[0]) {
+    bool changed = fact.added ? replay.Insert(fact.vid, fact.method, fact.app)
+                              : replay.Erase(fact.vid, fact.method, fact.app);
+    ASSERT_TRUE(changed);
+  }
+  EXPECT_TRUE(replay == catalog.Find("rich")->result());
+
+  // Unregistering the sink stops publication.
+  catalog.SetDeltaSink(nullptr);
+  Exec(*db, "t: mod[a].sal -> (S, 100) <- a.sal -> S.");
+  EXPECT_EQ(recorder.deltas.size(), 1u);
+}
+
 TEST_F(ViewsTest, CatalogRegisterDropAndDuplicate) {
   ObjectBase base = Base("a.sal -> 5000.");
   ViewCatalog catalog(engine_);
