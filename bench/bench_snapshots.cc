@@ -1,0 +1,224 @@
+// Copy-on-write structural sharing (src/core/object_base.h): what a
+// snapshot costs now that per-version state is a refcounted handle.
+//
+//   * Pin under ongoing commits: each commit invalidates the shared
+//     snapshot, so the next session open rebuilds it — with COW that is
+//     O(#versions) pointer bumps over the base and every view result;
+//     the deep-copy baseline rebuilds all of them fact by fact (what
+//     Connection::Pin effectively cost before sharing).
+//   * T_P step-2 materialization: preparing an inactive target's state
+//     copies v* — with COW, a method-list of pointer bumps plus a clone
+//     of only the methods the updates write; the baseline clones every
+//     application vector up front.
+//
+// The acceptance bar for the sharing PR: both COW paths >= 5x cheaper
+// than their deep-copy baselines at 4096-object bases.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/api.h"
+
+namespace verso::bench {
+namespace {
+
+/// N objects, each carrying 14 facts over 4 methods (argument-bearing
+/// applications included, so a deep copy pays real allocation work).
+void FillBase(Engine& engine, ObjectBase& base, size_t objects) {
+  for (size_t i = 0; i < objects; ++i) {
+    std::string name = "o" + std::to_string(i);
+    engine.AddFact(base, name, "isa", "thing");
+    engine.AddFact(base, name, "sal",
+                   static_cast<int64_t>(1000 + (i % 977)));
+    for (int64_t k = 0; k < 8; ++k) {
+      engine.AddFact(base, name, "tag", {engine.symbols().Int(k)},
+                     engine.symbols().Int(static_cast<int64_t>(i) + k));
+    }
+    for (int64_t k = 0; k < 4; ++k) {
+      engine.AddFact(base, name, "ref",
+                     engine.symbols().Symbol("o" + std::to_string(
+                                                 (i + 17 * (k + 1)) % objects)));
+    }
+  }
+}
+
+constexpr const char* kRichView =
+    "CREATE VIEW rich AS q: derive X.rich -> yes <- X.sal -> S, S > 1500.";
+constexpr const char* kBumpTxn =
+    "t: mod[o0].sal -> (S, S2) <- o0.sal -> S, S2 = S + 1.";
+
+std::unique_ptr<Connection> SizedConnection(size_t objects) {
+  Result<std::unique_ptr<Connection>> conn = Connection::OpenInMemory();
+  if (!conn.ok()) return nullptr;
+  ObjectBase base = (*conn)->engine().MakeBase();
+  FillBase((*conn)->engine(), base, objects);
+  if (!(*conn)->Import(base).ok()) return nullptr;
+  std::unique_ptr<Session> session = (*conn)->OpenSession();
+  if (!session->Execute(kRichView).ok()) return nullptr;
+  return std::move(conn).value();
+}
+
+/// The pre-COW cost of one ObjectBase copy: every fact re-inserted.
+ObjectBase DeepClone(const ObjectBase& base) {
+  ObjectBase out(base.exists_method(), base.version_table());
+  for (const auto& [vid, state] : base.versions()) {
+    for (const auto& [method, apps] : state->methods()) {
+      for (const GroundApp& app : apps) {
+        out.Insert(vid, method, app);
+      }
+    }
+  }
+  return out;
+}
+
+/// The pre-COW cost of one T_P step-2 state copy.
+VersionState DeepCloneState(const VersionState& state) {
+  VersionState out;
+  for (const auto& [method, apps] : state.methods()) {
+    for (const GroundApp& app : apps) {
+      out.Insert(method, app);
+    }
+  }
+  return out;
+}
+
+/// Pin under ongoing commits, COW: every iteration commits (invalidating
+/// the shared snapshot) outside the timed region, then times the session
+/// open that rebuilds it — base + view result, shared structurally.
+void BM_SnapPinUnderCommits(benchmark::State& state) {
+  std::unique_ptr<Connection> conn = SizedConnection(state.range(0));
+  if (conn == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  std::unique_ptr<Session> writer = conn->OpenSession();
+  Result<Statement> bump = writer->Prepare(kBumpTxn);
+  if (!bump.ok()) {
+    state.SkipWithError(bump.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (!bump->Execute().ok()) {
+      state.SkipWithError("commit failed");
+      return;
+    }
+    state.ResumeTiming();
+    std::unique_ptr<Session> session = conn->OpenSession();
+    benchmark::DoNotOptimize(session->epoch());
+  }
+  state.counters["base_facts"] = static_cast<double>(
+      conn->database().current().fact_count());
+}
+BENCHMARK(BM_SnapPinUnderCommits)->Arg(256)->Arg(1024)->Arg(4096);
+
+/// The deep-copy baseline for the same pin: clone the committed base and
+/// the view result fact by fact, as the pre-sharing snapshot did.
+void BM_SnapPinDeepCopyBaseline(benchmark::State& state) {
+  std::unique_ptr<Connection> conn = SizedConnection(state.range(0));
+  if (conn == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  std::unique_ptr<Session> writer = conn->OpenSession();
+  Result<Statement> bump = writer->Prepare(kBumpTxn);
+  if (!bump.ok()) {
+    state.SkipWithError(bump.status().ToString().c_str());
+    return;
+  }
+  const MaterializedView* rich = conn->catalog().Find("rich");
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (!bump->Execute().ok()) {
+      state.SkipWithError("commit failed");
+      return;
+    }
+    state.ResumeTiming();
+    ObjectBase base_copy = DeepClone(conn->database().current());
+    ObjectBase view_copy = DeepClone(rich->result());
+    benchmark::DoNotOptimize(base_copy.fact_count());
+    benchmark::DoNotOptimize(view_copy.fact_count());
+  }
+}
+BENCHMARK(BM_SnapPinDeepCopyBaseline)->Arg(256)->Arg(1024)->Arg(4096);
+
+/// T_P step 2+3 per target, COW: copy each version's state (pointer
+/// bumps) and apply one insert (detaches just the written method).
+void BM_SnapTpStep2Cow(benchmark::State& state) {
+  Engine engine;
+  ObjectBase base = engine.MakeBase();
+  FillBase(engine, base, state.range(0));
+  base.SealExistence();
+  MethodId touched = engine.symbols().Method("touched");
+  GroundApp yes;
+  yes.result = engine.symbols().Symbol("yes");
+  size_t facts = 0;
+  for (auto _ : state) {
+    for (const auto& [vid, vstate] : base.versions()) {
+      VersionState copy = *vstate;  // step 2: materialize from v*
+      copy.Insert(touched, yes);    // step 3: apply the derived update
+      facts += copy.fact_count();
+      benchmark::DoNotOptimize(facts);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(base.version_count()));
+}
+BENCHMARK(BM_SnapTpStep2Cow)->Arg(256)->Arg(1024)->Arg(4096);
+
+/// The deep-copy baseline for step 2: clone every application vector of
+/// v*'s state before applying the update (the pre-sharing behavior).
+void BM_SnapTpStep2DeepCopyBaseline(benchmark::State& state) {
+  Engine engine;
+  ObjectBase base = engine.MakeBase();
+  FillBase(engine, base, state.range(0));
+  base.SealExistence();
+  MethodId touched = engine.symbols().Method("touched");
+  GroundApp yes;
+  yes.result = engine.symbols().Symbol("yes");
+  size_t facts = 0;
+  for (auto _ : state) {
+    for (const auto& [vid, vstate] : base.versions()) {
+      VersionState copy = DeepCloneState(*vstate);
+      copy.Insert(touched, yes);
+      facts += copy.fact_count();
+      benchmark::DoNotOptimize(facts);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(base.version_count()));
+}
+BENCHMARK(BM_SnapTpStep2DeepCopyBaseline)->Arg(256)->Arg(1024)->Arg(4096);
+
+/// End-to-end sanity: one single-object update committed against an
+/// N-object base. With sharing, the evaluator's working copy, the
+/// rebuilt ob', and ComputeDelta are all O(changed), so this should
+/// grow far slower than the base.
+void BM_SnapCommitTouchingOneObject(benchmark::State& state) {
+  std::unique_ptr<Connection> conn = SizedConnection(state.range(0));
+  if (conn == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  std::unique_ptr<Session> writer = conn->OpenSession();
+  Result<Statement> bump = writer->Prepare(kBumpTxn);
+  if (!bump.ok()) {
+    state.SkipWithError(bump.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    if (!bump->Execute().ok()) {
+      state.SkipWithError("commit failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_SnapCommitTouchingOneObject)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+}  // namespace verso::bench
+
+BENCHMARK_MAIN();

@@ -3,10 +3,12 @@
 # bench_tp_operator (single application + iterated fixpoint, naive vs
 # semi-naive), bench_fig2_enterprise (the paper's end-to-end enterprise
 # update), bench_views (incremental view maintenance vs from-scratch
-# recomputation), and bench_api (client-API facade: session open /
-# snapshot pin, snapshot reads under concurrent commits, subscription
-# fan-out). JSON results land next to this repo's root so successive PRs
-# can diff them.
+# recomputation), bench_api (client-API facade: session open / snapshot
+# pin, snapshot reads under concurrent commits, subscription fan-out),
+# and bench_snapshots (copy-on-write structural sharing: pin cost under
+# ongoing commits and T_P step-2 materialization, each against its
+# deep-copy baseline). JSON results land next to this repo's root so
+# successive PRs can diff them.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,7 +16,8 @@ BUILD_DIR=${BUILD_DIR:-build-bench}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-      --target bench_tp_operator bench_fig2_enterprise bench_views bench_api
+      --target bench_tp_operator bench_fig2_enterprise bench_views \
+               bench_api bench_snapshots
 
 "$BUILD_DIR"/bench_tp_operator \
     --benchmark_format=json \
@@ -32,5 +35,10 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
     --benchmark_format=json \
     --benchmark_out=BENCH_api.json \
     --benchmark_out_format=json
+"$BUILD_DIR"/bench_snapshots \
+    --benchmark_format=json \
+    --benchmark_out=BENCH_snapshots.json \
+    --benchmark_out_format=json
 
-echo "Wrote BENCH_tp.json, BENCH_fig2.json, BENCH_views.json, and BENCH_api.json"
+echo "Wrote BENCH_tp.json, BENCH_fig2.json, BENCH_views.json," \
+     "BENCH_api.json, and BENCH_snapshots.json"

@@ -81,10 +81,18 @@ namespace internal {
 /// A pinned point-in-time image: the committed base and every healthy
 /// view's result at one epoch. Shared (refcounted) between all sessions
 /// pinned to the same epoch; released when the last session lets go.
+/// Pinning is cheap: the base and every view result are copy-on-write
+/// images (ObjectBase structural sharing), so a snapshot shares all
+/// unchanged per-version state with the committed base — and with the
+/// previous epoch's snapshot — instead of deep-copying every fact.
 struct Snapshot {
   explicit Snapshot(ObjectBase b) : base(std::move(b)) {}
 
   uint64_t epoch = 0;
+  /// View-DDL generation of the catalog at pin time: CREATE/DROP VIEW do
+  /// not advance the commit epoch, so the cached snapshot must also be
+  /// keyed on this to never serve a dropped view or miss a fresh one.
+  uint64_t ddl_generation = 0;
   ObjectBase base;
 
   struct ViewEntry {
@@ -367,6 +375,9 @@ class Connection : public ViewDeltaSink {
   /// True if recovery at open found a torn/corrupt WAL tail and dropped
   /// it (the dropped bytes are kept in `wal.log.corrupt` for forensics).
   bool recovered_from_torn_wal() const;
+  /// Ok unless the forensic copy of a dropped WAL tail is incomplete
+  /// (side-file write failure or growth cap); recovery itself succeeded.
+  const Status& corrupt_tail_preservation() const;
 
   /// Symbol/version tables, for rendering results (pretty.h).
   const SymbolTable& symbols() const { return engine_->symbols(); }
@@ -393,8 +404,10 @@ class Connection : public ViewDeltaSink {
   void Finish();
 
   /// ViewDeltaSink: fans a view's per-commit delta out to subscriptions.
-  void OnViewDelta(const MaterializedView& view,
-                   const DeltaLog& view_delta) override;
+  /// `epoch` is the triggering transaction's own commit epoch (within an
+  /// ExecuteBatch group, the member's epoch — not the batch's last).
+  void OnViewDelta(const MaterializedView& view, const DeltaLog& view_delta,
+                   uint64_t epoch) override;
 
   /// The shared snapshot of the current epoch, built on first demand
   /// after each commit (all sessions pinned between two commits share

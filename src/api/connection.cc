@@ -91,11 +91,25 @@ bool Connection::recovered_from_torn_wal() const {
   return db_->recovered_from_torn_wal();
 }
 
+const Status& Connection::corrupt_tail_preservation() const {
+  return db_->corrupt_tail_preservation();
+}
+
 std::shared_ptr<const internal::Snapshot> Connection::Pin() {
   uint64_t now = db_->commit_epoch();
-  if (cached_ != nullptr && cached_->epoch == now) return cached_;
+  uint64_t ddl = catalog_->ddl_generation();
+  // The cached snapshot is only current if BOTH the commit epoch and the
+  // view-DDL generation match: CREATE VIEW / DROP VIEW between commits
+  // change the view set without advancing the epoch, and a snapshot
+  // keyed on the epoch alone could serve a dropped view (or hide a new
+  // one) even if some DDL path forgot to call InvalidateSnapshot.
+  if (cached_ != nullptr && cached_->epoch == now &&
+      cached_->ddl_generation == ddl) {
+    return cached_;
+  }
   auto snap = std::make_shared<internal::Snapshot>(db_->current());
   snap->epoch = now;
+  snap->ddl_generation = ddl;
   for (const std::string& name : catalog_->names()) {
     const MaterializedView* view = catalog_->Find(name);
     if (!view->health().ok()) continue;  // poisoned: stale, do not serve
@@ -108,7 +122,7 @@ std::shared_ptr<const internal::Snapshot> Connection::Pin() {
 }
 
 void Connection::OnViewDelta(const MaterializedView& view,
-                             const DeltaLog& view_delta) {
+                             const DeltaLog& view_delta, uint64_t epoch) {
   // Walk a snapshot of ids and re-resolve each: a callback may
   // unsubscribe (itself or others) without invalidating this delivery.
   std::vector<uint64_t> ids;
@@ -118,7 +132,11 @@ void Connection::OnViewDelta(const MaterializedView& view,
   if (ids.empty()) return;  // nobody listening: skip the delta copy
   ViewDelta event;
   event.view = view.name();
-  event.epoch = db_->commit_epoch();
+  // The triggering member's own epoch, threaded from the commit: reading
+  // db_->commit_epoch() at delivery time would mislabel a member's delta
+  // with a later member's epoch if delivery ever happened after further
+  // epoch bumps (and replay consumers key their streams on this tag).
+  event.epoch = epoch;
   event.facts = view_delta;
   for (uint64_t id : ids) {
     ViewCallback callback;  // copied out: the callback may mutate the list

@@ -34,18 +34,19 @@ Result<ObjectBase> BuildNewObjectBase(const ObjectBase& result,
             versions.ToString(final_version, symbols));
       }
     }
-    const VersionState* state = result.StateOf(final_version);
+    std::shared_ptr<const VersionState> state =
+        result.SharedStateOf(final_version);
     if (state == nullptr || state->OnlyExists(result.exists_method())) {
       // All information about the object was deleted: it does not appear
       // in the new object base.
       continue;
     }
+    // The facts of a state never mention its VID (the VID is the map
+    // key), so the final version's state can be rebound onto the plain
+    // OID by sharing the refcounted handle — no fact is copied; ob' and
+    // result(P) share storage until one of them is written.
     Vid plain = versions.OfOid(root);
-    for (const auto& [method, apps] : state->methods()) {
-      for (const GroundApp& app : apps) {
-        fresh.Insert(plain, method, app);
-      }
-    }
+    fresh.AdoptVersion(plain, std::move(state));
   }
   return fresh;
 }

@@ -21,12 +21,16 @@ VersionState::MethodList::const_iterator VersionState::LowerBound(
 bool VersionState::Insert(MethodId method, GroundApp app) {
   auto mit = LowerBound(method);
   if (mit == methods_.end() || mit->first != method) {
-    mit = methods_.emplace(mit, method, std::vector<GroundApp>());
+    mit = methods_.emplace(mit, method, SharedApps());
   }
-  std::vector<GroundApp>& apps = mit->second;
-  auto it = std::lower_bound(apps.begin(), apps.end(), app);
-  if (it != apps.end() && *it == app) return false;
-  apps.insert(it, std::move(app));
+  // Membership check on the const view first: a duplicate insert must not
+  // detach shared storage.
+  const std::vector<GroundApp>& current = mit->second.get();
+  auto it = std::lower_bound(current.begin(), current.end(), app);
+  if (it != current.end() && *it == app) return false;
+  const size_t pos = static_cast<size_t>(it - current.begin());
+  std::vector<GroundApp>& apps = mit->second.Mutable();
+  apps.insert(apps.begin() + pos, std::move(app));
   ++fact_count_;
   return true;
 }
@@ -34,10 +38,12 @@ bool VersionState::Insert(MethodId method, GroundApp app) {
 bool VersionState::Erase(MethodId method, const GroundApp& app) {
   auto mit = LowerBound(method);
   if (mit == methods_.end() || mit->first != method) return false;
-  std::vector<GroundApp>& apps = mit->second;
-  auto it = std::lower_bound(apps.begin(), apps.end(), app);
-  if (it == apps.end() || !(*it == app)) return false;
-  apps.erase(it);
+  const std::vector<GroundApp>& current = mit->second.get();
+  auto it = std::lower_bound(current.begin(), current.end(), app);
+  if (it == current.end() || !(*it == app)) return false;
+  const size_t pos = static_cast<size_t>(it - current.begin());
+  std::vector<GroundApp>& apps = mit->second.Mutable();
+  apps.erase(apps.begin() + pos);
   --fact_count_;
   if (apps.empty()) methods_.erase(mit);
   return true;
@@ -51,6 +57,11 @@ bool VersionState::Contains(MethodId method, const GroundApp& app) const {
 }
 
 const std::vector<GroundApp>* VersionState::Find(MethodId method) const {
+  const SharedApps* apps = FindShared(method);
+  return apps == nullptr ? nullptr : &apps->get();
+}
+
+const SharedApps* VersionState::FindShared(MethodId method) const {
   auto mit = LowerBound(method);
   return mit == methods_.end() || mit->first != method ? nullptr
                                                        : &mit->second;
@@ -61,12 +72,25 @@ bool VersionState::OnlyExists(MethodId exists_method) const {
   return methods_.size() == 1 && methods_.front().first == exists_method;
 }
 
-bool ObjectBase::Insert(Vid version, MethodId method, GroundApp app) {
-  VersionState& state = states_[version];
-  if (!state.Insert(method, std::move(app))) {
-    if (state.empty()) states_.erase(version);
-    return false;
+ObjectBase::MethodIndex& ObjectBase::MutableIndex() {
+  if (method_index_.use_count() > 1) {
+    method_index_ = std::make_shared<MethodIndex>(*method_index_);
   }
+  return *method_index_;
+}
+
+bool ObjectBase::Insert(Vid version, MethodId method, GroundApp app) {
+  StatePtr& slot = states_[version];
+  if (slot == nullptr) {
+    slot = std::make_shared<VersionState>();
+  } else if (slot.use_count() > 1) {
+    // Shared state: check membership before detaching so a duplicate
+    // insert never clones. The unique-owner path skips this pre-check —
+    // VersionState::Insert does its own duplicate test in one search.
+    if (slot->Contains(method, app)) return false;
+    slot = std::make_shared<VersionState>(*slot);
+  }
+  if (!slot->Insert(method, std::move(app))) return false;
   ++fact_count_;
   IndexAdd(version, method, 1);
   return true;
@@ -75,31 +99,59 @@ bool ObjectBase::Insert(Vid version, MethodId method, GroundApp app) {
 bool ObjectBase::Erase(Vid version, MethodId method, const GroundApp& app) {
   auto it = states_.find(version);
   if (it == states_.end()) return false;
-  if (!it->second.Erase(method, app)) return false;
+  StatePtr& slot = it->second;
+  if (slot.use_count() > 1) {
+    if (!slot->Contains(method, app)) return false;  // miss: keep sharing
+    slot = std::make_shared<VersionState>(*slot);
+  }
+  if (!slot->Erase(method, app)) return false;
   --fact_count_;
   IndexRemove(version, method, 1);
-  if (it->second.empty()) states_.erase(it);
+  if (slot->empty()) states_.erase(it);
   return true;
 }
 
 bool ObjectBase::Contains(Vid version, MethodId method,
                           const GroundApp& app) const {
   auto it = states_.find(version);
-  return it != states_.end() && it->second.Contains(method, app);
+  return it != states_.end() && it->second->Contains(method, app);
 }
 
 const VersionState* ObjectBase::StateOf(Vid version) const {
   auto it = states_.find(version);
-  return it == states_.end() ? nullptr : &it->second;
+  return it == states_.end() ? nullptr : it->second.get();
+}
+
+std::shared_ptr<const VersionState> ObjectBase::SharedStateOf(
+    Vid version) const {
+  auto it = states_.find(version);
+  return it == states_.end() ? nullptr : it->second;
 }
 
 bool ObjectBase::ReplaceVersion(Vid version, VersionState state,
                                 DeltaLog* diff) {
+  return InstallVersion(
+      version, std::make_shared<VersionState>(std::move(state)), diff);
+}
+
+bool ObjectBase::AdoptVersion(Vid version,
+                              std::shared_ptr<const VersionState> state,
+                              DeltaLog* diff) {
+  if (state == nullptr) state = std::make_shared<VersionState>();
+  // Dropping const is safe under the COW discipline: every mutator
+  // detaches while the handle is shared, and once this base is the sole
+  // owner the state is genuinely its to write.
+  return InstallVersion(
+      version, std::const_pointer_cast<VersionState>(std::move(state)), diff);
+}
+
+bool ObjectBase::InstallVersion(Vid version, StatePtr incoming,
+                                DeltaLog* diff) {
   auto it = states_.find(version);
   if (it == states_.end()) {
-    if (state.empty()) return false;
+    if (incoming->empty()) return false;
     // New version: index all methods; every fact is an addition.
-    for (const auto& [method, apps] : state.methods()) {
+    for (const auto& [method, apps] : incoming->methods()) {
       IndexAdd(version, method, static_cast<uint32_t>(apps.size()));
       if (diff != nullptr) {
         for (const GroundApp& app : apps) {
@@ -107,17 +159,21 @@ bool ObjectBase::ReplaceVersion(Vid version, VersionState state,
         }
       }
     }
-    fact_count_ += state.fact_count();
-    states_.emplace(version, std::move(state));
+    fact_count_ += incoming->fact_count();
+    states_.emplace(version, std::move(incoming));
     return true;
   }
+
+  if (it->second == incoming) return false;  // same handle: nothing to do
 
   // Merge-walk the two sorted method lists, diffing each method's sorted
   // application vector. This finds the fact-level changes in one pass (no
   // deep == pre-check) and keeps the method index adjusted incrementally.
+  // Methods whose storage both states share are skipped outright — under
+  // T_P step-2 sharing, only the methods the updates touched cost work.
   bool changed = false;
-  const VersionState::MethodList& old_methods = it->second.methods();
-  const VersionState::MethodList& new_methods = state.methods();
+  const VersionState::MethodList& old_methods = it->second->methods();
+  const VersionState::MethodList& new_methods = incoming->methods();
   size_t oi = 0;
   size_t ni = 0;
   auto removed = [&](MethodId method, const GroundApp& app) {
@@ -144,10 +200,16 @@ bool ObjectBase::ReplaceVersion(Vid version, VersionState state,
       IndexAdd(version, method, static_cast<uint32_t>(apps.size()));
       continue;
     }
-    // Same method on both sides: diff the sorted application vectors.
+    // Same method on both sides: shared storage means no change.
+    if (SharesStorage(old_methods[oi].second, new_methods[ni].second)) {
+      ++oi;
+      ++ni;
+      continue;
+    }
+    // Diff the sorted application vectors.
     const MethodId method = old_methods[oi].first;
-    const std::vector<GroundApp>& old_apps = old_methods[oi++].second;
-    const std::vector<GroundApp>& new_apps = new_methods[ni++].second;
+    const std::vector<GroundApp>& old_apps = old_methods[oi++].second.get();
+    const std::vector<GroundApp>& new_apps = new_methods[ni++].second.get();
     size_t oa = 0;
     size_t na = 0;
     uint32_t removed_count = 0;
@@ -170,13 +232,13 @@ bool ObjectBase::ReplaceVersion(Vid version, VersionState state,
   }
   if (!changed) return false;
 
-  fact_count_ -= it->second.fact_count();
-  if (state.empty()) {
+  fact_count_ -= it->second->fact_count();
+  if (incoming->empty()) {
     states_.erase(it);
     return true;
   }
-  fact_count_ += state.fact_count();
-  it->second = std::move(state);
+  fact_count_ += incoming->fact_count();
+  it->second = std::move(incoming);
   return true;
 }
 
@@ -210,23 +272,24 @@ void ObjectBase::SealExistence() {
 
 const std::unordered_map<Vid, uint32_t>* ObjectBase::VidsWithMethod(
     MethodId method) const {
-  auto it = method_index_.find(method);
-  return it == method_index_.end() ? nullptr : &it->second;
+  auto it = method_index_->find(method);
+  return it == method_index_->end() ? nullptr : &it->second;
 }
 
 void ObjectBase::IndexAdd(Vid version, MethodId method, uint32_t count) {
-  method_index_[method][version] += count;
+  MutableIndex()[method][version] += count;
 }
 
 void ObjectBase::IndexRemove(Vid version, MethodId method, uint32_t count) {
-  auto mit = method_index_.find(method);
-  assert(mit != method_index_.end());
+  MethodIndex& index = MutableIndex();
+  auto mit = index.find(method);
+  assert(mit != index.end());
   auto vit = mit->second.find(version);
   assert(vit != mit->second.end());
   assert(vit->second >= count);
   vit->second -= count;
   if (vit->second == 0) mit->second.erase(vit);
-  if (mit->second.empty()) method_index_.erase(mit);
+  if (mit->second.empty()) index.erase(mit);
 }
 
 }  // namespace verso

@@ -2,6 +2,7 @@
 #define VERSO_CORE_OBJECT_BASE_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -13,14 +14,62 @@
 
 namespace verso {
 
+/// Refcounted copy-on-write handle to one method's sorted application
+/// vector. Copying a SharedApps shares the underlying vector (a pointer
+/// bump); Mutable() detaches — clones the vector — the first time a
+/// shared handle is written through. All reads go through the const view,
+/// so two VersionStates produced by a T_P step-2 copy keep sharing every
+/// method the updates never touch.
+///
+/// The refcount discipline is single-threaded (like everything below the
+/// Connection facade): use_count() == 1 means "sole owner, mutate in
+/// place".
+class SharedApps {
+ public:
+  SharedApps() : apps_(std::make_shared<std::vector<GroundApp>>()) {}
+
+  const std::vector<GroundApp>& get() const { return *apps_; }
+  std::vector<GroundApp>::const_iterator begin() const {
+    return apps_->begin();
+  }
+  std::vector<GroundApp>::const_iterator end() const { return apps_->end(); }
+  size_t size() const { return apps_->size(); }
+  bool empty() const { return apps_->empty(); }
+
+  /// Detach-before-write: clones the vector iff it is shared.
+  std::vector<GroundApp>& Mutable() {
+    if (apps_.use_count() > 1) {
+      apps_ = std::make_shared<std::vector<GroundApp>>(*apps_);
+    }
+    return *apps_;
+  }
+
+  /// True iff both handles point at the same vector — equal for free.
+  friend bool SharesStorage(const SharedApps& a, const SharedApps& b) {
+    return a.apps_ == b.apps_;
+  }
+
+  friend bool operator==(const SharedApps& a, const SharedApps& b) {
+    return a.apps_ == b.apps_ || *a.apps_ == *b.apps_;
+  }
+
+ private:
+  std::shared_ptr<std::vector<GroundApp>> apps_;
+};
+
 /// The state of one version: all ground method-applications that hold for
 /// it. Methods are kept in a flat vector sorted by MethodId (versions
 /// carry a handful of methods, so binary search over contiguous storage
 /// beats ordered-map node hops); per method the applications are kept
 /// sorted, so membership is a binary search and states compare with ==.
+///
+/// Application vectors are copy-on-write (SharedApps): copying a
+/// VersionState — the paper's T_P step-2 "copy v*'s state" — is
+/// O(#methods) pointer bumps, and applying updates to the copy clones
+/// only the vectors of the methods actually written.
 class VersionState {
  public:
-  using MethodEntry = std::pair<MethodId, std::vector<GroundApp>>;
+  using MethodEntry = std::pair<MethodId, SharedApps>;
   using MethodList = std::vector<MethodEntry>;
 
   /// Returns true if the application was new.
@@ -31,6 +80,9 @@ class VersionState {
 
   /// All applications of one method, or nullptr.
   const std::vector<GroundApp>* Find(MethodId method) const;
+  /// The COW handle of one method's applications, or nullptr — lets
+  /// diff-style consumers skip methods whose storage two states share.
+  const SharedApps* FindShared(MethodId method) const;
 
   size_t fact_count() const { return fact_count_; }
   bool empty() const { return fact_count_ == 0; }
@@ -44,6 +96,7 @@ class VersionState {
   bool OnlyExists(MethodId exists_method) const;
 
   friend bool operator==(const VersionState& a, const VersionState& b) {
+    // SharedApps::operator== short-circuits on shared storage.
     return a.methods_ == b.methods_;
   }
 
@@ -61,14 +114,29 @@ class VersionState {
 ///   * per method: which versions carry it (drives matching of patterns
 ///     whose version variable is unbound, filtered by VID shape).
 ///
+/// Per-version states are refcounted immutable handles: copying an
+/// ObjectBase is O(#versions) pointer bumps plus one shared-index bump —
+/// no fact is copied. Mutators detach the touched version's state (and,
+/// once per copy, the method index) before writing, so snapshot-isolated
+/// readers (Connection::Pin), the evaluator's working copy, and T_P
+/// step-2 copies all share every version that never changes.
+///
 /// The ObjectBase does not own the symbol/version tables; it references
 /// the VersionTable to answer shape/`v*` queries.
 class ObjectBase {
  public:
-  ObjectBase(MethodId exists_method, const VersionTable* versions)
-      : exists_method_(exists_method), versions_(versions) {}
+  using StatePtr = std::shared_ptr<VersionState>;
+  using StateMap = std::unordered_map<Vid, StatePtr>;
+  using MethodIndex =
+      std::unordered_map<MethodId, std::unordered_map<Vid, uint32_t>>;
 
-  /// Copyable by design: the evaluator works on a copy of the input base.
+  ObjectBase(MethodId exists_method, const VersionTable* versions)
+      : exists_method_(exists_method),
+        versions_(versions),
+        method_index_(std::make_shared<MethodIndex>()) {}
+
+  /// Copyable by design — and cheap: the copy shares every version state
+  /// and the method index with the source until one side writes.
   ObjectBase(const ObjectBase&) = default;
   ObjectBase& operator=(const ObjectBase&) = default;
   ObjectBase(ObjectBase&&) = default;
@@ -81,14 +149,29 @@ class ObjectBase {
   /// The state of a version, or nullptr if it has no facts.
   const VersionState* StateOf(Vid version) const;
 
+  /// The refcounted handle of a version's state (nullptr if the version
+  /// has no facts). Lets callers share the state into another base
+  /// (AdoptVersion) or skip diff work when two bases share storage.
+  std::shared_ptr<const VersionState> SharedStateOf(Vid version) const;
+
   /// Swaps in a whole new state for `version` (the evaluator's application
   /// of T_P replaces the states of all relevant VIDs). An empty state
   /// removes the version. Returns true iff anything changed; when `diff`
   /// is given, the fact-level changes (merge of the old and new sorted
   /// states) are appended to it instead of being detected by a deep
   /// equality check, and the method index is adjusted incrementally.
+  /// Methods whose application storage the old and new state share are
+  /// skipped without comparing contents.
   bool ReplaceVersion(Vid version, VersionState state,
                       DeltaLog* diff = nullptr);
+
+  /// ReplaceVersion without the copy: installs `state` as a shared
+  /// handle, so this base and the handle's other owners keep sharing the
+  /// storage (each side detaches on its first write). Used by
+  /// BuildNewObjectBase to move an object's final-version state onto its
+  /// plain OID with zero fact copies.
+  bool AdoptVersion(Vid version, std::shared_ptr<const VersionState> state,
+                    DeltaLog* diff = nullptr);
 
   /// True iff `version.exists -> root(version)` is in the base — the
   /// paper's notion of the version being materialized/"active".
@@ -108,9 +191,7 @@ class ObjectBase {
   const std::unordered_map<Vid, uint32_t>* VidsWithMethod(
       MethodId method) const;
 
-  const std::unordered_map<Vid, VersionState>& versions() const {
-    return states_;
-  }
+  const StateMap& versions() const { return states_; }
 
   size_t fact_count() const { return fact_count_; }
   size_t version_count() const { return states_.size(); }
@@ -119,17 +200,30 @@ class ObjectBase {
   const VersionTable* version_table() const { return versions_; }
 
   friend bool operator==(const ObjectBase& a, const ObjectBase& b) {
-    return a.states_ == b.states_;
+    if (a.states_.size() != b.states_.size()) return false;
+    for (const auto& [vid, state] : a.states_) {
+      auto it = b.states_.find(vid);
+      if (it == b.states_.end()) return false;
+      if (state == it->second) continue;  // shared storage: equal for free
+      if (!(*state == *it->second)) return false;
+    }
+    return true;
   }
 
  private:
   MethodId exists_method_;
   const VersionTable* versions_;
 
-  std::unordered_map<Vid, VersionState> states_;
-  std::unordered_map<MethodId, std::unordered_map<Vid, uint32_t>>
-      method_index_;
+  StateMap states_;
+  std::shared_ptr<MethodIndex> method_index_;
   size_t fact_count_ = 0;
+
+  /// Detach-before-write for the shared method index.
+  MethodIndex& MutableIndex();
+
+  /// Shared tail of ReplaceVersion/AdoptVersion: diffs the existing state
+  /// against *incoming and installs the handle itself on change.
+  bool InstallVersion(Vid version, StatePtr incoming, DeltaLog* diff);
 
   void IndexAdd(Vid version, MethodId method, uint32_t count);
   void IndexRemove(Vid version, MethodId method, uint32_t count);

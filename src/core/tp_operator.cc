@@ -29,6 +29,12 @@ bool UpdateAddition(const GroundUpdate& update, GroundApp* out) {
 /// state carrying only its exists-fact (documented extension; only
 /// inserts can reach the fresh branch, since head truth of del/mod
 /// requires a materialized stage). Emits the materialization trace event.
+///
+/// The "copy" is structural: VersionState shares its per-method
+/// application vectors copy-on-write, so materializing the target costs
+/// O(#methods) pointer bumps here, and applying the updates below clones
+/// only the vectors of the methods actually written — everything else
+/// stays shared with v*'s state in the base.
 VersionState PrepareInactiveState(Vid target, const ObjectBase& base,
                                   const VersionTable& versions,
                                   TraceSink* trace, bool* copied_from_prior) {

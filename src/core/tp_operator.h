@@ -41,7 +41,9 @@ struct TpRoundStats {
                                   // frontier's (method, shape) index
   size_t residual_rules = 0;  // rules re-matched in full in a delta round
   size_t states_changed = 0;  // targets whose state effectively changed
-  size_t copied_facts = 0;    // facts copied materializing new targets
+  size_t copied_facts = 0;    // facts SHARED into new targets (step-2
+                              // states are COW; only written methods
+                              // physically copy)
 };
 
 /// Persistent per-stratum evaluation state for the delta-driven fixpoint

@@ -122,7 +122,7 @@ const MethodSig* Schema::Find(MethodId method) const {
 Status Schema::CheckBase(const ObjectBase& base, const SymbolTable& symbols,
                          const VersionTable& versions) const {
   for (const auto& [vid, state] : base.versions()) {
-    for (const auto& [method, apps] : state.methods()) {
+    for (const auto& [method, apps] : state->methods()) {
       if (method == base.exists_method()) continue;
       const MethodSig* sig = Find(method);
       if (sig == nullptr) {

@@ -168,7 +168,7 @@ std::string EncodeObjectBase(const ObjectBase& base,
   BufferWriter writer;
   writer.Varint(base.fact_count());
   for (const auto& [vid, state] : base.versions()) {
-    for (const auto& [method, apps] : state.methods()) {
+    for (const auto& [method, apps] : state->methods()) {
       for (const GroundApp& app : apps) {
         EncodeFact(writer, vid, method, app, symbols, versions);
       }
@@ -193,20 +193,37 @@ Status DecodeObjectBaseInto(std::string_view data, SymbolTable& symbols,
 }
 
 FactDelta ComputeDelta(const ObjectBase& before, const ObjectBase& after) {
+  // Structural sharing makes this O(changed state): a version whose state
+  // handle both bases share — and, below that, a method whose application
+  // storage both states share — cannot contribute a delta fact, so whole
+  // subtrees of the comparison are skipped by pointer equality. Bases
+  // that share nothing degrade to the original per-fact membership scan.
   FactDelta delta;
   for (const auto& [vid, state] : after.versions()) {
-    for (const auto& [method, apps] : state.methods()) {
+    const VersionState* other = before.StateOf(vid);
+    if (other == state.get()) continue;  // shared state: unchanged
+    for (const auto& [method, apps] : state->methods()) {
+      if (other != nullptr) {
+        const SharedApps* shared = other->FindShared(method);
+        if (shared != nullptr && SharesStorage(*shared, apps)) continue;
+      }
       for (const GroundApp& app : apps) {
-        if (!before.Contains(vid, method, app)) {
+        if (other == nullptr || !other->Contains(method, app)) {
           delta.added.push_back({vid, method, app});
         }
       }
     }
   }
   for (const auto& [vid, state] : before.versions()) {
-    for (const auto& [method, apps] : state.methods()) {
+    const VersionState* other = after.StateOf(vid);
+    if (other == state.get()) continue;
+    for (const auto& [method, apps] : state->methods()) {
+      if (other != nullptr) {
+        const SharedApps* shared = other->FindShared(method);
+        if (shared != nullptr && SharesStorage(*shared, apps)) continue;
+      }
       for (const GroundApp& app : apps) {
-        if (!after.Contains(vid, method, app)) {
+        if (other == nullptr || !other->Contains(method, app)) {
           delta.removed.push_back({vid, method, app});
         }
       }

@@ -32,11 +32,54 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
     // rot ahead of valid acknowledged records) is indistinguishable
     // from a torn tail here, and destroying the evidence would make
     // that data loss unrecoverable even by hand.
+    //
+    // Preservation is best-effort: a failure to write the side file (or
+    // the side file having reached its growth cap across repeated
+    // recoveries) must not abort recovery — the database is recoverable,
+    // only the forensic copy is incomplete. The failure is recorded on
+    // the database (corrupt_tail_preservation()) instead of being
+    // swallowed. Truncation, by contrast, stays fatal: without it every
+    // later commit appends behind garbage and is lost.
     VERSO_ASSIGN_OR_RETURN(std::string raw, ReadFile(db->wal_.path()));
     if (raw.size() > wal.valid_bytes) {
-      VERSO_RETURN_IF_ERROR(
-          AppendFile(db->wal_.path() + ".corrupt",
-                     std::string_view(raw).substr(wal.valid_bytes)));
+      const std::string corrupt_path = db->wal_.path() + ".corrupt";
+      std::string_view tail = std::string_view(raw).substr(wal.valid_bytes);
+      size_t existing = 0;
+      bool size_known = true;
+      if (FileExists(corrupt_path)) {
+        Result<size_t> size = FileSize(corrupt_path);
+        if (size.ok()) {
+          existing = *size;
+        } else {
+          // Unknown side-file size: appending could overshoot the cap,
+          // so skip preservation and record why — defaulting to "empty"
+          // here would both bust the cap and report Ok.
+          size_known = false;
+          db->corrupt_tail_preservation_ = size.status();
+        }
+      }
+      if (!size_known) {
+        // recorded above; nothing appended
+      } else if (existing >= kCorruptPreserveCap) {
+        db->corrupt_tail_preservation_ = Status::IoError(
+            "wal.log.corrupt is at its growth cap (" +
+            std::to_string(existing) + " bytes); dropped " +
+            std::to_string(tail.size()) + " torn-tail bytes unpreserved");
+      } else {
+        if (existing + tail.size() > kCorruptPreserveCap) {
+          tail = tail.substr(0, kCorruptPreserveCap - existing);
+        }
+        Status preserved = AppendFile(corrupt_path, tail);
+        if (!preserved.ok()) {
+          db->corrupt_tail_preservation_ = preserved;
+        } else if (tail.size() < raw.size() - wal.valid_bytes) {
+          db->corrupt_tail_preservation_ = Status::IoError(
+              "wal.log.corrupt reached its growth cap; preserved only " +
+              std::to_string(tail.size()) + " of " +
+              std::to_string(raw.size() - wal.valid_bytes) +
+              " torn-tail bytes");
+        }
+      }
     }
     VERSO_RETURN_IF_ERROR(TruncateFile(db->wal_.path(), wal.valid_bytes));
   }
@@ -90,7 +133,7 @@ void Database::RemoveObserver(CommitObserver* observer) {
                    observers_.end());
 }
 
-Status Database::NotifyObservers(const DeltaLog& delta) {
+Status Database::NotifyObservers(const DeltaLog& delta, uint64_t epoch) {
   // Every observer sees every committed delta even if one errors —
   // aborting delivery would silently desynchronize the healthy observers
   // from current(). The first error is reported as kObserverFailed so the
@@ -98,7 +141,7 @@ Status Database::NotifyObservers(const DeltaLog& delta) {
   // an evaluation failure (base untouched, retry is safe).
   Status first_error;
   for (CommitObserver* observer : observers_) {
-    Status status = observer->OnCommit(delta, current_);
+    Status status = observer->OnCommit(delta, current_, epoch);
     if (!status.ok() && first_error.ok()) first_error = status;
   }
   if (!first_error.ok()) {
@@ -122,7 +165,7 @@ Status Database::CommitDelta(const ObjectBase& next, DeltaLog* committed) {
   ApplyDelta(delta, current_);
   ++commit_epoch_;
   DeltaLog log = ToDeltaLog(delta);
-  Status notify = NotifyObservers(log);
+  Status notify = NotifyObservers(log, commit_epoch_);
   if (committed != nullptr) *committed = std::move(log);
   return notify;
 }
@@ -198,7 +241,11 @@ Result<std::vector<RunOutcome>> Database::ExecuteBatch(
     }
     DeltaLog log = ToDeltaLog(deltas[i]);
     ++commit_epoch_;
-    Status status = NotifyObservers(log);
+    // Observers for member i are stamped with member i's OWN epoch — a
+    // subscription delta delivered mid-batch must not carry a later
+    // member's epoch (the regression this guards is epoch-tagged view
+    // replay across ExecuteBatch).
+    Status status = NotifyObservers(log, commit_epoch_);
     outcomes[i].committed_delta = std::move(log);
     outcomes[i].committed_epoch = commit_epoch_;
     if (!status.ok() && first_error.ok()) first_error = status;

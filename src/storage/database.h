@@ -27,8 +27,12 @@ class CommitObserver {
   /// the database's current base; within an ExecuteBatch group it already
   /// includes LATER transactions of the same batch, so observers tracking
   /// exact per-transaction states must fold the deltas themselves.
-  virtual Status OnCommit(const DeltaLog& delta,
-                          const ObjectBase& committed) = 0;
+  /// `epoch` is the commit epoch of THIS transaction — within a batch it
+  /// identifies the triggering member, so downstream consumers (view
+  /// subscriptions) must stamp their events with it rather than reading
+  /// Database::commit_epoch() at delivery time.
+  virtual Status OnCommit(const DeltaLog& delta, const ObjectBase& committed,
+                          uint64_t epoch) = 0;
 
   /// The observed database is being destroyed; drop any pointer to it.
   /// Called from ~Database for observers still registered at that point.
@@ -123,6 +127,20 @@ class Database {
   size_t wal_records_since_checkpoint() const { return wal_records_; }
   bool recovered_from_torn_wal() const { return recovered_torn_; }
 
+  /// Ok unless recovery found a torn WAL tail but could not preserve the
+  /// dropped bytes in `wal.log.corrupt` (write failure, or the side file
+  /// reached kCorruptPreserveCap). Recovery itself still succeeded — the
+  /// valid prefix was replayed and the tail truncated; this only records
+  /// that the forensic copy of the dropped bytes is incomplete.
+  const Status& corrupt_tail_preservation() const {
+    return corrupt_tail_preservation_;
+  }
+
+  /// Growth cap for `wal.log.corrupt` across repeated recoveries: once
+  /// the side file holds this many bytes, further torn tails are dropped
+  /// without being preserved (and corrupt_tail_preservation() says so).
+  static constexpr size_t kCorruptPreserveCap = 4u << 20;  // 4 MiB
+
  private:
   Database(std::string dir, Engine& engine)
       : dir_(std::move(dir)),
@@ -133,7 +151,7 @@ class Database {
   std::string snapshot_path() const { return dir_ + "/snapshot.vsnp"; }
 
   Status CommitDelta(const ObjectBase& next, DeltaLog* committed = nullptr);
-  Status NotifyObservers(const DeltaLog& delta);
+  Status NotifyObservers(const DeltaLog& delta, uint64_t epoch);
 
   std::string dir_;
   Engine& engine_;
@@ -144,6 +162,7 @@ class Database {
   uint64_t commit_epoch_ = 0;
   bool recovered_torn_ = false;
   bool ephemeral_ = false;
+  Status corrupt_tail_preservation_ = Status::Ok();
 };
 
 }  // namespace verso

@@ -54,6 +54,13 @@ bool FileExists(const std::string& path) {
   return fs::exists(path, ec);
 }
 
+Result<size_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  uintmax_t size = fs::file_size(path, ec);
+  if (ec) return Status::IoError("size of '" + path + "': " + ec.message());
+  return static_cast<size_t>(size);
+}
+
 Status RemoveFile(const std::string& path) {
   std::error_code ec;
   fs::remove(path, ec);

@@ -26,6 +26,9 @@ Status AppendFile(const std::string& path, std::string_view contents);
 /// True if the file exists.
 bool FileExists(const std::string& path);
 
+/// Size of the file in bytes.
+Result<size_t> FileSize(const std::string& path);
+
 /// Removes the file if it exists; missing files are not an error.
 Status RemoveFile(const std::string& path);
 

@@ -12,6 +12,7 @@ Status ViewCatalog::Register(std::string name, QueryProgram program,
       MaterializedView::Create(name, std::move(program), base, symbols_,
                                versions_, trace_));
   views_.emplace(std::move(name), std::move(view));
+  ++ddl_generation_;
   return Status::Ok();
 }
 
@@ -29,6 +30,7 @@ Status ViewCatalog::Drop(std::string_view name) {
                             "' is not registered");
   }
   views_.erase(it);
+  ++ddl_generation_;
   return Status::Ok();
 }
 
@@ -63,7 +65,7 @@ void ViewCatalog::Detach() {
 }
 
 Status ViewCatalog::OnCommit(const DeltaLog& delta,
-                             const ObjectBase& committed) {
+                             const ObjectBase& committed, uint64_t epoch) {
   (void)committed;
   // Fan the delta out to EVERY live view even if one fails: a failure
   // poisons that view alone (see MaterializedView::health); the other
@@ -82,7 +84,7 @@ Status ViewCatalog::OnCommit(const DeltaLog& delta,
       if (first_error.ok()) first_error = status;
       continue;  // a failed run has no coherent delta to publish
     }
-    if (sink_ != nullptr) sink_->OnViewDelta(*view, view_delta);
+    if (sink_ != nullptr) sink_->OnViewDelta(*view, view_delta, epoch);
   }
   return first_error;
 }

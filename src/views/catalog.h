@@ -21,8 +21,11 @@ namespace verso {
 class ViewDeltaSink {
  public:
   virtual ~ViewDeltaSink() = default;
+  /// `epoch` is the commit epoch of the transaction this delta belongs to
+  /// (threaded from CommitObserver::OnCommit, so within an ExecuteBatch
+  /// group every member's deltas carry that member's own epoch).
   virtual void OnViewDelta(const MaterializedView& view,
-                           const DeltaLog& view_delta) = 0;
+                           const DeltaLog& view_delta, uint64_t epoch) = 0;
 };
 
 /// Registry of named materialized views, maintained from a Database's
@@ -77,8 +80,15 @@ class ViewCatalog : public CommitObserver {
   /// Replaces the trace sink used for views registered from now on.
   void set_trace(TraceSink* trace) { trace_ = trace; }
 
+  /// Monotone counter bumped by every successful Register/Drop. Cached
+  /// snapshots (Connection::Pin) compare it to detect view DDL between
+  /// commits — CREATE VIEW / DROP VIEW do not advance the commit epoch,
+  /// so the epoch alone cannot invalidate a snapshot's view set.
+  uint64_t ddl_generation() const { return ddl_generation_; }
+
   /// CommitObserver: routes the committed delta to every registered view.
-  Status OnCommit(const DeltaLog& delta, const ObjectBase& committed) override;
+  Status OnCommit(const DeltaLog& delta, const ObjectBase& committed,
+                  uint64_t epoch) override;
 
   /// CommitObserver: the attached database is going away — forget it so
   /// a later Detach()/destruction does not touch freed memory.
@@ -93,6 +103,7 @@ class ViewCatalog : public CommitObserver {
   TraceSink* trace_;
   ViewDeltaSink* sink_ = nullptr;
   Database* attached_ = nullptr;
+  uint64_t ddl_generation_ = 0;
   std::map<std::string, std::unique_ptr<MaterializedView>, std::less<>>
       views_;
 };

@@ -220,5 +220,147 @@ TEST_F(ObjectBaseTest, CopyIsIndependent) {
   EXPECT_EQ(copy.fact_count(), 2u);
 }
 
+// ---- Copy-on-write structural sharing --------------------------------
+
+TEST_F(ObjectBaseTest, CopySharesStateAndDetachesOnFirstWrite) {
+  Vid a = versions_.OfOid(symbols_.Symbol("a"));
+  Vid b = versions_.OfOid(symbols_.Symbol("b"));
+  MethodId m = symbols_.Method("m");
+  base_.Insert(a, m, App(symbols_.Int(1)));
+  base_.Insert(b, m, App(symbols_.Int(2)));
+
+  ObjectBase copy = base_;
+  // Copying shares every version's state handle: no fact was copied.
+  EXPECT_EQ(copy.SharedStateOf(a), base_.SharedStateOf(a));
+  EXPECT_EQ(copy.SharedStateOf(b), base_.SharedStateOf(b));
+
+  // Writing one version through the copy detaches only that version.
+  copy.Insert(a, m, App(symbols_.Int(3)));
+  EXPECT_NE(copy.SharedStateOf(a), base_.SharedStateOf(a));
+  EXPECT_EQ(copy.SharedStateOf(b), base_.SharedStateOf(b));
+  EXPECT_FALSE(base_.Contains(a, m, App(symbols_.Int(3))));
+  EXPECT_TRUE(copy.Contains(a, m, App(symbols_.Int(3))));
+  EXPECT_EQ(base_.fact_count(), 2u);
+  EXPECT_EQ(copy.fact_count(), 3u);
+}
+
+TEST_F(ObjectBaseTest, NoOpMutationsDoNotDetachSharedState) {
+  Vid a = versions_.OfOid(symbols_.Symbol("a"));
+  MethodId m = symbols_.Method("m");
+  base_.Insert(a, m, App(symbols_.Int(1)));
+  ObjectBase copy = base_;
+  // A duplicate insert and a miss erase must leave the sharing intact.
+  EXPECT_FALSE(copy.Insert(a, m, App(symbols_.Int(1))));
+  EXPECT_FALSE(copy.Erase(a, m, App(symbols_.Int(99))));
+  EXPECT_EQ(copy.SharedStateOf(a), base_.SharedStateOf(a));
+}
+
+TEST_F(ObjectBaseTest, EraseThroughCopyLeavesOriginalIntact) {
+  Vid a = versions_.OfOid(symbols_.Symbol("a"));
+  MethodId m = symbols_.Method("m");
+  base_.Insert(a, m, App(symbols_.Int(1)));
+  ObjectBase copy = base_;
+  EXPECT_TRUE(copy.Erase(a, m, App(symbols_.Int(1))));
+  EXPECT_EQ(copy.StateOf(a), nullptr);
+  // The original still holds the fact and still answers its index.
+  EXPECT_TRUE(base_.Contains(a, m, App(symbols_.Int(1))));
+  ASSERT_NE(base_.VidsWithMethod(m), nullptr);
+  EXPECT_EQ(base_.VidsWithMethod(m)->count(a), 1u);
+  EXPECT_EQ(copy.VidsWithMethod(m), nullptr);
+}
+
+TEST_F(ObjectBaseTest, VersionStateCopySharesPerMethodVectors) {
+  VersionState s1;
+  MethodId m1 = symbols_.Method("m1");
+  MethodId m2 = symbols_.Method("m2");
+  s1.Insert(m1, App(symbols_.Int(1)));
+  s1.Insert(m2, App(symbols_.Int(2)));
+
+  VersionState s2 = s1;  // T_P step-2 copy: per-method pointer bumps
+  ASSERT_NE(s2.FindShared(m1), nullptr);
+  EXPECT_TRUE(SharesStorage(*s1.FindShared(m1), *s2.FindShared(m1)));
+  EXPECT_TRUE(SharesStorage(*s1.FindShared(m2), *s2.FindShared(m2)));
+
+  // Writing method m1 through the copy detaches m1's vector only.
+  s2.Insert(m1, App(symbols_.Int(3)));
+  EXPECT_FALSE(SharesStorage(*s1.FindShared(m1), *s2.FindShared(m1)));
+  EXPECT_TRUE(SharesStorage(*s1.FindShared(m2), *s2.FindShared(m2)));
+  EXPECT_FALSE(s1.Contains(m1, App(symbols_.Int(3))));
+  EXPECT_TRUE(s2.Contains(m1, App(symbols_.Int(3))));
+  EXPECT_EQ(s1.fact_count(), 2u);
+  EXPECT_EQ(s2.fact_count(), 3u);
+  EXPECT_FALSE(s1 == s2);
+}
+
+TEST_F(ObjectBaseTest, ReplaceVersionDiffsSharedStatesCorrectly) {
+  Vid a = versions_.OfOid(symbols_.Symbol("a"));
+  MethodId keep = symbols_.Method("keep");
+  MethodId touch = symbols_.Method("touch");
+  base_.Insert(a, keep, App(symbols_.Int(1)));
+  base_.Insert(a, touch, App(symbols_.Int(2)));
+
+  // The step-2 pattern: copy the state, mutate one method, swap it back.
+  VersionState next = *base_.StateOf(a);
+  next.Erase(touch, App(symbols_.Int(2)));
+  next.Insert(touch, App(symbols_.Int(3)));
+
+  DeltaLog diff;
+  EXPECT_TRUE(base_.ReplaceVersion(a, std::move(next), &diff));
+  // Only the touched method contributes delta facts; the shared `keep`
+  // method was skipped by pointer equality.
+  ASSERT_EQ(diff.size(), 2u);
+  EXPECT_FALSE(diff[0].added);
+  EXPECT_EQ(diff[0].method, touch);
+  EXPECT_TRUE(diff[1].added);
+  EXPECT_EQ(diff[1].method, touch);
+  EXPECT_TRUE(base_.Contains(a, keep, App(symbols_.Int(1))));
+  EXPECT_TRUE(base_.Contains(a, touch, App(symbols_.Int(3))));
+  EXPECT_FALSE(base_.Contains(a, touch, App(symbols_.Int(2))));
+}
+
+TEST_F(ObjectBaseTest, AdoptVersionSharesAcrossBases) {
+  Vid a = versions_.OfOid(symbols_.Symbol("a"));
+  Vid b = versions_.OfOid(symbols_.Symbol("b"));
+  MethodId m = symbols_.Method("m");
+  base_.Insert(a, m, App(symbols_.Int(1)));
+  base_.Insert(a, m, App(symbols_.Int(2)));
+
+  // Rebinding a's state under vid b in another base copies no fact (the
+  // BuildNewObjectBase pattern: facts never mention their VID).
+  ObjectBase other(symbols_.exists_method(), &versions_);
+  DeltaLog diff;
+  EXPECT_TRUE(other.AdoptVersion(b, base_.SharedStateOf(a), &diff));
+  EXPECT_EQ(diff.size(), 2u);
+  EXPECT_EQ(other.fact_count(), 2u);
+  EXPECT_TRUE(other.Contains(b, m, App(symbols_.Int(1))));
+  ASSERT_NE(other.VidsWithMethod(m), nullptr);
+  EXPECT_EQ(other.VidsWithMethod(m)->count(b), 1u);
+
+  // Adopted storage is shared until written; a write detaches.
+  other.Insert(b, m, App(symbols_.Int(3)));
+  EXPECT_FALSE(base_.Contains(a, m, App(symbols_.Int(3))));
+  EXPECT_EQ(base_.fact_count(), 2u);
+
+  // Re-adopting an identical handle is a no-op.
+  ObjectBase third(symbols_.exists_method(), &versions_);
+  EXPECT_TRUE(third.AdoptVersion(b, base_.SharedStateOf(a)));
+  EXPECT_FALSE(third.AdoptVersion(b, base_.SharedStateOf(a)));
+}
+
+TEST_F(ObjectBaseTest, EqualityUsesContentNotStorageIdentity) {
+  Vid a = versions_.OfOid(symbols_.Symbol("a"));
+  MethodId m = symbols_.Method("m");
+  base_.Insert(a, m, App(symbols_.Int(1)));
+
+  ObjectBase shared = base_;           // shares storage
+  ObjectBase rebuilt(symbols_.exists_method(), &versions_);
+  rebuilt.Insert(a, m, App(symbols_.Int(1)));  // equal, distinct storage
+  EXPECT_TRUE(base_ == shared);
+  EXPECT_TRUE(base_ == rebuilt);
+
+  rebuilt.Insert(a, m, App(symbols_.Int(2)));
+  EXPECT_FALSE(base_ == rebuilt);
+}
+
 }  // namespace
 }  // namespace verso

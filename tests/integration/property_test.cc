@@ -249,7 +249,7 @@ TEST(PropertyTest, GuardedModularBaselineAgreesWithVerso) {
     MethodId sal = engine.symbols().Method("sal");
     MethodId isa = engine.symbols().Method("isa");
     for (const auto& [vid, state] : verso_out->new_base.versions()) {
-      const std::vector<GroundApp>* vs = state.Find(sal);
+      const std::vector<GroundApp>* vs = state->Find(sal);
       if (vs == nullptr) continue;
       const VersionState* ms = modular->base.StateOf(vid);
       ASSERT_NE(ms, nullptr);
@@ -257,7 +257,7 @@ TEST(PropertyTest, GuardedModularBaselineAgreesWithVerso) {
       EXPECT_EQ(*ms->Find(sal), *vs);
       GroundApp hpe;
       hpe.result = engine.symbols().Symbol("hpe");
-      EXPECT_EQ(ms->Contains(isa, hpe), state.Contains(isa, hpe));
+      EXPECT_EQ(ms->Contains(isa, hpe), state->Contains(isa, hpe));
     }
   }
 }

@@ -135,7 +135,7 @@ TEST_F(ScenarioTest, AQuarterOfEnterpriseLife) {
     GroundApp empl;
     empl.result = engine.symbols().Symbol("empl");
     for (const auto& [vid, state] : (*db)->current().versions()) {
-      if (state.Contains(isa, empl)) ++employees;
+      if (state->Contains(isa, empl)) ++employees;
     }
     EXPECT_EQ(employees, 4u);
   }

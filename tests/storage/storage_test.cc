@@ -297,6 +297,78 @@ TEST_F(StorageFixture, DatabaseSurvivesTornWalTail) {
   }
 }
 
+TEST_F(StorageFixture, CorruptTailPreservationIsCappedAndNonFatal) {
+  std::string dbdir = dir_ + "/db_cap";
+  auto tear_tail = [&] {
+    std::string bytes = *ReadFile(dbdir + "/wal.log");
+    bytes.resize(bytes.size() - 3);
+    ASSERT_TRUE(WriteFile(dbdir + "/wal.log", bytes).ok());
+  };
+  {
+    Engine engine;
+    Result<std::unique_ptr<Database>> db = Database::Open(dbdir, engine);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->ImportBase(Base("a.m -> 1.", engine)).ok());
+    ASSERT_TRUE((*db)->ImportBase(Base("a.m -> 1. a.n -> 2.", engine)).ok());
+  }
+  // A healthy torn-tail recovery preserves the tail and reports Ok.
+  tear_tail();
+  {
+    Engine engine;
+    Result<std::unique_ptr<Database>> db = Database::Open(dbdir, engine);
+    ASSERT_TRUE(db.ok());
+    EXPECT_TRUE((*db)->recovered_from_torn_wal());
+    EXPECT_TRUE((*db)->corrupt_tail_preservation().ok());
+    EXPECT_TRUE(FileExists(dbdir + "/wal.log.corrupt"));
+    ASSERT_TRUE((*db)->ImportBase(Base("a.m -> 1. a.n -> 2.", engine)).ok());
+  }
+  // Now pretend many earlier recoveries already filled the side file to
+  // its growth cap. The next torn-tail recovery must still succeed, must
+  // not grow the side file, and must RECORD that the forensic copy was
+  // dropped instead of silently swallowing the failure (the old code
+  // aborted recovery outright on any preservation problem).
+  tear_tail();
+  ASSERT_TRUE(
+      WriteFile(dbdir + "/wal.log.corrupt",
+                std::string(Database::kCorruptPreserveCap, 'x'))
+          .ok());
+  {
+    Engine engine;
+    Result<std::unique_ptr<Database>> db = Database::Open(dbdir, engine);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_TRUE((*db)->recovered_from_torn_wal());
+    EXPECT_FALSE((*db)->corrupt_tail_preservation().ok());
+    EXPECT_EQ(*FileSize(dbdir + "/wal.log.corrupt"),
+              Database::kCorruptPreserveCap);
+    // The valid prefix still recovered and the database still serves.
+    Vid a = engine.versions().OfOid(engine.symbols().Symbol("a"));
+    GroundApp one;
+    one.result = engine.symbols().Int(1);
+    EXPECT_TRUE(
+        (*db)->current().Contains(a, engine.symbols().Method("m"), one));
+  }
+  // Just below the cap: the tail is trimmed to fit, recorded as partial.
+  {
+    Engine engine;
+    Result<std::unique_ptr<Database>> db = Database::Open(dbdir, engine);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->ImportBase(Base("a.m -> 1. a.p -> 3.", engine)).ok());
+  }
+  tear_tail();
+  ASSERT_TRUE(
+      WriteFile(dbdir + "/wal.log.corrupt",
+                std::string(Database::kCorruptPreserveCap - 1, 'x'))
+          .ok());
+  {
+    Engine engine;
+    Result<std::unique_ptr<Database>> db = Database::Open(dbdir, engine);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_FALSE((*db)->corrupt_tail_preservation().ok());
+    EXPECT_EQ(*FileSize(dbdir + "/wal.log.corrupt"),
+              Database::kCorruptPreserveCap);
+  }
+}
+
 TEST_F(StorageFixture, ExecuteBatchGroupCommitsOneRecord) {
   std::string dbdir = dir_ + "/db_batch";
   {
@@ -502,7 +574,7 @@ TEST_F(StorageFixture, InMemoryDatabaseCommitsWithoutTouchingDisk) {
 TEST_F(StorageFixture, AddObserverIsIdempotent) {
   class CountingObserver : public CommitObserver {
    public:
-    Status OnCommit(const DeltaLog&, const ObjectBase&) override {
+    Status OnCommit(const DeltaLog&, const ObjectBase&, uint64_t) override {
       ++commits;
       return Status::Ok();
     }

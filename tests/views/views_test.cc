@@ -433,7 +433,7 @@ TEST_F(ViewsTest, OnDatabaseClosedOrderingWhenCatalogOutlivesDatabase) {
    public:
     explicit ClosedRecorder(std::vector<std::string>* log, std::string name)
         : log_(log), name_(std::move(name)) {}
-    Status OnCommit(const DeltaLog&, const ObjectBase&) override {
+    Status OnCommit(const DeltaLog&, const ObjectBase&, uint64_t) override {
       return Status::Ok();
     }
     void OnDatabaseClosed() override { log_->push_back(name_); }
@@ -477,13 +477,15 @@ TEST_F(ViewsTest, OnDatabaseClosedOrderingWhenCatalogOutlivesDatabase) {
 TEST_F(ViewsTest, DeltaSinkPublishesResultLevelDeltas) {
   class Recorder : public ViewDeltaSink {
    public:
-    void OnViewDelta(const MaterializedView& view,
-                     const DeltaLog& delta) override {
+    void OnViewDelta(const MaterializedView& view, const DeltaLog& delta,
+                     uint64_t epoch) override {
       names.push_back(view.name());
       deltas.push_back(delta);
+      epochs.push_back(epoch);
     }
     std::vector<std::string> names;
     std::vector<DeltaLog> deltas;
+    std::vector<uint64_t> epochs;
   };
 
   std::unique_ptr<Database> db = OpenDb();
