@@ -1,0 +1,191 @@
+// The result-keyed index (IndexedApps, src/core/object_base.h): what a
+// bound-result lookup costs now that every `X.m -> c` literal with the
+// result ground at bind time probes a (result -> offsets) index instead
+// of scanning the method's full application vector.
+//
+//   * Bound-result body match: one rule whose single body literal names
+//     a ground result, matched over N objects carrying kLikes facts of
+//     the probed method each — the matcher's hottest literal form.
+//   * DRed rederive probe: a recursive closure view absorbing an edge
+//     delete + re-insert; Phase A/B probes bind rule heads, so their
+//     body literals arrive with results bound and hit the index.
+//
+// Each workload runs twice: indexed (the default) and with the index
+// disabled for ablation (SharedApps::EnableResultIndex(false)), which
+// degrades ForEachAppWithResult to the pre-index full scan over the same
+// code path. The acceptance bar for the index PR: >= 5x fewer per-probe
+// fact visits (via the IndexStats counters) and a wall-clock win on the
+// bound-result match at 4096 objects.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/engine.h"
+#include "core/match.h"
+#include "parser/parser.h"
+#include "query/query.h"
+#include "views/view.h"
+
+namespace verso::bench {
+namespace {
+
+/// Sets the index/ablation mode for a scope and always restores the
+/// indexed default, so an early error exit can never leave the
+/// process-global toggle pointing at the scan path for later benchmarks.
+class IndexModeGuard {
+ public:
+  explicit IndexModeGuard(bool indexed) {
+    SharedApps::EnableResultIndex(indexed);
+  }
+  ~IndexModeGuard() { SharedApps::EnableResultIndex(true); }
+};
+
+constexpr size_t kLikes = 32;   // facts of the probed method per object
+constexpr size_t kGenres = 64;  // distinct result constants
+
+/// N objects, each liking kLikes of the kGenres genres (13 is coprime to
+/// kGenres, so the likes of one object are distinct).
+void FillLikes(Engine& engine, ObjectBase& base, size_t objects) {
+  for (size_t i = 0; i < objects; ++i) {
+    std::string name = "p" + std::to_string(i);
+    for (size_t k = 0; k < kLikes; ++k) {
+      size_t genre = (i * 7 + k * 13) % kGenres;
+      engine.AddFact(base, name, "likes",
+                     "g" + std::to_string(genre));
+    }
+  }
+}
+
+/// Shared body of the bound-result match benchmark; `indexed` selects the
+/// real path or the ablation scan.
+void RunBoundResultMatch(benchmark::State& state, bool indexed) {
+  IndexModeGuard mode(indexed);
+  Engine engine;
+  ObjectBase base = engine.MakeBase();
+  FillLikes(engine, base, static_cast<size_t>(state.range(0)));
+
+  Result<Program> program =
+      ParseProgram("r: ins[x].hit -> E <- E.likes -> g7.", engine);
+  if (!program.ok() ||
+      !AnalyzeRule(program->rules[0], engine.symbols()).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  const Rule& rule = program->rules[0];
+
+  IndexStats istats;
+  MatchContext ctx{engine.symbols(), engine.versions(), base, &istats};
+  size_t matches = 0;
+  for (auto _ : state) {
+    Status status = ForEachBodyMatch(rule, ctx, [&](const Bindings&) {
+      ++matches;
+      return Status::Ok();
+    });
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  // Per-probe fact visits: a scan visits every fact of the method
+  // (kLikes); the index visits kLikes minus what it avoided.
+  const double probes = static_cast<double>(istats.index_probes);
+  const double visits =
+      probes * kLikes - static_cast<double>(istats.indexed_scan_avoided_facts);
+  state.counters["probes"] = probes;
+  state.counters["avoided_facts"] =
+      static_cast<double>(istats.indexed_scan_avoided_facts);
+  state.counters["visits_per_probe"] = probes == 0 ? 0 : visits / probes;
+}
+
+void BM_IdxBoundResultMatch(benchmark::State& state) {
+  RunBoundResultMatch(state, /*indexed=*/true);
+}
+BENCHMARK(BM_IdxBoundResultMatch)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_IdxBoundResultMatchScanBaseline(benchmark::State& state) {
+  RunBoundResultMatch(state, /*indexed=*/false);
+}
+BENCHMARK(BM_IdxBoundResultMatchScanBaseline)->Arg(256)->Arg(1024)->Arg(4096);
+
+constexpr const char* kClosureView = R"(
+    q1: derive X.reaches -> Y <- X.edge -> Y.
+    q2: derive X.reaches -> Z <- X.reaches -> Y, Y.edge -> Z.
+)";
+
+constexpr size_t kChainLength = 64;
+
+/// N nodes arranged in chains of kChainLength: long enough reaches-lists
+/// that a rederive probe's bound-result lookup has real scanning to skip.
+ObjectBase MakeChains(Engine& engine, size_t nodes) {
+  ObjectBase base = engine.MakeBase();
+  for (size_t i = 0; i + 1 < nodes; ++i) {
+    if ((i + 1) % kChainLength == 0) continue;  // chain boundary
+    engine.AddFact(base, "n" + std::to_string(i), "edge",
+                   "n" + std::to_string(i + 1));
+  }
+  return base;
+}
+
+/// Shared body of the DRed maintenance benchmark: toggle one mid-chain
+/// edge, so every other iteration overdeletes the crossing reaches-facts
+/// and rederives via goal-directed (head-bound) probes.
+void RunDRedRederive(benchmark::State& state, bool indexed) {
+  IndexModeGuard mode(indexed);
+  Engine engine;
+  ObjectBase base = MakeChains(engine, static_cast<size_t>(state.range(0)));
+  Result<QueryProgram> program =
+      ParseQueryProgram(kClosureView, engine.symbols());
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  Result<std::unique_ptr<MaterializedView>> view = MaterializedView::Create(
+      "closure", std::move(*program), base, engine.symbols(),
+      engine.versions());
+  if (!view.ok()) {
+    state.SkipWithError(view.status().ToString().c_str());
+    return;
+  }
+
+  // The toggled edge sits mid-chain, so the overdelete cascade crosses
+  // it from both sides and Phase B probes every overdeleted fact.
+  Vid from = engine.versions().OfOid(engine.symbols().Symbol("n16"));
+  MethodId edge = engine.symbols().Method("edge");
+  GroundApp app;
+  app.result = engine.symbols().Symbol("n17");
+  DeltaLog ins{{from, edge, app, /*added=*/true}};
+  DeltaLog del{{from, edge, app, /*added=*/false}};
+  bool present = true;
+  for (auto _ : state) {
+    Status status = (*view)->ApplyBaseDelta(present ? del : ins);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    present = !present;
+    benchmark::DoNotOptimize((*view)->result());
+  }
+  const ViewStats& stats = (*view)->stats();
+  state.counters["rederive_probes"] =
+      static_cast<double>(stats.rederive_probes);
+  state.counters["index_probes"] = static_cast<double>(stats.index_probes);
+  state.counters["avoided_facts"] =
+      static_cast<double>(stats.indexed_scan_avoided_facts);
+}
+
+void BM_IdxDRedRederive(benchmark::State& state) {
+  RunDRedRederive(state, /*indexed=*/true);
+}
+BENCHMARK(BM_IdxDRedRederive)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_IdxDRedRederiveScanBaseline(benchmark::State& state) {
+  RunDRedRederive(state, /*indexed=*/false);
+}
+BENCHMARK(BM_IdxDRedRederiveScanBaseline)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+}  // namespace verso::bench
+
+BENCHMARK_MAIN();

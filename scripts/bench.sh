@@ -5,10 +5,12 @@
 # update), bench_views (incremental view maintenance vs from-scratch
 # recomputation), bench_api (client-API facade: session open / snapshot
 # pin, snapshot reads under concurrent commits, subscription fan-out),
-# and bench_snapshots (copy-on-write structural sharing: pin cost under
+# bench_snapshots (copy-on-write structural sharing: pin cost under
 # ongoing commits and T_P step-2 materialization, each against its
-# deep-copy baseline). JSON results land next to this repo's root so
-# successive PRs can diff them.
+# deep-copy baseline), and bench_index (the result-keyed IndexedApps
+# index: bound-result body matching and DRed rederive probes, each
+# against the full-scan ablation). JSON results land next to this repo's
+# root so successive PRs can diff them.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,7 +19,7 @@ BUILD_DIR=${BUILD_DIR:-build-bench}
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
       --target bench_tp_operator bench_fig2_enterprise bench_views \
-               bench_api bench_snapshots
+               bench_api bench_snapshots bench_index
 
 "$BUILD_DIR"/bench_tp_operator \
     --benchmark_format=json \
@@ -39,6 +41,10 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
     --benchmark_format=json \
     --benchmark_out=BENCH_snapshots.json \
     --benchmark_out_format=json
+"$BUILD_DIR"/bench_index \
+    --benchmark_format=json \
+    --benchmark_out=BENCH_index.json \
+    --benchmark_out_format=json
 
 echo "Wrote BENCH_tp.json, BENCH_fig2.json, BENCH_views.json," \
-     "BENCH_api.json, and BENCH_snapshots.json"
+     "BENCH_api.json, BENCH_snapshots.json, and BENCH_index.json"

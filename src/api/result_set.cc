@@ -28,13 +28,12 @@ DeltaLog CollectFacts(const ObjectBase& base,
         base.VidsWithMethod(method);
     if (vids == nullptr) continue;
     for (const auto& [vid, count] : *vids) {
-      const VersionState* state = base.StateOf(vid);
-      const std::vector<GroundApp>* apps =
-          state == nullptr ? nullptr : state->Find(method);
-      if (apps == nullptr) continue;
-      for (const GroundApp& app : *apps) {
+      (void)count;
+      Status status = base.ForEachApp(vid, method, [&](const GroundApp& app) {
         rows.push_back(DeltaFact{vid, method, app, /*added=*/true});
-      }
+        return Status::Ok();
+      });
+      (void)status;  // the sink never fails
     }
   }
   SortRows(rows);

@@ -52,7 +52,7 @@ Result<bool> InPlaceRound(const Program& program, ObjectBase& base,
           }
           // In-place head truth: the old application must currently hold.
           if (u.kind != UpdateKind::kInsert &&
-              !base.Contains(v, u.method, u.app)) {
+              !base.ContainsApp(v, u.method, u.app)) {
             return Status::Ok();
           }
           t1.insert(std::move(u));

@@ -84,6 +84,10 @@ Result<EvalStats> Evaluator::Run(const Program& program,
       sstats.seed_probes += rstats.seed_probes;
       sstats.seed_pairs_skipped += rstats.seed_pairs_skipped;
       sstats.residual_rule_runs += rstats.residual_rules;
+      sstats.index_probes += rstats.index.index_probes;
+      sstats.index_hits += rstats.index.index_hits;
+      sstats.indexed_scan_avoided_facts +=
+          rstats.index.indexed_scan_avoided_facts;
       if (trace_ != nullptr && round > 0 && options_.semi_naive) {
         trace_->OnDeltaRound(stratum, round, delta.size(), rstats.seed_probes,
                              rstats.residual_rules);
@@ -93,6 +97,10 @@ Result<EvalStats> Evaluator::Run(const Program& program,
       if (delta.empty()) break;
     }
     if (trace_ != nullptr) {
+      if (sstats.index_probes != 0) {
+        trace_->OnIndexUse(stratum, sstats.index_probes, sstats.index_hits,
+                           sstats.indexed_scan_avoided_facts);
+      }
       trace_->OnStratumFixpoint(stratum, sstats.rounds);
     }
   }

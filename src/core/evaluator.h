@@ -48,6 +48,13 @@ struct StratumStats {
   size_t seed_probes = 0;     // delta-seeded partial matches launched
   size_t seed_pairs_skipped = 0;  // pairs pruned by the frontier index
   size_t residual_rule_runs = 0;  // full re-matches in delta rounds
+
+  // Result-index counters (bound-result literals matched through
+  // ForEachAppWithResult instead of a full per-method scan).
+  size_t index_probes = 0;    // bound-result lookups launched
+  size_t index_hits = 0;      // probes that enumerated >= 1 fact
+  size_t indexed_scan_avoided_facts = 0;  // facts a scan would have
+                                          // visited but the index skipped
 };
 
 struct EvalStats {
@@ -67,6 +74,21 @@ struct EvalStats {
   size_t total_body_matches() const {
     size_t n = 0;
     for (const StratumStats& s : strata) n += s.body_matches;
+    return n;
+  }
+  size_t total_index_probes() const {
+    size_t n = 0;
+    for (const StratumStats& s : strata) n += s.index_probes;
+    return n;
+  }
+  size_t total_index_hits() const {
+    size_t n = 0;
+    for (const StratumStats& s : strata) n += s.index_hits;
+    return n;
+  }
+  size_t total_indexed_scan_avoided_facts() const {
+    size_t n = 0;
+    for (const StratumStats& s : strata) n += s.indexed_scan_avoided_facts;
     return n;
   }
 };

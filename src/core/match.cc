@@ -42,7 +42,7 @@ Result<bool> GroundLiteralTruth(const Rule& rule, const Literal& literal,
         return Status::Internal("unbound version in ground literal");
       }
       GroundApp app = ResolveApp(literal.version.app, bindings);
-      raw = ctx.base.Contains(vid, literal.version.app.method, app);
+      raw = ctx.base.ContainsApp(vid, literal.version.app.method, app);
       break;
     }
     case Literal::Kind::kUpdate: {
@@ -55,14 +55,14 @@ Result<bool> GroundLiteralTruth(const Rule& rule, const Literal& literal,
       GroundApp app = ResolveApp(u.app, bindings);
       switch (u.kind) {
         case UpdateKind::kInsert:
-          raw = ctx.base.Contains(target, u.app.method, app);
+          raw = ctx.base.ContainsApp(target, u.app.method, app);
           break;
         case UpdateKind::kDelete: {
           Vid vstar = ctx.base.LatestExistingStage(v);
           raw = vstar.valid() &&
-                ctx.base.Contains(vstar, u.app.method, app) &&
+                ctx.base.ContainsApp(vstar, u.app.method, app) &&
                 ctx.base.VersionExists(target) &&
-                !ctx.base.Contains(target, u.app.method, app);
+                !ctx.base.ContainsApp(target, u.app.method, app);
           break;
         }
         case UpdateKind::kModify: {
@@ -71,17 +71,17 @@ Result<bool> GroundLiteralTruth(const Rule& rule, const Literal& literal,
                                : u.new_result.oid;
           Vid vstar = ctx.base.LatestExistingStage(v);
           if (!vstar.valid() ||
-              !ctx.base.Contains(vstar, u.app.method, app)) {
+              !ctx.base.ContainsApp(vstar, u.app.method, app)) {
             raw = false;
             break;
           }
           GroundApp new_app = app;
           new_app.result = new_result;
           if (new_result == app.result) {
-            raw = ctx.base.Contains(target, u.app.method, new_app);
+            raw = ctx.base.ContainsApp(target, u.app.method, new_app);
           } else {
-            raw = !ctx.base.Contains(target, u.app.method, app) &&
-                  ctx.base.Contains(target, u.app.method, new_app);
+            raw = !ctx.base.ContainsApp(target, u.app.method, app) &&
+                  ctx.base.ContainsApp(target, u.app.method, new_app);
           }
           break;
         }

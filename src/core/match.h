@@ -15,10 +15,13 @@ namespace verso {
 /// Shared mutable context for matching: the symbol table interns numbers
 /// produced by arithmetic, the version table interns VIDs resolved from
 /// version-id-terms. The object base is read-only during matching.
+/// `istats`, when set, accumulates the bound-result index probe counters
+/// (ForEachAppWithResult) the enumeration performs.
 struct MatchContext {
   SymbolTable& symbols;
   VersionTable& versions;
   const ObjectBase& base;
+  IndexStats* istats = nullptr;
 };
 
 /// Resolves a version-id-term whose base is a constant or a bound
@@ -107,6 +110,35 @@ class Matcher {
       if (!BindObj(pattern.args[i], fact.args[i], trail)) return false;
     }
     return BindObj(pattern.result, fact.result, trail);
+  }
+
+  /// True iff `term` denotes a ground OID at this point of the match —
+  /// a constant, or a variable bound by an earlier literal. Ground
+  /// result terms select the indexed enumeration path.
+  bool GroundValue(const ObjTerm& term, Oid* out) const {
+    if (!term.is_var) {
+      *out = term.oid;
+      return true;
+    }
+    Oid value = bindings_[term.var.value];
+    if (!value.valid()) return false;
+    *out = value;
+    return true;
+  }
+
+  /// The one candidate-fact enumeration of the matcher: when
+  /// `result_term` is ground at this point of the match, only the facts
+  /// carrying that result are visited (ForEachAppWithResult, result
+  /// index); otherwise the full sorted vector is (ForEachApp).
+  template <typename Fn>
+  Status ProbeApps(const VersionState& state, MethodId method,
+                   const ObjTerm& result_term, Fn&& fn) {
+    Oid result;
+    if (GroundValue(result_term, &result)) {
+      return state.ForEachAppWithResult(method, result, ctx_.istats,
+                                        std::forward<Fn>(fn));
+    }
+    return state.ForEachApp(method, std::forward<Fn>(fn));
   }
 
   Status Step(size_t pos) {
@@ -204,25 +236,30 @@ class Matcher {
     return Status::Ok();
   }
 
+  /// Enumerates candidate facts of (vid, app.method) through the access
+  /// API: when the pattern's result term is ground at this point of the
+  /// match, only the facts carrying that result are visited (result
+  /// index); otherwise the full sorted vector is.
   Status EnumerateApps(Vid vid, const AppPattern& app, size_t pos) {
     const VersionState* state = ctx_.base.StateOf(vid);
     if (state == nullptr) return Status::Ok();
-    const std::vector<GroundApp>* apps = state->Find(app.method);
-    if (apps == nullptr) return Status::Ok();
     Trail& trail = scratch_[pos].fact;
-    for (const GroundApp& fact : *apps) {
+    auto try_fact = [&](const GroundApp& fact) -> Status {
       trail.clear();
       if (TryBindApp(app, fact, &trail)) {
         Status status = Step(pos + 1);
         if (!status.ok()) return status;
       }
       Unwind(trail);
-    }
-    return Status::Ok();
+      return Status::Ok();
+    };
+    return ProbeApps(*state, app.method, app.result, try_fact);
   }
 
   /// Positive body del[V].m->R: true for facts of v* that are absent from
-  /// the materialized version del(V) (paper Section 3).
+  /// the materialized version del(V) (paper Section 3). Enumeration of
+  /// v*'s facts goes through the access API, so a ground result term
+  /// probes the result index instead of scanning the method.
   Status MatchDelete(const UpdateAtom& update, size_t pos) {
     return ForEachTargetVersion(
         update, UpdateKind::kDelete, pos, [&](Vid v, Vid target, size_t p) {
@@ -231,25 +268,29 @@ class Matcher {
           if (!vstar.valid()) return Status::Ok();
           const VersionState* state = ctx_.base.StateOf(vstar);
           if (state == nullptr) return Status::Ok();
-          const std::vector<GroundApp>* apps = state->Find(update.app.method);
-          if (apps == nullptr) return Status::Ok();
           Trail& trail = scratch_[p].fact;
-          for (const GroundApp& fact : *apps) {
+          auto try_fact = [&](const GroundApp& fact) -> Status {
             trail.clear();
             if (TryBindApp(update.app, fact, &trail) &&
-                !ctx_.base.Contains(target, update.app.method, fact)) {
+                !ctx_.base.ContainsApp(target, update.app.method, fact)) {
               Status status = Step(p + 1);
               if (!status.ok()) return status;
             }
             Unwind(trail);
-          }
-          return Status::Ok();
+            return Status::Ok();
+          };
+          return ProbeApps(*state, update.app.method, update.app.result,
+                           try_fact);
         });
   }
 
   /// Positive body mod[V].m->(R,R'): pairs an old result from v* with a
   /// new result held by mod(V), per the paper's two truth cases (r == r'
   /// means "unchanged and still present", r != r' means "changed away").
+  /// Both enumerations go through the access API: a ground old-result
+  /// term indexes into v*'s facts, and a new-result term that is ground
+  /// once the old fact is bound (constant, bound earlier, or the R == R'
+  /// repeated-variable form) indexes into mod(V)'s.
   Status MatchModify(const UpdateAtom& update, size_t pos) {
     return ForEachTargetVersion(
         update, UpdateKind::kModify, pos, [&](Vid v, Vid target, size_t p) {
@@ -258,25 +299,20 @@ class Matcher {
           const VersionState* old_state = ctx_.base.StateOf(vstar);
           const VersionState* new_state = ctx_.base.StateOf(target);
           if (old_state == nullptr || new_state == nullptr) return Status::Ok();
-          const std::vector<GroundApp>* old_apps =
-              old_state->Find(update.app.method);
-          const std::vector<GroundApp>* new_apps =
-              new_state->Find(update.app.method);
-          if (old_apps == nullptr || new_apps == nullptr) return Status::Ok();
           Trail& trail = scratch_[p].fact;
           Trail& trail2 = scratch_[p].extra;
-          for (const GroundApp& old_fact : *old_apps) {
+          auto try_old = [&](const GroundApp& old_fact) -> Status {
             trail.clear();
             if (!TryBindApp(update.app, old_fact, &trail)) {
               Unwind(trail);
-              continue;
+              return Status::Ok();
             }
-            for (const GroundApp& new_fact : *new_apps) {
-              if (new_fact.args != old_fact.args) continue;
+            auto try_new = [&](const GroundApp& new_fact) -> Status {
+              if (new_fact.args != old_fact.args) return Status::Ok();
               if (new_fact.result != old_fact.result &&
-                  ctx_.base.Contains(target, update.app.method, old_fact)) {
+                  ctx_.base.ContainsApp(target, update.app.method, old_fact)) {
                 // r != r' requires mod(v).m->r to be gone.
-                continue;
+                return Status::Ok();
               }
               trail2.clear();
               if (BindObj(update.new_result, new_fact.result, &trail2)) {
@@ -284,10 +320,15 @@ class Matcher {
                 if (!status.ok()) return status;
               }
               Unwind(trail2);
-            }
+              return Status::Ok();
+            };
+            Status status = ProbeApps(*new_state, update.app.method,
+                                      update.new_result, try_new);
             Unwind(trail);
-          }
-          return Status::Ok();
+            return status;
+          };
+          return ProbeApps(*old_state, update.app.method, update.app.result,
+                           try_old);
         });
   }
 

@@ -5,6 +5,20 @@
 
 namespace verso {
 
+bool SharedApps::result_index_enabled_ = true;
+
+void IndexedApps::BuildIndex() const {
+  by_result_.clear();
+  by_result_.reserve(apps_.size());
+  for (uint32_t i = 0; i < apps_.size(); ++i) {
+    by_result_.emplace_back(apps_[i].result, i);
+  }
+  // Lexicographic: results ascending, offsets ascending per result —
+  // lookups are one binary search, enumeration stays in scan order.
+  std::sort(by_result_.begin(), by_result_.end());
+  index_built_ = true;
+}
+
 VersionState::MethodList::iterator VersionState::LowerBound(MethodId method) {
   return std::lower_bound(
       methods_.begin(), methods_.end(), method,

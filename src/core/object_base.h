@@ -1,6 +1,7 @@
 #ifndef VERSO_CORE_OBJECT_BASE_H_
 #define VERSO_CORE_OBJECT_BASE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -11,50 +12,192 @@
 #include "core/ids.h"
 #include "core/term.h"
 #include "core/version_table.h"
+#include "util/result.h"
 
 namespace verso {
 
-/// Refcounted copy-on-write handle to one method's sorted application
-/// vector. Copying a SharedApps shares the underlying vector (a pointer
-/// bump); Mutable() detaches — clones the vector — the first time a
-/// shared handle is written through. All reads go through the const view,
-/// so two VersionStates produced by a T_P step-2 copy keep sharing every
-/// method the updates never touch.
+/// Counters for bound-result lookups answered through the result-keyed
+/// index (ForEachAppWithResult). Threaded from the matcher's MatchContext
+/// into TpRoundStats / EvalStats, QueryStats, and ViewStats, so every
+/// layer that probes with a ground result reports how much scanning the
+/// index saved it.
+struct IndexStats {
+  /// Bound-result lookups launched (indexed or ablation-scan mode).
+  size_t index_probes = 0;
+  /// Probes that enumerated at least one matching fact.
+  size_t index_hits = 0;
+  /// Facts a full per-method scan would have visited but the index
+  /// skipped (sum over probes of method-fact-count minus facts
+  /// enumerated); stays 0 when the index is disabled for ablation.
+  size_t indexed_scan_avoided_facts = 0;
+};
+
+/// The shared storage node of one method's applications: the sorted
+/// application vector plus a lazily built result-keyed index
+/// (result constant -> ascending offsets into the vector). The paper's
+/// hottest literal form is `X.m -> c` with the result already bound;
+/// the index answers it without scanning the full vector.
+///
+/// The index is NOT part of the node's value: it is derived state,
+/// rebuilt on demand after any mutation, built through a const handle
+/// (a lazy build must never count as a write, or it would detach COW
+/// sharing), and ignored by equality. Between commits a node is
+/// immutable, so a built index could safely be shared across threads —
+/// the groundwork for parallel stratum evaluation; today the refcount
+/// discipline (like everything below the Connection facade) is
+/// single-threaded, and lazy builds rely on that.
+class IndexedApps {
+ public:
+  /// Flat (result, offset) pairs sorted lexicographically: a lookup is
+  /// one binary search over contiguous memory (no per-result bucket
+  /// allocations, no hash chasing), and offsets per result come out
+  /// ascending — indexed enumeration visits facts in scan order. The
+  /// application vector is sorted by (args, result), so equal results
+  /// are scattered through it and the index genuinely reorders.
+  using ResultIndex = std::vector<std::pair<Oid, uint32_t>>;
+
+  IndexedApps() = default;
+  /// Detach copy: clones the applications only. The copy rebuilds its
+  /// own index on first demand — the source's (possibly built) index is
+  /// derived state, not value.
+  IndexedApps(const IndexedApps& other) : apps_(other.apps_) {}
+  IndexedApps& operator=(const IndexedApps&) = delete;
+
+  const std::vector<GroundApp>& apps() const { return apps_; }
+
+  /// Write access to the vector; invalidates the index (the caller is
+  /// the sole owner by the SharedApps detach discipline).
+  std::vector<GroundApp>& MutableApps() {
+    InvalidateIndex();
+    return apps_;
+  }
+
+  /// The result index, built on first use.
+  const ResultIndex& result_index() const {
+    if (!index_built_) BuildIndex();
+    return by_result_;
+  }
+
+  /// True iff the lazy index has been materialized (tests/benches).
+  bool index_built() const { return index_built_; }
+
+ private:
+  void BuildIndex() const;
+  void InvalidateIndex() {
+    index_built_ = false;
+    by_result_.clear();
+  }
+
+  std::vector<GroundApp> apps_;
+  mutable ResultIndex by_result_;
+  mutable bool index_built_ = false;
+};
+
+/// Refcounted copy-on-write handle to one method's IndexedApps node.
+/// Copying a SharedApps shares the node (a pointer bump); Mutable()
+/// detaches — clones the application vector — the first time a shared
+/// handle is written through. All reads go through the const view, so
+/// two VersionStates produced by a T_P step-2 copy keep sharing every
+/// method the updates never touch; a lazily built result index rides
+/// along with the shared node for free.
 ///
 /// The refcount discipline is single-threaded (like everything below the
 /// Connection facade): use_count() == 1 means "sole owner, mutate in
 /// place".
 class SharedApps {
  public:
-  SharedApps() : apps_(std::make_shared<std::vector<GroundApp>>()) {}
+  SharedApps() : node_(std::make_shared<IndexedApps>()) {}
 
-  const std::vector<GroundApp>& get() const { return *apps_; }
+  const std::vector<GroundApp>& get() const { return node_->apps(); }
   std::vector<GroundApp>::const_iterator begin() const {
-    return apps_->begin();
+    return get().begin();
   }
-  std::vector<GroundApp>::const_iterator end() const { return apps_->end(); }
-  size_t size() const { return apps_->size(); }
-  bool empty() const { return apps_->empty(); }
+  std::vector<GroundApp>::const_iterator end() const { return get().end(); }
+  size_t size() const { return get().size(); }
+  bool empty() const { return get().empty(); }
 
-  /// Detach-before-write: clones the vector iff it is shared.
+  /// Detach-before-write: clones the node iff it is shared, and
+  /// invalidates its lazily built index either way.
   std::vector<GroundApp>& Mutable() {
-    if (apps_.use_count() > 1) {
-      apps_ = std::make_shared<std::vector<GroundApp>>(*apps_);
+    if (node_.use_count() > 1) {
+      node_ = std::make_shared<IndexedApps>(*node_);
     }
-    return *apps_;
+    return node_->MutableApps();
   }
 
-  /// True iff both handles point at the same vector — equal for free.
+  /// Vectors below this size answer bound-result probes by a direct
+  /// scan instead of building an index node: a one-compare scan beats
+  /// any index, and the hottest invalidation churn (DRed maintenance
+  /// mutating singleton edge vectors between probes) never pays a
+  /// rebuild.
+  static constexpr size_t kResultIndexMinFacts = 2;
+
+  /// Enumerates the applications whose result is exactly `result`, in
+  /// scan order, invoking `fn(const GroundApp&)` per fact; `fn` may
+  /// return an error to abort. Uses the node's result index (building
+  /// it on first probe — not a write); tiny vectors, and all vectors
+  /// with the index disabled for ablation, fall back to the full scan
+  /// the pre-index code did. `stats`, when given, records the probe.
+  template <typename Fn>
+  Status ForEachWithResult(Oid result, IndexStats* stats, Fn&& fn) const {
+    if (stats != nullptr) ++stats->index_probes;
+    size_t visited = 0;
+    if (result_index_enabled_ &&
+        node_->apps().size() >= kResultIndexMinFacts) {
+      const IndexedApps::ResultIndex& index = node_->result_index();
+      auto it = std::lower_bound(
+          index.begin(), index.end(), result,
+          [](const std::pair<Oid, uint32_t>& entry, Oid r) {
+            return entry.first < r;
+          });
+      for (; it != index.end() && it->first == result; ++it) {
+        ++visited;
+        VERSO_RETURN_IF_ERROR(fn(node_->apps()[it->second]));
+      }
+      if (stats != nullptr) {
+        if (visited != 0) ++stats->index_hits;
+        stats->indexed_scan_avoided_facts += node_->apps().size() - visited;
+      }
+      return Status::Ok();
+    }
+    for (const GroundApp& app : node_->apps()) {
+      if (!(app.result == result)) continue;
+      ++visited;
+      VERSO_RETURN_IF_ERROR(fn(app));
+    }
+    if (stats != nullptr && visited != 0) ++stats->index_hits;
+    return Status::Ok();
+  }
+
+  /// The shared node (tests/benches inspect index_built()).
+  const IndexedApps& node() const { return *node_; }
+
+  /// Ablation switch: with the result index disabled,
+  /// ForEachAppWithResult degrades to the pre-index full scan (counters
+  /// still count probes, but nothing is avoided). Benchmarks and the
+  /// index-consistency property test flip this; production code never
+  /// should.
+  static void EnableResultIndex(bool enabled) {
+    result_index_enabled_ = enabled;
+  }
+  static bool result_index_enabled() { return result_index_enabled_; }
+
+  /// True iff both handles point at the same node — equal for free.
   friend bool SharesStorage(const SharedApps& a, const SharedApps& b) {
-    return a.apps_ == b.apps_;
+    return a.node_ == b.node_;
   }
 
+  /// Equality is application-vector equality only: a state whose lazy
+  /// index was materialized still compares equal to (and keeps sharing
+  /// storage with) its pre-index copy.
   friend bool operator==(const SharedApps& a, const SharedApps& b) {
-    return a.apps_ == b.apps_ || *a.apps_ == *b.apps_;
+    return a.node_ == b.node_ || a.node_->apps() == b.node_->apps();
   }
 
  private:
-  std::shared_ptr<std::vector<GroundApp>> apps_;
+  std::shared_ptr<IndexedApps> node_;
+
+  static bool result_index_enabled_;
 };
 
 /// The state of one version: all ground method-applications that hold for
@@ -63,10 +206,17 @@ class SharedApps {
 /// beats ordered-map node hops); per method the applications are kept
 /// sorted, so membership is a binary search and states compare with ==.
 ///
-/// Application vectors are copy-on-write (SharedApps): copying a
-/// VersionState — the paper's T_P step-2 "copy v*'s state" — is
-/// O(#methods) pointer bumps, and applying updates to the copy clones
+/// Application vectors are copy-on-write (SharedApps over IndexedApps):
+/// copying a VersionState — the paper's T_P step-2 "copy v*'s state" —
+/// is O(#methods) pointer bumps, and applying updates to the copy clones
 /// only the vectors of the methods actually written.
+///
+/// Access API (shared by the matcher, T_P seeding/residual re-matching,
+/// DRed maintenance, and the query fixpoint):
+///   * ForEachApp(method, fn)            — enumerate one method's facts;
+///   * ForEachAppWithResult(m, r, s, fn) — only facts with result r,
+///                                         answered by the result index;
+///   * ContainsApp(method, app)          — membership, binary search.
 class VersionState {
  public:
   using MethodEntry = std::pair<MethodId, SharedApps>;
@@ -77,6 +227,33 @@ class VersionState {
   /// Returns true if the application was present.
   bool Erase(MethodId method, const GroundApp& app);
   bool Contains(MethodId method, const GroundApp& app) const;
+  /// Canonical membership name of the access API (same as Contains).
+  bool ContainsApp(MethodId method, const GroundApp& app) const {
+    return Contains(method, app);
+  }
+
+  /// Enumerates every application of `method` in sorted order, invoking
+  /// `fn(const GroundApp&)`; `fn` may return an error to abort.
+  template <typename Fn>
+  Status ForEachApp(MethodId method, Fn&& fn) const {
+    const SharedApps* apps = FindShared(method);
+    if (apps == nullptr) return Status::Ok();
+    for (const GroundApp& app : apps->get()) {
+      VERSO_RETURN_IF_ERROR(fn(app));
+    }
+    return Status::Ok();
+  }
+
+  /// Enumerates only the applications of `method` whose result is
+  /// `result` (the bound-result hot path), through the lazily built
+  /// result index. Probe counters accumulate into `stats` when given.
+  template <typename Fn>
+  Status ForEachAppWithResult(MethodId method, Oid result, IndexStats* stats,
+                              Fn&& fn) const {
+    const SharedApps* apps = FindShared(method);
+    if (apps == nullptr) return Status::Ok();
+    return apps->ForEachWithResult(result, stats, std::forward<Fn>(fn));
+  }
 
   /// All applications of one method, or nullptr.
   const std::vector<GroundApp>* Find(MethodId method) const;
@@ -96,7 +273,8 @@ class VersionState {
   bool OnlyExists(MethodId exists_method) const;
 
   friend bool operator==(const VersionState& a, const VersionState& b) {
-    // SharedApps::operator== short-circuits on shared storage.
+    // SharedApps::operator== short-circuits on shared storage and
+    // ignores lazily built index state.
     return a.methods_ == b.methods_;
   }
 
@@ -112,7 +290,9 @@ class VersionState {
 /// (paper Section 2.1), indexed
 ///   * per version: its full VersionState (the copy unit of T_P step 2),
 ///   * per method: which versions carry it (drives matching of patterns
-///     whose version variable is unbound, filtered by VID shape).
+///     whose version variable is unbound, filtered by VID shape),
+///   * per (method, result): lazily, inside each method's IndexedApps
+///     node (drives matching of bound-result literals).
 ///
 /// Per-version states are refcounted immutable handles: copying an
 /// ObjectBase is O(#versions) pointer bumps plus one shared-index bump —
@@ -145,6 +325,29 @@ class ObjectBase {
   bool Insert(Vid version, MethodId method, GroundApp app);
   bool Erase(Vid version, MethodId method, const GroundApp& app);
   bool Contains(Vid version, MethodId method, const GroundApp& app) const;
+  /// Canonical membership name of the access API (same as Contains).
+  bool ContainsApp(Vid version, MethodId method, const GroundApp& app) const {
+    return Contains(version, method, app);
+  }
+
+  /// Enumerates every `version.method@args -> r` fact, in sorted order.
+  template <typename Fn>
+  Status ForEachApp(Vid version, MethodId method, Fn&& fn) const {
+    const VersionState* state = StateOf(version);
+    if (state == nullptr) return Status::Ok();
+    return state->ForEachApp(method, std::forward<Fn>(fn));
+  }
+
+  /// Enumerates only the facts of (version, method) whose result is
+  /// `result`, through the state's result index.
+  template <typename Fn>
+  Status ForEachAppWithResult(Vid version, MethodId method, Oid result,
+                              IndexStats* stats, Fn&& fn) const {
+    const VersionState* state = StateOf(version);
+    if (state == nullptr) return Status::Ok();
+    return state->ForEachAppWithResult(method, result, stats,
+                                       std::forward<Fn>(fn));
+  }
 
   /// The state of a version, or nullptr if it has no facts.
   const VersionState* StateOf(Vid version) const;

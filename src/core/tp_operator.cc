@@ -136,7 +136,7 @@ Status TpOperator::DeriveFromBindings(const Rule& rule,
   // modify requires the old application to hold in v*'s state.
   if (rule.head.kind != UpdateKind::kInsert) {
     Vid vstar = base.LatestExistingStage(v);
-    if (!vstar.valid() || !base.Contains(vstar, update.method, update.app)) {
+    if (!vstar.valid() || !base.ContainsApp(vstar, update.method, update.app)) {
       return Status::Ok();
     }
   }
@@ -148,7 +148,7 @@ Status TpOperator::DeriveFull(const Program& program,
                               const std::vector<uint32_t>& rule_indices,
                               const ObjectBase& base, TpStratumState& state,
                               TpRoundStats& stats, TraceSink* trace) {
-  MatchContext ctx{symbols_, versions_, base};
+  MatchContext ctx{symbols_, versions_, base, &stats.index};
   for (uint32_t rule_index : rule_indices) {
     const Rule& rule = program.rules[rule_index];
     Status status = ForEachBodyMatch(
@@ -165,7 +165,7 @@ Status TpOperator::DeriveSeeded(const Program& program,
                                 const ObjectBase& base, const DeltaLog& delta,
                                 TpStratumState& state, TpRoundStats& stats,
                                 TraceSink* trace) {
-  MatchContext ctx{symbols_, versions_, base};
+  MatchContext ctx{symbols_, versions_, base, &stats.index};
   std::unordered_set<uint32_t> touched_methods;
   size_t added_total = 0;
   for (const DeltaFact& fact : delta) {

@@ -44,6 +44,9 @@ struct TpRoundStats {
   size_t copied_facts = 0;    // facts SHARED into new targets (step-2
                               // states are COW; only written methods
                               // physically copy)
+  IndexStats index;           // bound-result probes answered by the
+                              // result index (full matching, seeded
+                              // probes, and residual re-matching alike)
 };
 
 /// Persistent per-stratum evaluation state for the delta-driven fixpoint

@@ -42,6 +42,14 @@ void RecordingTrace::OnVersionMaterialized(Vid version, Vid copied_from,
                    " facts)");
 }
 
+void RecordingTrace::OnIndexUse(uint32_t stratum, size_t probes, size_t hits,
+                                size_t avoided_facts) {
+  lines_.push_back("stratum " + std::to_string(stratum) + " index: " +
+                   std::to_string(probes) + " probe(s), " +
+                   std::to_string(hits) + " hit(s), " +
+                   std::to_string(avoided_facts) + " scan fact(s) avoided");
+}
+
 void RecordingTrace::OnStratumFixpoint(uint32_t stratum, uint32_t rounds) {
   lines_.push_back("stratum " + std::to_string(stratum) + " fixpoint after " +
                    std::to_string(rounds) + " round(s)");
@@ -96,6 +104,12 @@ void StreamTrace::OnVersionMaterialized(Vid version, Vid copied_from,
        << (copied_from.valid() ? versions_.ToString(copied_from, symbols_)
                                : std::string("<fresh>"))
        << " (" << copied_facts << " facts)\n";
+}
+
+void StreamTrace::OnIndexUse(uint32_t stratum, size_t probes, size_t hits,
+                             size_t avoided_facts) {
+  out_ << "stratum " << stratum << " index: " << probes << " probe(s), "
+       << hits << " hit(s), " << avoided_facts << " scan fact(s) avoided\n";
 }
 
 void StreamTrace::OnStratumFixpoint(uint32_t stratum, uint32_t rounds) {

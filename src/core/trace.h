@@ -55,6 +55,17 @@ class TraceSink {
     (void)copied_from;
     (void)copied_facts;
   }
+  /// A stratum reached its fixpoint having answered `probes` bound-result
+  /// lookups through the (method, result) index: `hits` enumerated at
+  /// least one fact and `avoided_facts` full-scan fact visits were
+  /// skipped. Emitted (before OnStratumFixpoint) only when probes > 0.
+  virtual void OnIndexUse(uint32_t stratum, size_t probes, size_t hits,
+                          size_t avoided_facts) {
+    (void)stratum;
+    (void)probes;
+    (void)hits;
+    (void)avoided_facts;
+  }
   virtual void OnStratumFixpoint(uint32_t stratum, uint32_t rounds) {
     (void)stratum;
     (void)rounds;
@@ -88,6 +99,8 @@ class RecordingTrace : public TraceSink {
   void OnUpdateDerived(const Rule& rule, const GroundUpdate& update) override;
   void OnVersionMaterialized(Vid version, Vid copied_from,
                              size_t copied_facts) override;
+  void OnIndexUse(uint32_t stratum, size_t probes, size_t hits,
+                  size_t avoided_facts) override;
   void OnStratumFixpoint(uint32_t stratum, uint32_t rounds) override;
   void OnViewMaintenance(std::string_view view, size_t delta_facts,
                          size_t added, size_t removed, size_t overdeleted,
@@ -118,6 +131,8 @@ class StreamTrace : public TraceSink {
   void OnUpdateDerived(const Rule& rule, const GroundUpdate& update) override;
   void OnVersionMaterialized(Vid version, Vid copied_from,
                              size_t copied_facts) override;
+  void OnIndexUse(uint32_t stratum, size_t probes, size_t hits,
+                  size_t avoided_facts) override;
   void OnStratumFixpoint(uint32_t stratum, uint32_t rounds) override;
   void OnViewMaintenance(std::string_view view, size_t delta_facts,
                          size_t added, size_t removed, size_t overdeleted,

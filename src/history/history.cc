@@ -16,7 +16,7 @@ void DiffStates(const VersionState* before, const VersionState& after,
   std::vector<std::pair<MethodId, GroundApp>> raw_removed;
   for (const auto& [method, apps] : after.methods()) {
     for (const GroundApp& app : apps) {
-      if (before == nullptr || !before->Contains(method, app)) {
+      if (before == nullptr || !before->ContainsApp(method, app)) {
         raw_added.emplace_back(method, app);
       }
     }
@@ -24,7 +24,7 @@ void DiffStates(const VersionState* before, const VersionState& after,
   if (before != nullptr) {
     for (const auto& [method, apps] : before->methods()) {
       for (const GroundApp& app : apps) {
-        if (!after.Contains(method, app)) {
+        if (!after.ContainsApp(method, app)) {
           raw_removed.emplace_back(method, app);
         }
       }

@@ -213,7 +213,8 @@ Status SolveRecursiveStratum(const QueryProgram& program,
                              SymbolTable& symbols, VersionTable& versions,
                              ObjectBase& working, uint32_t max_rounds,
                              QueryStats* stats) {
-  MatchContext ctx{symbols, versions, working};
+  IndexStats istats;
+  MatchContext ctx{symbols, versions, working, &istats};
   DeltaLog frontier;
   DeltaLog delta;
   // Head facts are buffered per enumeration and installed afterwards:
@@ -304,6 +305,11 @@ Status SolveRecursiveStratum(const QueryProgram& program,
     frontier = std::move(delta);
     delta = DeltaLog();
   }
+  if (stats != nullptr) {
+    stats->index_probes += istats.index_probes;
+    stats->index_hits += istats.index_hits;
+    stats->indexed_scan_avoided_facts += istats.indexed_scan_avoided_facts;
+  }
   return Status::Ok();
 }
 
@@ -327,8 +333,9 @@ Result<ObjectBase> EvaluateQueries(QueryProgram& program,
                          AnalyzeQueryProgram(program, symbols));
 
   ObjectBase working = base;
-  MatchContext ctx{symbols, versions, working};
   QueryStats local;
+  IndexStats istats;
+  MatchContext ctx{symbols, versions, working, &istats};
   local.strata = static_cast<uint32_t>(stratification.strata.size());
 
   for (const QueryStratum& stratum : stratification.strata) {
@@ -390,6 +397,9 @@ Result<ObjectBase> EvaluateQueries(QueryProgram& program,
     }
   }
 
+  local.index_probes += istats.index_probes;
+  local.index_hits += istats.index_hits;
+  local.indexed_scan_avoided_facts += istats.indexed_scan_avoided_facts;
   if (stats != nullptr) *stats = local;
   return working;
 }

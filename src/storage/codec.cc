@@ -208,7 +208,7 @@ FactDelta ComputeDelta(const ObjectBase& before, const ObjectBase& after) {
         if (shared != nullptr && SharesStorage(*shared, apps)) continue;
       }
       for (const GroundApp& app : apps) {
-        if (other == nullptr || !other->Contains(method, app)) {
+        if (other == nullptr || !other->ContainsApp(method, app)) {
           delta.added.push_back({vid, method, app});
         }
       }
@@ -223,7 +223,7 @@ FactDelta ComputeDelta(const ObjectBase& before, const ObjectBase& after) {
         if (shared != nullptr && SharesStorage(*shared, apps)) continue;
       }
       for (const GroundApp& app : apps) {
-        if (other == nullptr || !other->Contains(method, app)) {
+        if (other == nullptr || !other->ContainsApp(method, app)) {
           delta.removed.push_back({vid, method, app});
         }
       }

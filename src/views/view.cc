@@ -62,7 +62,7 @@ Result<std::unique_ptr<MaterializedView>> MaterializedView::Create(
 
 Status MaterializedView::Materialize() {
   ++stats_.full_evaluations;
-  MatchContext ctx{symbols_, versions_, working_};
+  MatchContext ctx{symbols_, versions_, working_, &istats_};
   // Buffer head facts per enumeration: sinks must not grow the object
   // base mid-match (the matcher holds pointers into its fact vectors).
   std::vector<ViewFactKey> pending;
@@ -98,7 +98,11 @@ Status MaterializedView::Materialize() {
         program_, stratum, symbols_, versions_, working_, kMaxRounds,
         &qstats));
     stats_.seed_probes += qstats.delta_joins;
+    stats_.index_probes += qstats.index_probes;
+    stats_.index_hits += qstats.index_hits;
+    stats_.indexed_scan_avoided_facts += qstats.indexed_scan_avoided_facts;
   }
+  FoldIndexStats();
   return Status::Ok();
 }
 
@@ -117,7 +121,7 @@ std::unordered_set<uint32_t> MaterializedView::ReadMethods(
 Status MaterializedView::ProbeTrigger(const QueryStratum& stratum,
                                       const Trigger& trigger,
                                       std::vector<ViewFactKey>& heads) {
-  MatchContext ctx{symbols_, versions_, working_};
+  MatchContext ctx{symbols_, versions_, working_, &istats_};
   Bindings seed;
   for (uint32_t r : stratum.rules) {
     const Rule& rule = program_.rules[r];
@@ -156,7 +160,7 @@ Status MaterializedView::ProbeTrigger(const QueryStratum& stratum,
 
 Result<bool> MaterializedView::HasDerivation(const QueryStratum& stratum,
                                              const ViewFactKey& fact) {
-  MatchContext ctx{symbols_, versions_, working_};
+  MatchContext ctx{symbols_, versions_, working_, &istats_};
   DeltaFact probe = ToDeltaFact(fact, /*added=*/true);
   Bindings seed;
   for (uint32_t r : stratum.rules) {
@@ -386,6 +390,13 @@ std::vector<MethodId> MaterializedView::DerivedMethods() const {
   return methods;
 }
 
+void MaterializedView::FoldIndexStats() {
+  stats_.index_probes += istats_.index_probes;
+  stats_.index_hits += istats_.index_hits;
+  stats_.indexed_scan_avoided_facts += istats_.indexed_scan_avoided_facts;
+  istats_ = IndexStats();
+}
+
 Status MaterializedView::ApplyBaseDelta(const DeltaLog& delta,
                                         DeltaLog* view_delta) {
   if (!health_.ok()) return health_;
@@ -435,6 +446,7 @@ Status MaterializedView::MaintainAll(const DeltaLog& delta,
     stream.insert(stream.end(), emitted.begin(), emitted.end());
   }
 
+  FoldIndexStats();
   if (trace_ != nullptr) {
     trace_->OnViewMaintenance(name_, delta.size(),
                               stats_.facts_added - added_before,

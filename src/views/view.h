@@ -50,6 +50,11 @@ struct ViewStats {
   uint64_t rederived = 0;          // DRed strata: facts with alternative proofs
   uint64_t seed_probes = 0;        // delta-seeded partial matches launched
   uint64_t rederive_probes = 0;    // goal-directed head probes launched
+  uint64_t index_probes = 0;       // bound-result lookups through the
+                                   // result index (DRed Phase A/B probes
+                                   // bind heads, so these dominate there)
+  uint64_t index_hits = 0;         // probes enumerating >= 1 fact
+  uint64_t indexed_scan_avoided_facts = 0;  // full-scan visits skipped
 };
 
 /// A named materialized view: a derived-method program evaluated once in
@@ -158,8 +163,12 @@ class MaterializedView {
                              const ViewFactKey& fact);
 
   bool InWorking(const ViewFactKey& fact) const {
-    return working_.Contains(fact.vid, fact.method, fact.app);
+    return working_.ContainsApp(fact.vid, fact.method, fact.app);
   }
+
+  /// Folds the scratch index-probe counters into stats_ (called once a
+  /// materialization or maintenance run finishes).
+  void FoldIndexStats();
 
   std::string name_;
   QueryProgram program_;
@@ -174,6 +183,9 @@ class MaterializedView {
   std::unordered_map<ViewFactKey, int64_t, ViewFactKeyHash> support_;
   std::unordered_set<uint32_t> derived_methods_;
   ViewStats stats_;
+  /// Scratch bound-result probe counters for the current run's
+  /// MatchContexts; FoldIndexStats moves them into stats_.
+  IndexStats istats_;
   Status health_ = Status::Ok();
 };
 

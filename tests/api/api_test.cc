@@ -134,6 +134,36 @@ TEST(ApiWriteTest, CommitExposesDeltaStatsAndEpoch) {
   EXPECT_EQ(rows, rs->size());
 }
 
+TEST(ApiWriteTest, IndexCountersMoveOnAnIndexedWorkload) {
+  std::unique_ptr<Connection> conn = MemConnection();
+  // Every object carries several `likes` facts, so a bound-result body
+  // literal has real scanning to avoid.
+  std::string facts;
+  for (int i = 0; i < 16; ++i) {
+    std::string name = "p" + std::to_string(i);
+    facts += name + ".isa -> fan. ";
+    facts += name + ".likes -> jazz. ";
+    facts += name + ".likes -> g" + std::to_string(i % 5) + ". ";
+    facts += name + ".likes -> h" + std::to_string(i % 7) + ". ";
+  }
+  ASSERT_TRUE(conn->ImportText(facts).ok());
+
+  std::unique_ptr<Session> session = conn->OpenSession();
+  Result<ResultSet> rs = session->Execute(
+      "t: ins[E].tag -> hot <- E.isa -> fan, E.likes -> jazz.");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+
+  // The bound-result literal (likes -> jazz) probed the result index
+  // once per candidate, hit every time, and skipped the other likes
+  // facts a full scan would have visited.
+  const EvalStats* stats = rs->eval_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GE(stats->total_index_probes(), 16u);
+  EXPECT_GE(stats->total_index_hits(), 16u);
+  EXPECT_GE(stats->total_indexed_scan_avoided_facts(), 32u);
+  EXPECT_GE(stats->total_index_probes(), stats->total_index_hits());
+}
+
 TEST(ApiWriteTest, PreparedStatementIsReusable) {
   std::unique_ptr<Connection> conn = MemConnection();
   ASSERT_TRUE(conn->ImportText("ann.sal -> 100.").ok());

@@ -36,7 +36,7 @@ class MatchTest : public ::testing::Test {
     }
     EXPECT_GE(var_index, 0) << "no variable " << var;
     std::multiset<std::string> out;
-    MatchContext ctx{symbols_, versions_, base_};
+    MatchContext ctx{symbols_, versions_, base_, &istats_};
     Status status = ForEachBodyMatch(
         rule_, ctx, [&](const Bindings& bindings) -> Status {
           Oid v = bindings[static_cast<size_t>(var_index)];
@@ -51,6 +51,16 @@ class MatchTest : public ::testing::Test {
   VersionTable versions_;
   ObjectBase base_;
   Rule rule_;
+  IndexStats istats_;
+};
+
+/// Forces ForEachAppWithResult onto the pre-index full scan for the
+/// duration of a scope (the ablation toggle; diffed against the indexed
+/// default below).
+class ScanModeGuard {
+ public:
+  ScanModeGuard() { SharedApps::EnableResultIndex(false); }
+  ~ScanModeGuard() { SharedApps::EnableResultIndex(true); }
 };
 
 TEST_F(MatchTest, PlainVersionTermEnumerates) {
@@ -156,6 +166,68 @@ TEST_F(MatchTest, ModifyBodyGroundNegation) {
   EXPECT_EQ(MatchesOf("r: ins[x].m -> E <- E.sal -> 100, "
                       "not mod[E].sal -> (100, 110).", "E"),
             (std::multiset<std::string>{"b"}));
+}
+
+// ---- Bound-result literals: indexed path vs scan path ----------------
+
+TEST_F(MatchTest, GroundResultLiteralMatchesScanPath) {
+  Facts("a.likes -> jazz.  a.likes -> rock.  b.likes -> jazz. "
+        "c.likes -> folk.  c.likes -> rock.  c.likes -> ska.");
+  const char* rule = "r: ins[x].m -> E <- E.likes -> jazz.";
+  std::multiset<std::string> indexed = MatchesOf(rule, "E");
+  EXPECT_EQ(indexed, (std::multiset<std::string>{"a", "b"}));
+  EXPECT_GT(istats_.index_probes, 0u);
+  EXPECT_GT(istats_.indexed_scan_avoided_facts, 0u);
+  ScanModeGuard scan;
+  EXPECT_EQ(MatchesOf(rule, "E"), indexed);
+}
+
+TEST_F(MatchTest, ResultBoundEarlierInBodyMatchesScanPath) {
+  Facts("boss.likes -> jazz.  a.likes -> jazz.  a.likes -> rock. "
+        "b.likes -> rock.  c.likes -> jazz.");
+  // T is ground by the time F.likes -> T is enumerated (the first
+  // literal's version is a constant, so it is planned first); the second
+  // literal takes the indexed path per candidate F.
+  const char* rule = "r: ins[x].m -> F <- boss.likes -> T, F.likes -> T.";
+  std::multiset<std::string> indexed = MatchesOf(rule, "F");
+  EXPECT_EQ(indexed, (std::multiset<std::string>{"a", "boss", "c"}));
+  EXPECT_GT(istats_.index_probes, 0u);
+  ScanModeGuard scan;
+  EXPECT_EQ(MatchesOf(rule, "F"), indexed);
+}
+
+TEST_F(MatchTest, NegatedBoundResultLiteralMatchesScanPath) {
+  Facts("a.likes -> jazz.  a.isa -> fan.  b.isa -> fan. "
+        "b.likes -> rock.  c.isa -> fan.");
+  const char* rule =
+      "r: ins[x].m -> E <- E.isa -> fan, not E.likes -> jazz.";
+  std::multiset<std::string> indexed = MatchesOf(rule, "E");
+  EXPECT_EQ(indexed, (std::multiset<std::string>{"b", "c"}));
+  ScanModeGuard scan;
+  EXPECT_EQ(MatchesOf(rule, "E"), indexed);
+}
+
+TEST_F(MatchTest, BoundResultUpdateLiteralsMatchScanPath) {
+  Facts(R"(
+      a.isa -> empl.  a.sal -> 10.
+      del(a).exists -> a.
+      b.isa -> empl.  b.sal -> 10.
+      del(b).exists -> b.  del(b).sal -> 10.
+      c.sal -> 100.
+      mod(c).exists -> c.  mod(c).sal -> 110.
+  )");
+  // del[E].sal -> 10: ground result, enumerated from v*'s state.
+  const char* del_rule = "r: ins[x].m -> E <- del[E].sal -> 10.";
+  std::multiset<std::string> del_indexed = MatchesOf(del_rule, "E");
+  EXPECT_EQ(del_indexed, (std::multiset<std::string>{"a"}));
+  // mod[E].sal -> (100, S2): ground old result indexes into v*.
+  const char* mod_rule = "r: ins[x].m -> S2 <- mod[E].sal -> (100, S2).";
+  std::multiset<std::string> mod_indexed = MatchesOf(mod_rule, "S2");
+  EXPECT_EQ(mod_indexed, (std::multiset<std::string>{"110"}));
+  EXPECT_GT(istats_.index_probes, 0u);
+  ScanModeGuard scan;
+  EXPECT_EQ(MatchesOf(del_rule, "E"), del_indexed);
+  EXPECT_EQ(MatchesOf(mod_rule, "S2"), mod_indexed);
 }
 
 TEST_F(MatchTest, SemiNaiveSeededMatch) {

@@ -347,6 +347,112 @@ TEST_F(ObjectBaseTest, AdoptVersionSharesAcrossBases) {
   EXPECT_FALSE(third.AdoptVersion(b, base_.SharedStateOf(a)));
 }
 
+// ---- Result-keyed index (IndexedApps) --------------------------------
+
+/// Collects ForEachAppWithResult's enumeration into a vector.
+std::vector<GroundApp> IndexLookup(const VersionState& state, MethodId method,
+                                   Oid result, IndexStats* stats = nullptr) {
+  std::vector<GroundApp> out;
+  Status s = state.ForEachAppWithResult(method, result, stats,
+                                        [&](const GroundApp& app) {
+                                          out.push_back(app);
+                                          return Status::Ok();
+                                        });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
+
+TEST_F(ObjectBaseTest, ForEachAppWithResultEnumeratesExactlyMatching) {
+  Vid a = versions_.OfOid(symbols_.Symbol("a"));
+  MethodId m = symbols_.Method("m");
+  Oid one = symbols_.Int(1);
+  Oid two = symbols_.Int(2);
+  Oid hot = symbols_.Symbol("hot");
+  Oid cold = symbols_.Symbol("cold");
+  base_.Insert(a, m, App(hot, {one}));
+  base_.Insert(a, m, App(cold, {one}));
+  base_.Insert(a, m, App(hot, {two}));
+
+  IndexStats stats;
+  std::vector<GroundApp> hits =
+      IndexLookup(*base_.StateOf(a), m, hot, &stats);
+  ASSERT_EQ(hits.size(), 2u);
+  // Scan order: sorted by args then result.
+  EXPECT_EQ(hits[0], App(hot, {one}));
+  EXPECT_EQ(hits[1], App(hot, {two}));
+  EXPECT_EQ(stats.index_probes, 1u);
+  EXPECT_EQ(stats.index_hits, 1u);
+  EXPECT_EQ(stats.indexed_scan_avoided_facts, 1u);  // skipped the cold fact
+
+  // A missing result is a probe without a hit that avoids the full scan.
+  EXPECT_TRUE(IndexLookup(*base_.StateOf(a), m, symbols_.Int(99),
+                          &stats).empty());
+  EXPECT_EQ(stats.index_probes, 2u);
+  EXPECT_EQ(stats.index_hits, 1u);
+  EXPECT_EQ(stats.indexed_scan_avoided_facts, 4u);
+
+  // The lookup stays correct after mutations invalidate the lazy index.
+  base_.Insert(a, m, App(hot, {symbols_.Int(3)}));
+  base_.Erase(a, m, App(hot, {one}));
+  hits = IndexLookup(*base_.StateOf(a), m, hot);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], App(hot, {two}));
+  EXPECT_EQ(hits[1], App(hot, {symbols_.Int(3)}));
+}
+
+TEST_F(ObjectBaseTest, EqualityAndSharingIgnoreLazyIndexState) {
+  Vid a = versions_.OfOid(symbols_.Symbol("a"));
+  MethodId m = symbols_.Method("m");
+  Oid hot = symbols_.Symbol("hot");
+  base_.Insert(a, m, App(hot));
+  base_.Insert(a, m, App(symbols_.Symbol("cold")));
+
+  // The step-2 pattern: a COW copy of the state, then a bound-result
+  // probe that materializes the lazy index on ONE side only.
+  VersionState copy = *base_.StateOf(a);
+  EXPECT_FALSE(base_.StateOf(a)->FindShared(m)->node().index_built());
+  EXPECT_EQ(IndexLookup(copy, m, hot).size(), 1u);
+  EXPECT_TRUE(copy.FindShared(m)->node().index_built());
+
+  // Building the index is not a write: storage is still shared and the
+  // states still compare equal.
+  EXPECT_TRUE(SharesStorage(*base_.StateOf(a)->FindShared(m),
+                            *copy.FindShared(m)));
+  EXPECT_TRUE(*base_.StateOf(a) == copy);
+
+  // A state rebuilt from scratch (distinct storage, no index) also
+  // compares equal to the probed one: equality ignores index state.
+  VersionState rebuilt;
+  rebuilt.Insert(m, App(symbols_.Symbol("cold")));
+  rebuilt.Insert(m, App(hot));
+  EXPECT_FALSE(rebuilt.FindShared(m)->node().index_built());
+  EXPECT_TRUE(rebuilt == copy);
+
+  // ReplaceVersion's shared-storage skip keeps holding after the lazy
+  // build: swapping the probed copy back in reports "no change".
+  EXPECT_FALSE(base_.ReplaceVersion(a, copy));
+}
+
+TEST_F(ObjectBaseTest, IndexDetachesWithWriterNotWithReader) {
+  Vid a = versions_.OfOid(symbols_.Symbol("a"));
+  MethodId m = symbols_.Method("m");
+  Oid hot = symbols_.Symbol("hot");
+  base_.Insert(a, m, App(hot, {symbols_.Int(1)}));
+  base_.Insert(a, m, App(hot, {symbols_.Int(2)}));
+
+  ObjectBase copy = base_;
+  // Reader probes through the copy: index built on the shared node.
+  EXPECT_EQ(IndexLookup(*copy.StateOf(a), m, hot).size(), 2u);
+  EXPECT_EQ(copy.SharedStateOf(a), base_.SharedStateOf(a));
+
+  // Writer mutates the original: it detaches; the copy keeps answering
+  // from the (still valid) shared node it retained.
+  base_.Insert(a, m, App(hot, {symbols_.Int(3)}));
+  EXPECT_NE(copy.SharedStateOf(a), base_.SharedStateOf(a));
+  EXPECT_EQ(IndexLookup(*copy.StateOf(a), m, hot).size(), 2u);
+  EXPECT_EQ(IndexLookup(*base_.StateOf(a), m, hot).size(), 3u);
+}
+
 TEST_F(ObjectBaseTest, EqualityUsesContentNotStorageIdentity) {
   Vid a = versions_.OfOid(symbols_.Symbol("a"));
   MethodId m = symbols_.Method("m");
