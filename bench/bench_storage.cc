@@ -11,6 +11,7 @@
 #include "storage/database.h"
 #include "storage/snapshot.h"
 #include "storage/wal.h"
+#include "util/fault_env.h"
 #include "util/io.h"
 
 namespace verso::bench {
@@ -161,9 +162,70 @@ void BM_DatabaseTransaction(benchmark::State& state) {
   }
   state.counters["wal_records"] =
       static_cast<double>((*db)->wal_records_since_checkpoint());
+  state.counters["io_failures"] =
+      static_cast<double>((*db)->stats().io_failures);
   state.SetItemsProcessed(state.iterations() * 2);
 }
 BENCHMARK(BM_DatabaseTransaction)->Arg(64)->Arg(256);
+
+void BM_TransientRetryCommit(benchmark::State& state) {
+  // The degraded-mode commit path under a flaky device: every WAL append
+  // fails transiently `range(0)` times before succeeding, exercising the
+  // rollback-and-retry loop. Counters report the fault behavior the same
+  // way the other benches report index hits.
+  const uint32_t flaky = static_cast<uint32_t>(state.range(0));
+  FaultInjectingEnv env;
+  Engine engine;
+  DatabaseOptions options;
+  options.env = &env;
+  options.retry_backoff_us = 0;  // measure the I/O path, not the sleep
+  options.wal_retry_limit = flaky + 1;
+  Result<std::unique_ptr<Database>> db =
+      Database::Open("/bench", engine, options);
+  if (!db.ok()) {
+    state.SkipWithError(db.status().ToString().c_str());
+    return;
+  }
+  Result<ObjectBase> base =
+      ParseObjectBase("e.isa -> empl.  e.sal -> 100.", engine);
+  if (!base.ok() || !(*db)->ImportBase(*base).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  Result<Program> doubling = ParseProgram(
+      "r: mod[E].sal -> (S, S2) <- E.isa -> empl, E.sal -> S, S2 = S * 2.",
+      engine);
+  Result<Program> halving = ParseProgram(
+      "r: mod[E].sal -> (S, S2) <- E.isa -> empl, E.sal -> S, S2 = S / 2.",
+      engine);
+  if (!doubling.ok() || !halving.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  FaultInjectingEnv::FaultPlan plan;
+  plan.kind = FaultInjectingEnv::FaultKind::kTransient;
+  plan.filter = FaultInjectingEnv::OpFilter::kAppend;
+  plan.repeat = flaky;
+  size_t iter = 0;
+  for (auto _ : state) {
+    if (flaky > 0) {
+      plan.fail_at = 0;  // the next append, then `repeat` in a row
+      env.SetPlan(plan);
+    }
+    Program& program = (iter++ % 2 == 0) ? *doubling : *halving;
+    if (!(*db)->Execute(program).ok()) {
+      state.SkipWithError((*db)->health().ToString().c_str());
+      return;
+    }
+  }
+  state.counters["io_failures"] =
+      static_cast<double>((*db)->stats().io_failures);
+  state.counters["retries"] = static_cast<double>((*db)->stats().retries);
+  state.counters["degraded_entered"] =
+      static_cast<double>((*db)->stats().degraded_entered);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransientRetryCommit)->Arg(0)->Arg(1)->Arg(3);
 
 }  // namespace
 }  // namespace verso::bench

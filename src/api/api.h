@@ -56,9 +56,16 @@ struct ConnectionOptions {
   EvalOptions eval;
   /// Evaluation of ad-hoc derived-method queries (reads).
   QueryOptions query;
-  /// Observes rule firings, commits, and view maintenance (not owned;
-  /// must outlive the connection).
+  /// Observes rule firings, commits, view maintenance, and storage
+  /// faults (not owned; must outlive the connection).
   TraceSink* trace = nullptr;
+  /// Filesystem backend every persisted byte goes through; nullptr means
+  /// the real filesystem. Tests substitute a FaultInjectingEnv.
+  Env* env = nullptr;
+  /// Retry budget and backoff for transient WAL-append failures before
+  /// the connection degrades to read-only (see DatabaseOptions).
+  uint32_t wal_retry_limit = 3;
+  uint32_t retry_backoff_us = 100;
 };
 
 /// One commit's change to one materialized view's result, delivered to
@@ -368,6 +375,16 @@ class Connection : public ViewDeltaSink {
   /// Ok while the view is live; the first maintenance error after it
   /// poisoned (drop and re-create to recover); NotFound if unregistered.
   Status ViewHealth(std::string_view name) const;
+
+  /// Ok while the connection accepts writes; after a durability failure
+  /// on the commit path, the Status that caused degraded (read-only)
+  /// mode. While degraded, every write statement returns kReadOnly but
+  /// reads — pinned sessions, QUERY <view>, subscriptions already
+  /// delivered — keep serving the last committed state. Sticky for the
+  /// handle's lifetime; reopen the connection to recover.
+  const Status& health() const;
+  /// Storage-fault counters (io_failures / retries / degraded_entered).
+  const StorageStats& storage_stats() const;
 
   /// Folds the WAL into a fresh snapshot (no-op for in-memory).
   Status Checkpoint();

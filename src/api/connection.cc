@@ -19,7 +19,13 @@ void Connection::Finish() {
 Result<std::unique_ptr<Connection>> Connection::Open(
     const std::string& dir, ConnectionOptions options) {
   std::unique_ptr<Connection> conn(new Connection(options));
-  VERSO_ASSIGN_OR_RETURN(conn->db_, Database::Open(dir, *conn->engine_));
+  DatabaseOptions db_options;
+  db_options.env = options.env;
+  db_options.wal_retry_limit = options.wal_retry_limit;
+  db_options.retry_backoff_us = options.retry_backoff_us;
+  db_options.trace = options.trace;
+  VERSO_ASSIGN_OR_RETURN(conn->db_,
+                         Database::Open(dir, *conn->engine_, db_options));
   conn->Finish();
   return conn;
 }
@@ -79,7 +85,12 @@ Status Connection::ViewHealth(std::string_view name) const {
 void Connection::SetTrace(TraceSink* trace) {
   options_.trace = trace;
   catalog_->set_trace(trace);
+  db_->set_trace(trace);
 }
+
+const Status& Connection::health() const { return db_->health(); }
+
+const StorageStats& Connection::storage_stats() const { return db_->stats(); }
 
 Status Connection::Checkpoint() { return db_->Checkpoint(); }
 

@@ -66,6 +66,13 @@ void RecordingTrace::OnViewMaintenance(std::string_view view,
                    ", rederived " + std::to_string(rederived) + ")");
 }
 
+void RecordingTrace::OnStorageFault(std::string_view op, const Status& status,
+                                    uint32_t attempt, bool degraded) {
+  lines_.push_back("storage fault on " + std::string(op) + " (attempt " +
+                   std::to_string(attempt) + "): " + status.ToString() +
+                   (degraded ? " -> DEGRADED (read-only)" : ""));
+}
+
 std::string RecordingTrace::ToString() const {
   std::string out;
   for (const std::string& line : lines_) {
@@ -123,6 +130,13 @@ void StreamTrace::OnViewMaintenance(std::string_view view, size_t delta_facts,
   out_ << "view " << view << ": " << delta_facts << " delta fact(s) -> +"
        << added << "/-" << removed << " (overdeleted " << overdeleted
        << ", rederived " << rederived << ")\n";
+}
+
+void StreamTrace::OnStorageFault(std::string_view op, const Status& status,
+                                 uint32_t attempt, bool degraded) {
+  out_ << "storage fault on " << op << " (attempt " << attempt
+       << "): " << status.ToString()
+       << (degraded ? " -> DEGRADED (read-only)" : "") << "\n";
 }
 
 }  // namespace verso

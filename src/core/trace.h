@@ -11,6 +11,7 @@
 #include "core/symbol_table.h"
 #include "core/update.h"
 #include "core/version_table.h"
+#include "util/status.h"
 
 namespace verso {
 
@@ -84,6 +85,19 @@ class TraceSink {
     (void)overdeleted;
     (void)rederived;
   }
+  /// The storage layer hit an I/O fault on operation `op` ("wal-append",
+  /// "checkpoint-snapshot", "checkpoint-truncate", ...). `attempt` counts
+  /// retries already spent on the operation (0 = first try); `degraded`
+  /// is true when this fault tipped the database into read-only degraded
+  /// mode. Benches and workloads report fault behavior through this hook
+  /// the same way they report index hits.
+  virtual void OnStorageFault(std::string_view op, const Status& status,
+                              uint32_t attempt, bool degraded) {
+    (void)op;
+    (void)status;
+    (void)attempt;
+    (void)degraded;
+  }
 };
 
 /// Records a readable line per event; handy in tests and examples.
@@ -105,6 +119,8 @@ class RecordingTrace : public TraceSink {
   void OnViewMaintenance(std::string_view view, size_t delta_facts,
                          size_t added, size_t removed, size_t overdeleted,
                          size_t rederived) override;
+  void OnStorageFault(std::string_view op, const Status& status,
+                      uint32_t attempt, bool degraded) override;
 
   const std::vector<std::string>& lines() const { return lines_; }
   /// All lines joined with newlines.
@@ -137,6 +153,8 @@ class StreamTrace : public TraceSink {
   void OnViewMaintenance(std::string_view view, size_t delta_facts,
                          size_t added, size_t removed, size_t overdeleted,
                          size_t rederived) override;
+  void OnStorageFault(std::string_view op, const Status& status,
+                      uint32_t attempt, bool degraded) override;
 
  private:
   std::ostream& out_;

@@ -1,6 +1,8 @@
 #include "storage/database.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "storage/codec.h"
 #include "storage/snapshot.h"
@@ -9,20 +11,22 @@
 namespace verso {
 
 Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
-                                                 Engine& engine) {
+                                                 Engine& engine,
+                                                 DatabaseOptions options) {
   if (dir.empty()) {
     return Status::InvalidArgument(
         "database directory must not be empty (use OpenInMemory for an "
         "ephemeral database)");
   }
-  VERSO_RETURN_IF_ERROR(EnsureDirectory(dir));
-  std::unique_ptr<Database> db(new Database(dir, engine));
-  if (FileExists(db->snapshot_path())) {
+  std::unique_ptr<Database> db(new Database(dir, engine, options));
+  Env* env = db->env_;
+  VERSO_RETURN_IF_ERROR(env->EnsureDirectory(dir));
+  if (env->FileExists(db->snapshot_path())) {
     VERSO_RETURN_IF_ERROR(ReadSnapshotInto(db->snapshot_path(),
-                                           engine.symbols(),
-                                           engine.versions(), db->current_));
+                                           engine.symbols(), engine.versions(),
+                                           db->current_, env));
   }
-  VERSO_ASSIGN_OR_RETURN(WalReadResult wal, ReadWal(db->wal_.path()));
+  VERSO_ASSIGN_OR_RETURN(WalReadResult wal, ReadWal(db->wal_.path(), env));
   db->recovered_torn_ = wal.truncated_tail;
   if (wal.truncated_tail) {
     // Chop the torn tail now: the next Append must extend the valid
@@ -40,14 +44,14 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
     // the database (corrupt_tail_preservation()) instead of being
     // swallowed. Truncation, by contrast, stays fatal: without it every
     // later commit appends behind garbage and is lost.
-    VERSO_ASSIGN_OR_RETURN(std::string raw, ReadFile(db->wal_.path()));
+    VERSO_ASSIGN_OR_RETURN(std::string raw, env->ReadFile(db->wal_.path()));
     if (raw.size() > wal.valid_bytes) {
       const std::string corrupt_path = db->wal_.path() + ".corrupt";
       std::string_view tail = std::string_view(raw).substr(wal.valid_bytes);
       size_t existing = 0;
       bool size_known = true;
-      if (FileExists(corrupt_path)) {
-        Result<size_t> size = FileSize(corrupt_path);
+      if (env->FileExists(corrupt_path)) {
+        Result<size_t> size = env->FileSize(corrupt_path);
         if (size.ok()) {
           existing = *size;
         } else {
@@ -69,7 +73,7 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
         if (existing + tail.size() > kCorruptPreserveCap) {
           tail = tail.substr(0, kCorruptPreserveCap - existing);
         }
-        Status preserved = AppendFile(corrupt_path, tail);
+        Status preserved = env->AppendFile(corrupt_path, tail);
         if (!preserved.ok()) {
           db->corrupt_tail_preservation_ = preserved;
         } else if (tail.size() < raw.size() - wal.valid_bytes) {
@@ -81,9 +85,14 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
         }
       }
     }
-    VERSO_RETURN_IF_ERROR(TruncateFile(db->wal_.path(), wal.valid_bytes));
+    VERSO_RETURN_IF_ERROR(
+        env->TruncateFile(db->wal_.path(), wal.valid_bytes));
   }
   for (const WalRecord& record : wal.records) {
+    // Replay is idempotent: fact-level deltas have set semantics
+    // (duplicate inserts and absent-fact erases are no-ops), so records
+    // whose effects an installed snapshot already folds — the
+    // checkpoint crash window — replay to the identical state.
     switch (record.kind) {
       case WalRecordKind::kDelta: {
         VERSO_ASSIGN_OR_RETURN(
@@ -109,7 +118,8 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
 }
 
 Result<std::unique_ptr<Database>> Database::OpenInMemory(Engine& engine) {
-  std::unique_ptr<Database> db(new Database(std::string(), engine));
+  std::unique_ptr<Database> db(
+      new Database(std::string(), engine, DatabaseOptions()));
   db->ephemeral_ = true;
   return db;
 }
@@ -152,14 +162,92 @@ Status Database::NotifyObservers(const DeltaLog& delta, uint64_t epoch) {
   return Status::Ok();
 }
 
+Status Database::CheckWritable() const {
+  if (degraded_.ok()) return Status::Ok();
+  return Status::ReadOnly("database is in degraded (read-only) mode: " +
+                          degraded_.ToString());
+}
+
+void Database::TraceFault(std::string_view op, const Status& status,
+                          uint32_t attempt, bool degraded) {
+  if (opts_.trace != nullptr) {
+    opts_.trace->OnStorageFault(op, status, attempt, degraded);
+  }
+}
+
+void Database::EnterDegraded(const Status& cause) {
+  if (!degraded_.ok()) return;  // sticky: first cause wins
+  degraded_ = cause;
+  ++stats_.degraded_entered;
+}
+
+Status Database::RollbackWalTail(size_t pre_size) {
+  if (!env_->FileExists(wal_.path())) {
+    return pre_size == 0
+               ? Status::Ok()
+               : Status::IoError("WAL vanished beneath the committed tail");
+  }
+  VERSO_ASSIGN_OR_RETURN(size_t now, env_->FileSize(wal_.path()));
+  if (now == pre_size) return Status::Ok();
+  if (now < pre_size) {
+    return Status::IoError("WAL shrank beneath the committed tail");
+  }
+  return env_->TruncateFile(wal_.path(), pre_size);
+}
+
+Status Database::AppendWalDurable(WalRecordKind kind,
+                                  std::string_view payload) {
+  // The tail position before the append: a failed attempt may have
+  // landed a partial frame, and a retry must not stack a fresh frame
+  // behind that garbage — recovery would stop at the tear and lose the
+  // retried commit and every later one.
+  size_t pre_size = 0;
+  bool know_tail = true;
+  if (env_->FileExists(wal_.path())) {
+    Result<size_t> size = env_->FileSize(wal_.path());
+    if (size.ok()) {
+      pre_size = *size;
+    } else {
+      know_tail = false;  // cannot roll back safely: no retries
+    }
+  }
+  uint32_t attempt = 0;
+  Status status;
+  for (;;) {
+    status = wal_.Append(kind, payload);
+    if (status.ok()) return Status::Ok();
+    ++stats_.io_failures;
+    bool retryable = status.code() == StatusCode::kIoTransient &&
+                     attempt < opts_.wal_retry_limit && know_tail;
+    TraceFault("wal-append", status, attempt, !retryable);
+    if (!retryable) break;
+    Status rolled = RollbackWalTail(pre_size);
+    if (!rolled.ok()) {
+      TraceFault("wal-rollback", rolled, attempt, true);
+      status = rolled;
+      break;
+    }
+    ++stats_.retries;
+    ++attempt;
+    if (opts_.retry_backoff_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(opts_.retry_backoff_us << attempt));
+    }
+  }
+  EnterDegraded(status);
+  return status;
+}
+
 Status Database::CommitDelta(const ObjectBase& next, DeltaLog* committed) {
+  VERSO_RETURN_IF_ERROR(CheckWritable());
   FactDelta delta = ComputeDelta(current_, next);
   if (delta.empty()) return Status::Ok();
   if (!ephemeral_) {
     std::string payload =
         EncodeDeltaBatch(delta, engine_.symbols(), engine_.versions());
-    // Durability first: the record hits the log before memory moves.
-    VERSO_RETURN_IF_ERROR(wal_.Append(WalRecordKind::kBatch, payload));
+    // Durability first: the record hits the log before memory moves. A
+    // failed append leaves the base untouched and degrades the database.
+    VERSO_RETURN_IF_ERROR(AppendWalDurable(WalRecordKind::kBatch, payload));
     ++wal_records_;
   }
   ApplyDelta(delta, current_);
@@ -177,6 +265,9 @@ Status Database::ImportBase(const ObjectBase& base) {
 Result<RunOutcome> Database::Execute(Program& program,
                                      const EvalOptions& options,
                                      TraceSink* trace) {
+  // Refuse before evaluating: a degraded database cannot commit, so the
+  // evaluation work (and any observer side effects) would be wasted.
+  VERSO_RETURN_IF_ERROR(CheckWritable());
   VERSO_ASSIGN_OR_RETURN(RunOutcome outcome,
                          engine_.Run(program, current_, options, trace));
   Status committed = CommitDelta(outcome.new_base, &outcome.committed_delta);
@@ -188,6 +279,7 @@ Result<RunOutcome> Database::Execute(Program& program,
 Result<std::vector<RunOutcome>> Database::ExecuteBatch(
     const std::vector<Program*>& programs, const EvalOptions& options,
     TraceSink* trace) {
+  VERSO_RETURN_IF_ERROR(CheckWritable());
   std::vector<RunOutcome> outcomes;
   std::vector<FactDelta> deltas;
   outcomes.reserve(programs.size());
@@ -221,7 +313,7 @@ Result<std::vector<RunOutcome>> Database::ExecuteBatch(
   if (!ephemeral_) {
     std::string payload =
         EncodeDeltaBatch(deltas, engine_.symbols(), engine_.versions());
-    VERSO_RETURN_IF_ERROR(wal_.Append(WalRecordKind::kBatch, payload));
+    VERSO_RETURN_IF_ERROR(AppendWalDurable(WalRecordKind::kBatch, payload));
     ++wal_records_;
   }
   for (const FactDelta& delta : deltas) {
@@ -256,9 +348,26 @@ Result<std::vector<RunOutcome>> Database::ExecuteBatch(
 
 Status Database::Checkpoint() {
   if (ephemeral_) return Status::Ok();  // nothing to fold
-  VERSO_RETURN_IF_ERROR(WriteSnapshot(snapshot_path(), current_,
-                                      engine_.symbols(), engine_.versions()));
-  VERSO_RETURN_IF_ERROR(RemoveFile(wal_.path()));
+  VERSO_RETURN_IF_ERROR(CheckWritable());
+  Status snapshot = WriteSnapshot(snapshot_path(), current_,
+                                  engine_.symbols(), engine_.versions(), env_);
+  if (!snapshot.ok()) {
+    // Nothing lost: the WAL still holds every commit and the old
+    // snapshot (if any) is untouched (atomic rename). Stay healthy.
+    ++stats_.io_failures;
+    TraceFault("checkpoint-snapshot", snapshot, 0, false);
+    return snapshot;
+  }
+  // The snapshot rename is durable; only now may the WAL shrink. A crash
+  // (or failure) between the two steps leaves snapshot + stale WAL, and
+  // recovery replays the already-folded records idempotently — the
+  // torture harness crashes at every I/O point of this sequence.
+  Status truncated = env_->RemoveFile(wal_.path());
+  if (!truncated.ok()) {
+    ++stats_.io_failures;
+    TraceFault("checkpoint-truncate", truncated, 0, false);
+    return truncated;
+  }
   wal_records_ = 0;
   return Status::Ok();
 }

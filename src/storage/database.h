@@ -8,6 +8,7 @@
 #include "core/delta.h"
 #include "core/engine.h"
 #include "storage/wal.h"
+#include "util/io.h"
 #include "util/result.h"
 
 namespace verso {
@@ -39,6 +40,36 @@ class CommitObserver {
   virtual void OnDatabaseClosed() {}
 };
 
+/// Knobs fixed when a database opens.
+struct DatabaseOptions {
+  /// Filesystem backend every persisted byte goes through; nullptr means
+  /// the real filesystem (Env::Default()). Tests substitute a
+  /// FaultInjectingEnv to prove crash-recovery properties.
+  Env* env = nullptr;
+  /// Extra attempts for a WAL append that fails with kIoTransient before
+  /// the database degrades to read-only. Permanent errors (kIoError,
+  /// kCorruption) never retry.
+  uint32_t wal_retry_limit = 3;
+  /// Base backoff between transient-append retries; attempt k sleeps
+  /// `retry_backoff_us << k`. 0 disables sleeping (tests).
+  uint32_t retry_backoff_us = 100;
+  /// Storage-fault events (OnStorageFault) go here (not owned). The
+  /// per-call TraceSink of Execute/ExecuteBatch traces evaluation only.
+  TraceSink* trace = nullptr;
+};
+
+/// Storage-fault counters, exposed so benches and workloads report fault
+/// behavior like they report index hits.
+struct StorageStats {
+  /// Failed storage operations observed (each retry that fails counts).
+  uint64_t io_failures = 0;
+  /// Transient-append retries attempted.
+  uint64_t retries = 0;
+  /// Times the database entered degraded (read-only) mode; 0 or 1 per
+  /// handle — degraded mode is sticky until reopen.
+  uint64_t degraded_entered = 0;
+};
+
 /// A persistent object base: update-programs execute as transactions.
 ///
 /// Directory layout:
@@ -62,13 +93,24 @@ class CommitObserver {
 /// Recovery replays both the batched format and the legacy
 /// one-delta-per-record format, so pre-batch logs stay loadable.
 ///
+/// Failure model: commits are all-or-nothing. A WAL append that fails
+/// with kIoTransient is retried (rolled back to the pre-append tail, then
+/// re-issued, with bounded backoff — DatabaseOptions::wal_retry_limit);
+/// when retries are exhausted, or on any permanent error, the database
+/// enters DEGRADED MODE: the failing commit is not installed (no torn
+/// in-memory state), health() reports the cause, and every further write
+/// returns kReadOnly. Reads — current(), pinned snapshots, view results,
+/// subscriptions — keep serving the last committed state. Degraded mode
+/// is sticky for the handle's lifetime; reopen to recover.
+///
 /// Not thread-safe; one writer per directory (the usual embedded-store
 /// contract).
 class Database {
  public:
   /// Opens (creating if needed) the database in `dir`, recovering state.
-  static Result<std::unique_ptr<Database>> Open(const std::string& dir,
-                                                Engine& engine);
+  static Result<std::unique_ptr<Database>> Open(
+      const std::string& dir, Engine& engine,
+      DatabaseOptions options = DatabaseOptions());
 
   /// An ephemeral database: the same transactional commit pipeline
   /// (observers, epochs, batching) with no directory, no WAL, and no
@@ -121,8 +163,23 @@ class Database {
       const EvalOptions& options = EvalOptions(),
       TraceSink* trace = nullptr);
 
-  /// Writes a fresh snapshot and truncates the WAL.
+  /// Writes a fresh snapshot and truncates the WAL. Crash-safe: the
+  /// snapshot is installed by atomic rename, and the WAL is removed only
+  /// after; a crash between the two steps leaves snapshot + stale WAL,
+  /// which recovery replays idempotently (fact-level deltas have set
+  /// semantics), losing nothing. A failed checkpoint leaves the database
+  /// healthy — the WAL still holds every commit.
   Status Checkpoint();
+
+  /// Ok while the database accepts writes; after a durability failure on
+  /// the commit path, the Status that caused degraded (read-only) mode.
+  const Status& health() const { return degraded_; }
+
+  /// Storage-fault counters (see StorageStats).
+  const StorageStats& stats() const { return stats_; }
+
+  /// Rewires the storage-fault trace sink (not owned; nullptr unwires).
+  void set_trace(TraceSink* trace) { opts_.trace = trace; }
 
   size_t wal_records_since_checkpoint() const { return wal_records_; }
   bool recovered_from_torn_wal() const { return recovered_torn_; }
@@ -142,19 +199,36 @@ class Database {
   static constexpr size_t kCorruptPreserveCap = 4u << 20;  // 4 MiB
 
  private:
-  Database(std::string dir, Engine& engine)
+  Database(std::string dir, Engine& engine, DatabaseOptions opts)
       : dir_(std::move(dir)),
         engine_(engine),
+        opts_(opts),
+        env_(opts.env != nullptr ? opts.env : Env::Default()),
         current_(engine.MakeBase()),
-        wal_(dir_.empty() ? std::string() : dir_ + "/wal.log") {}
+        wal_(dir_.empty() ? std::string() : dir_ + "/wal.log", env_) {}
 
   std::string snapshot_path() const { return dir_ + "/snapshot.vsnp"; }
+
+  /// Refuses writes while degraded.
+  Status CheckWritable() const;
+  /// Appends one record durably: transient failures roll the tail back
+  /// and retry with bounded backoff; exhaustion or a permanent error
+  /// degrades the database. The in-memory base is untouched on failure.
+  Status AppendWalDurable(WalRecordKind kind, std::string_view payload);
+  /// Chops any partial frame a failed append left behind, so the retry
+  /// starts from the last good tail.
+  Status RollbackWalTail(size_t pre_size);
+  void EnterDegraded(const Status& cause);
+  void TraceFault(std::string_view op, const Status& status, uint32_t attempt,
+                  bool degraded);
 
   Status CommitDelta(const ObjectBase& next, DeltaLog* committed = nullptr);
   Status NotifyObservers(const DeltaLog& delta, uint64_t epoch);
 
   std::string dir_;
   Engine& engine_;
+  DatabaseOptions opts_;
+  Env* env_;
   ObjectBase current_;
   WalWriter wal_;
   std::vector<CommitObserver*> observers_;
@@ -162,6 +236,8 @@ class Database {
   uint64_t commit_epoch_ = 0;
   bool recovered_torn_ = false;
   bool ephemeral_ = false;
+  Status degraded_ = Status::Ok();
+  StorageStats stats_;
   Status corrupt_tail_preservation_ = Status::Ok();
 };
 

@@ -32,8 +32,9 @@ uint32_t ReadU32(const char* p) {
 }  // namespace
 
 Status WriteSnapshot(const std::string& path, const ObjectBase& base,
-                     const SymbolTable& symbols,
-                     const VersionTable& versions) {
+                     const SymbolTable& symbols, const VersionTable& versions,
+                     Env* env) {
+  if (env == nullptr) env = Env::Default();
   std::string payload = EncodeObjectBase(base, symbols, versions);
   std::string file;
   file.reserve(payload.size() + 16);
@@ -41,12 +42,13 @@ Status WriteSnapshot(const std::string& path, const ObjectBase& base,
   AppendU32(file, static_cast<uint32_t>(payload.size()));
   file += payload;
   AppendU32(file, Crc32(payload.data(), payload.size()));
-  return WriteFileAtomic(path, file);
+  return env->WriteFileAtomic(path, file);
 }
 
 Status ReadSnapshotInto(const std::string& path, SymbolTable& symbols,
-                        VersionTable& versions, ObjectBase& base) {
-  VERSO_ASSIGN_OR_RETURN(std::string file, ReadFile(path));
+                        VersionTable& versions, ObjectBase& base, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  VERSO_ASSIGN_OR_RETURN(std::string file, env->ReadFile(path));
   if (file.size() < kMagicLen + 8 ||
       std::memcmp(file.data(), kMagic, kMagicLen) != 0) {
     return Status::Corruption("snapshot '" + path + "': bad magic or size");

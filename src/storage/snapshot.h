@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/object_base.h"
+#include "util/io.h"
 #include "util/result.h"
 
 namespace verso {
@@ -13,12 +14,14 @@ namespace verso {
 /// Written atomically (temp file + rename); a torn or bit-rotted snapshot
 /// is detected by magic/length/CRC and reported as Corruption.
 Status WriteSnapshot(const std::string& path, const ObjectBase& base,
-                     const SymbolTable& symbols, const VersionTable& versions);
+                     const SymbolTable& symbols, const VersionTable& versions,
+                     Env* env = nullptr);
 
 /// Loads a snapshot into `base` (which should be empty), interning names
 /// into the given tables.
 Status ReadSnapshotInto(const std::string& path, SymbolTable& symbols,
-                        VersionTable& versions, ObjectBase& base);
+                        VersionTable& versions, ObjectBase& base,
+                        Env* env = nullptr);
 
 }  // namespace verso
 

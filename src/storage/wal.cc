@@ -1,7 +1,6 @@
 #include "storage/wal.h"
 
 #include "util/crc32.h"
-#include "util/io.h"
 
 namespace verso {
 
@@ -23,48 +22,72 @@ uint32_t ReadU32(const char* p) {
          static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
 }
 
-}  // namespace
-
-namespace {
 constexpr uint32_t kBatchBit = 0x80000000u;
-}
+// v2 frames carry a CRC over the length word itself; legacy v1 frames
+// (bit clear) are still read, so old logs replay byte-for-byte.
+constexpr uint32_t kHeaderCrcBit = 0x40000000u;
+constexpr uint32_t kFlagBits = kBatchBit | kHeaderCrcBit;
+
+}  // namespace
 
 Status WalWriter::Append(WalRecordKind kind, std::string_view payload) {
   uint32_t length_word = static_cast<uint32_t>(payload.size());
-  if (length_word & kBatchBit) {
-    return Status::InvalidArgument("WAL payload exceeds 2 GiB frame limit");
+  if (length_word & kFlagBits) {
+    return Status::InvalidArgument("WAL payload exceeds 1 GiB frame limit");
   }
+  length_word |= kHeaderCrcBit;
   if (kind == WalRecordKind::kBatch) length_word |= kBatchBit;
   std::string record;
-  record.reserve(payload.size() + 8);
+  record.reserve(payload.size() + 12);
   AppendU32(record, length_word);
+  // Header CRC over the encoded length word: a bit-flip in the length is
+  // caught deterministically instead of mis-framing everything after it.
+  AppendU32(record, Crc32(record.data(), 4));
   AppendU32(record, Crc32(payload.data(), payload.size()));
   record.append(payload.data(), payload.size());
-  return AppendFile(path_, record);
+  return env_->AppendFile(path_, record);
 }
 
-Result<WalReadResult> ReadWal(const std::string& path) {
+Result<WalReadResult> ReadWal(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
   WalReadResult result;
-  if (!FileExists(path)) return result;
-  VERSO_ASSIGN_OR_RETURN(std::string file, ReadFile(path));
+  if (!env->FileExists(path)) return result;
+  VERSO_ASSIGN_OR_RETURN(std::string file, env->ReadFile(path));
   size_t pos = 0;
   while (pos + 8 <= file.size()) {
     uint32_t length_word = ReadU32(file.data() + pos);
-    uint32_t crc = ReadU32(file.data() + pos + 4);
+    size_t header = 8;
+    uint32_t crc;
+    if (length_word & kHeaderCrcBit) {
+      // v2 frame: length word | header CRC | payload CRC | payload.
+      header = 12;
+      if (pos + header > file.size()) {
+        result.truncated_tail = true;  // torn mid-header
+        break;
+      }
+      if (Crc32(file.data() + pos, 4) != ReadU32(file.data() + pos + 4)) {
+        result.truncated_tail = true;  // length word is damaged
+        break;
+      }
+      crc = ReadU32(file.data() + pos + 8);
+    } else {
+      crc = ReadU32(file.data() + pos + 4);
+    }
     WalRecordKind kind = (length_word & kBatchBit) ? WalRecordKind::kBatch
                                                    : WalRecordKind::kDelta;
-    uint32_t length = length_word & ~kBatchBit;
-    if (pos + 8 + length > file.size()) {
+    uint32_t length = length_word & ~kFlagBits;
+    if (pos + header + length > file.size()) {
       result.truncated_tail = true;  // torn final record: crashed writer
       break;
     }
-    const char* payload = file.data() + pos + 8;
+    const char* payload = file.data() + pos + header;
     if (Crc32(payload, length) != crc) {
       result.truncated_tail = true;
       break;
     }
-    result.records.push_back({kind, std::string(payload, length)});
-    pos += 8 + length;
+    result.records.push_back(
+        {kind, std::string(payload, length), pos, pos + header + length});
+    pos += header + length;
   }
   if (pos != file.size() && !result.truncated_tail) {
     result.truncated_tail = true;  // trailing garbage shorter than a header

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "util/io.h"
 #include "util/result.h"
 
 namespace verso {
@@ -22,17 +23,23 @@ enum class WalRecordKind : uint8_t {
 };
 
 /// Append-only write-ahead log of opaque records (the database layers
-/// fact-delta payloads on top). Record framing:
-///     u32 length | u32 CRC32(payload) | payload
-/// Batched records set the high bit of the length word (payloads are far
-/// below 2 GiB, so the bit is free); legacy records leave it clear, which
-/// keeps old logs readable byte-for-byte.
+/// fact-delta payloads on top). Frame format v2 (what Append writes):
+///     u32 length_word | u32 CRC32(length_word) | u32 CRC32(payload) | payload
+/// The length word spends two high bits on flags (payloads are far below
+/// 1 GiB, so they are free): bit 31 marks batched records, bit 30 marks
+/// the v2 header. The header CRC covers the length word, so a bit-flip in
+/// the length no longer mis-frames the rest of the log — v1 frames relied
+/// on the payload CRC landing wrong, which is only probabilistic.
+/// Legacy v1 frames (bit 30 clear) omit the header CRC:
+///     u32 length_word | u32 CRC32(payload) | payload
+/// and stay readable byte-for-byte; ReadWal accepts both in one log.
 /// Recovery reads records until EOF or the first torn/corrupt record;
 /// everything before the tear is returned, the tail is ignored — the
 /// standard RocksDB-style contract for crashed writers.
 class WalWriter {
  public:
-  explicit WalWriter(std::string path) : path_(std::move(path)) {}
+  explicit WalWriter(std::string path, Env* env = nullptr)
+      : path_(std::move(path)), env_(env != nullptr ? env : Env::Default()) {}
 
   Status Append(std::string_view payload) {
     return Append(WalRecordKind::kDelta, payload);
@@ -43,16 +50,26 @@ class WalWriter {
 
  private:
   std::string path_;
+  Env* env_;
 };
 
 struct WalRecord {
   WalRecordKind kind = WalRecordKind::kDelta;
   std::string payload;
+  /// Byte offset of this record's frame in the log file, and of the first
+  /// byte after it. Checkpoint recovery uses these to skip records the
+  /// installed snapshot already folds.
+  size_t offset = 0;
+  size_t end_offset = 0;
 };
 
 struct WalReadResult {
   std::vector<WalRecord> records;
-  /// True if a torn/corrupt tail was skipped (informational).
+  /// True if a torn/corrupt tail was skipped (informational). NOTE: a
+  /// corrupt record in the MIDDLE of the log is indistinguishable from a
+  /// torn tail at that point, so every record after it — even bit-perfect
+  /// ones — is intentionally dropped too: replaying deltas with a gap
+  /// would fabricate a state no committed prefix ever had.
   bool truncated_tail = false;
   /// Byte length of the valid record prefix. When `truncated_tail` is
   /// set, recovery truncates the log to this length so later appends
@@ -62,7 +79,7 @@ struct WalReadResult {
 };
 
 /// Reads all valid records; a missing file yields zero records.
-Result<WalReadResult> ReadWal(const std::string& path);
+Result<WalReadResult> ReadWal(const std::string& path, Env* env = nullptr);
 
 }  // namespace verso
 

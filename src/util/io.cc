@@ -10,7 +10,24 @@ namespace verso {
 
 namespace fs = std::filesystem;
 
-Result<std::string> ReadFile(const std::string& path) {
+Status Env::WriteFileAtomic(const std::string& path,
+                            std::string_view contents) {
+  std::string tmp = path + ".tmp";
+  VERSO_RETURN_IF_ERROR(WriteFile(tmp, contents));
+  Status renamed = RenameFile(tmp, path);
+  if (!renamed.ok()) {
+    // Best-effort cleanup; the rename error is what the caller acts on.
+    RemoveFile(tmp);
+  }
+  return renamed;
+}
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+Result<std::string> PosixEnv::ReadFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open '" + path + "' for reading");
   std::ostringstream buffer;
@@ -19,7 +36,7 @@ Result<std::string> ReadFile(const std::string& path) {
   return buffer.str();
 }
 
-Status WriteFile(const std::string& path, std::string_view contents) {
+Status PosixEnv::WriteFile(const std::string& path, std::string_view contents) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open '" + path + "' for writing");
   out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
@@ -28,19 +45,8 @@ Status WriteFile(const std::string& path, std::string_view contents) {
   return Status::Ok();
 }
 
-Status WriteFileAtomic(const std::string& path, std::string_view contents) {
-  std::string tmp = path + ".tmp";
-  VERSO_RETURN_IF_ERROR(WriteFile(tmp, contents));
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    return Status::IoError("rename '" + tmp + "' -> '" + path +
-                           "': " + ec.message());
-  }
-  return Status::Ok();
-}
-
-Status AppendFile(const std::string& path, std::string_view contents) {
+Status PosixEnv::AppendFile(const std::string& path,
+                            std::string_view contents) {
   std::ofstream out(path, std::ios::binary | std::ios::app);
   if (!out) return Status::IoError("cannot open '" + path + "' for append");
   out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
@@ -49,37 +55,83 @@ Status AppendFile(const std::string& path, std::string_view contents) {
   return Status::Ok();
 }
 
-bool FileExists(const std::string& path) {
+Status PosixEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    return Status::IoError("rename '" + from + "' -> '" + to +
+                           "': " + ec.message());
+  }
+  return Status::Ok();
+}
+
+bool PosixEnv::FileExists(const std::string& path) {
   std::error_code ec;
   return fs::exists(path, ec);
 }
 
-Result<size_t> FileSize(const std::string& path) {
+Result<size_t> PosixEnv::FileSize(const std::string& path) {
   std::error_code ec;
   uintmax_t size = fs::file_size(path, ec);
   if (ec) return Status::IoError("size of '" + path + "': " + ec.message());
   return static_cast<size_t>(size);
 }
 
-Status RemoveFile(const std::string& path) {
+Status PosixEnv::RemoveFile(const std::string& path) {
   std::error_code ec;
   fs::remove(path, ec);
   if (ec) return Status::IoError("remove '" + path + "': " + ec.message());
   return Status::Ok();
 }
 
-Status TruncateFile(const std::string& path, size_t size) {
+Status PosixEnv::TruncateFile(const std::string& path, size_t size) {
   std::error_code ec;
   fs::resize_file(path, size, ec);
   if (ec) return Status::IoError("truncate '" + path + "': " + ec.message());
   return Status::Ok();
 }
 
-Status EnsureDirectory(const std::string& path) {
+Status PosixEnv::EnsureDirectory(const std::string& path) {
   std::error_code ec;
   fs::create_directories(path, ec);
   if (ec) return Status::IoError("mkdir '" + path + "': " + ec.message());
   return Status::Ok();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  return Env::Default()->ReadFile(path);
+}
+
+Status WriteFile(const std::string& path, std::string_view contents) {
+  return Env::Default()->WriteFile(path, contents);
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  return Env::Default()->WriteFileAtomic(path, contents);
+}
+
+Status AppendFile(const std::string& path, std::string_view contents) {
+  return Env::Default()->AppendFile(path, contents);
+}
+
+bool FileExists(const std::string& path) {
+  return Env::Default()->FileExists(path);
+}
+
+Result<size_t> FileSize(const std::string& path) {
+  return Env::Default()->FileSize(path);
+}
+
+Status RemoveFile(const std::string& path) {
+  return Env::Default()->RemoveFile(path);
+}
+
+Status TruncateFile(const std::string& path, size_t size) {
+  return Env::Default()->TruncateFile(path, size);
+}
+
+Status EnsureDirectory(const std::string& path) {
+  return Env::Default()->EnsureDirectory(path);
 }
 
 }  // namespace verso

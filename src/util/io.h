@@ -9,34 +9,86 @@
 
 namespace verso {
 
-/// Reads a whole file into a string.
+/// Virtual filesystem seam. Every byte the storage layer persists goes
+/// through an Env, so tests can substitute a deterministic fault-injecting
+/// backend (util/fault_env.h) and prove crash-recovery properties without
+/// a real disk. PosixEnv is the production backend; Env::Default() returns
+/// a process-wide PosixEnv.
+///
+/// Durability granularity: operations are atomic units of persistence as
+/// far as callers can tell — AppendFile/WriteFile flush before returning,
+/// so "unsynced data" exists only *within* an in-flight operation. A
+/// simulated crash therefore lands either between operations or mid-
+/// operation (short write); both are exercised by the torture harness.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Reads a whole file into a string.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Writes `contents` to `path`, truncating. Not atomic; see
+  /// WriteFileAtomic for durability-sensitive call sites.
+  virtual Status WriteFile(const std::string& path,
+                           std::string_view contents) = 0;
+
+  /// Appends `contents` to `path` and flushes. Creates the file if missing.
+  virtual Status AppendFile(const std::string& path,
+                            std::string_view contents) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  /// True if the file exists.
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Size of the file in bytes.
+  virtual Result<size_t> FileSize(const std::string& path) = 0;
+
+  /// Removes the file if it exists; missing files are not an error.
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Shrinks the file to `size` bytes (recovery chops torn log tails so
+  /// later appends land after valid data, not after garbage).
+  virtual Status TruncateFile(const std::string& path, size_t size) = 0;
+
+  /// Creates the directory (and parents) if missing.
+  virtual Status EnsureDirectory(const std::string& path) = 0;
+
+  /// Writes to a temp sibling then renames over `path`, so readers observe
+  /// either the old or the new contents, never a torn file. Built on the
+  /// primitives above, so fault injection sees both steps separately.
+  Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+  /// The process-wide real-filesystem backend.
+  static Env* Default();
+};
+
+/// The real filesystem.
+class PosixEnv : public Env {
+ public:
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status WriteFile(const std::string& path, std::string_view contents) override;
+  Status AppendFile(const std::string& path,
+                    std::string_view contents) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  bool FileExists(const std::string& path) override;
+  Result<size_t> FileSize(const std::string& path) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, size_t size) override;
+  Status EnsureDirectory(const std::string& path) override;
+};
+
+// Convenience wrappers over Env::Default() for call sites that do not
+// need the seam (tools, tests, one-shot loads).
 Result<std::string> ReadFile(const std::string& path);
-
-/// Writes `contents` to `path`, truncating. Not atomic; see
-/// WriteFileAtomic for durability-sensitive call sites.
 Status WriteFile(const std::string& path, std::string_view contents);
-
-/// Writes to a temp sibling then renames over `path`, so readers observe
-/// either the old or the new contents, never a torn file.
 Status WriteFileAtomic(const std::string& path, std::string_view contents);
-
-/// Appends `contents` to `path` and flushes. Creates the file if missing.
 Status AppendFile(const std::string& path, std::string_view contents);
-
-/// True if the file exists.
 bool FileExists(const std::string& path);
-
-/// Size of the file in bytes.
 Result<size_t> FileSize(const std::string& path);
-
-/// Removes the file if it exists; missing files are not an error.
 Status RemoveFile(const std::string& path);
-
-/// Shrinks the file to `size` bytes (recovery chops torn log tails so
-/// later appends land after valid data, not after garbage).
 Status TruncateFile(const std::string& path, size_t size);
-
-/// Creates the directory (and parents) if missing.
 Status EnsureDirectory(const std::string& path);
 
 }  // namespace verso

@@ -20,6 +20,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Divergence";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kIoTransient:
+      return "IoTransient";
+    case StatusCode::kReadOnly:
+      return "ReadOnly";
     case StatusCode::kCorruption:
       return "Corruption";
     case StatusCode::kNotFound:

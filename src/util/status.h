@@ -18,7 +18,13 @@ enum class StatusCode {
   kNotStratifiable,   // no stratification satisfies conditions (a)-(d)
   kNotVersionLinear,  // run-time linearity check failed (Section 5)
   kDivergence,        // fixpoint iteration exceeded its bound
-  kIoError,           // filesystem / serialization failure
+  kIoError,           // filesystem / serialization failure (permanent)
+  kIoTransient,       // I/O failure worth retrying (e.g. injected flaky
+                      // writes); the storage layer retries these with
+                      // backoff before degrading to read-only
+  kReadOnly,          // the database entered degraded (read-only) mode
+                      // after a durability failure; reads still serve,
+                      // writes are refused until reopen
   kCorruption,        // checksum or format mismatch in stored data
   kNotFound,          // lookup miss reported as an error
   kObserverFailed,    // a commit was durable and installed, but a commit
@@ -59,6 +65,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status IoTransient(std::string msg) {
+    return Status(StatusCode::kIoTransient, std::move(msg));
+  }
+  static Status ReadOnly(std::string msg) {
+    return Status(StatusCode::kReadOnly, std::move(msg));
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));

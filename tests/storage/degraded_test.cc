@@ -1,0 +1,285 @@
+// Degraded (read-only) mode and the transient-retry commit path: a WAL
+// append that fails permanently (or exhausts its retry budget) must leave
+// the database serving reads, refusing writes with kReadOnly, and
+// reporting the cause — never half-committed, never crashed.
+
+#include <gtest/gtest.h>
+
+#include "api/api.h"
+#include "core/pretty.h"
+#include "core/trace.h"
+#include "parser/parser.h"
+#include "storage/database.h"
+#include "storage/wal.h"
+#include "util/fault_env.h"
+
+namespace verso {
+namespace {
+
+using FaultKind = FaultInjectingEnv::FaultKind;
+using OpFilter = FaultInjectingEnv::OpFilter;
+
+constexpr const char* kDir = "/db";
+
+DatabaseOptions FastRetryOptions(Env* env) {
+  DatabaseOptions options;
+  options.env = env;
+  options.retry_backoff_us = 0;  // no sleeping in tests
+  return options;
+}
+
+class DegradedFixture : public ::testing::Test {
+ protected:
+  std::unique_ptr<Database> OpenDb(Engine& engine, DatabaseOptions options) {
+    Result<std::unique_ptr<Database>> db =
+        Database::Open(kDir, engine, options);
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    return std::move(db).value();
+  }
+
+  Status Commit(Database& db, Engine& engine, const char* text) {
+    Result<Program> program = ParseProgram(text, engine);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    return db.Execute(*program).status();
+  }
+
+  FaultInjectingEnv env_;
+};
+
+TEST_F(DegradedFixture, PermanentAppendFailureEntersDegradedMode) {
+  Engine engine;
+  std::unique_ptr<Database> db = OpenDb(engine, FastRetryOptions(&env_));
+  ASSERT_TRUE(Commit(*db, engine, "t: ins[a].m -> 1.").ok());
+  std::string before =
+      ObjectBaseToString(db->current(), engine.symbols(), engine.versions());
+
+  FaultInjectingEnv::FaultPlan plan;
+  plan.fail_at = 0;
+  plan.kind = FaultKind::kEnospc;
+  plan.filter = OpFilter::kAppend;
+  env_.SetPlan(plan);
+  Status failed = Commit(*db, engine, "t: ins[b].m -> 2.");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+
+  // Degraded: sticky cause, counted once, and the failed commit is NOT
+  // half-installed — the in-memory base still equals the pre-failure one.
+  EXPECT_FALSE(db->health().ok());
+  EXPECT_EQ(db->stats().degraded_entered, 1u);
+  EXPECT_EQ(db->stats().io_failures, 1u);
+  EXPECT_EQ(db->stats().retries, 0u);  // permanent errors never retry
+  EXPECT_EQ(
+      ObjectBaseToString(db->current(), engine.symbols(), engine.versions()),
+      before);
+
+  // Every further write — Execute, ImportBase, Checkpoint — is kReadOnly.
+  env_.Disarm();
+  Status readonly = Commit(*db, engine, "t: ins[c].m -> 3.");
+  ASSERT_FALSE(readonly.ok());
+  EXPECT_EQ(readonly.code(), StatusCode::kReadOnly);
+  EXPECT_EQ(db->Checkpoint().code(), StatusCode::kReadOnly);
+  EXPECT_EQ(db->stats().degraded_entered, 1u);  // still once
+
+  // Reads keep serving the last committed state.
+  EXPECT_EQ(
+      ObjectBaseToString(db->current(), engine.symbols(), engine.versions()),
+      before);
+
+  // Reopen recovers: the handle-level degradation is not on disk.
+  db = OpenDb(engine, FastRetryOptions(&env_));
+  EXPECT_TRUE(db->health().ok());
+  ASSERT_TRUE(Commit(*db, engine, "t: ins[c].m -> 3.").ok());
+}
+
+TEST_F(DegradedFixture, TransientAppendFailureRetriesAndSucceeds) {
+  Engine engine;
+  std::unique_ptr<Database> db = OpenDb(engine, FastRetryOptions(&env_));
+  ASSERT_TRUE(Commit(*db, engine, "t: ins[a].m -> 1.").ok());
+
+  // Two consecutive transient failures, each leaving a partial frame the
+  // retry must roll back; the third attempt succeeds.
+  FaultInjectingEnv::FaultPlan plan;
+  plan.fail_at = 0;
+  plan.repeat = 2;
+  plan.kind = FaultKind::kTransient;
+  plan.partial_bytes = 5;  // short write: garbage lands before the error
+  plan.filter = OpFilter::kAppend;
+  env_.SetPlan(plan);
+  ASSERT_TRUE(Commit(*db, engine, "t: ins[b].m -> 2.").ok());
+  EXPECT_TRUE(db->health().ok());
+  EXPECT_EQ(db->stats().io_failures, 2u);
+  EXPECT_EQ(db->stats().retries, 2u);
+  EXPECT_EQ(db->stats().degraded_entered, 0u);
+
+  // The rollback worked: the log parses cleanly (no torn frames between
+  // records) and a reopened database sees both commits.
+  Result<WalReadResult> wal = ReadWal(std::string(kDir) + "/wal.log", &env_);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_FALSE(wal->truncated_tail);
+  Engine engine2;
+  std::unique_ptr<Database> reopened =
+      OpenDb(engine2, FastRetryOptions(&env_));
+  EXPECT_FALSE(reopened->recovered_from_torn_wal());
+  EXPECT_EQ(ObjectBaseToString(reopened->current(), engine2.symbols(),
+                               engine2.versions()),
+            ObjectBaseToString(db->current(), engine.symbols(),
+                               engine.versions()));
+}
+
+TEST_F(DegradedFixture, TransientRetryExhaustionDegrades) {
+  Engine engine;
+  DatabaseOptions options = FastRetryOptions(&env_);
+  options.wal_retry_limit = 2;
+  std::unique_ptr<Database> db = OpenDb(engine, options);
+  ASSERT_TRUE(Commit(*db, engine, "t: ins[a].m -> 1.").ok());
+
+  // The device stays flaky longer than the retry budget: first try plus
+  // two retries all fail, and the database gives up into degraded mode.
+  FaultInjectingEnv::FaultPlan plan;
+  plan.fail_at = 0;
+  plan.repeat = 3;
+  plan.kind = FaultKind::kTransient;
+  plan.filter = OpFilter::kAppend;
+  env_.SetPlan(plan);
+  Status failed = Commit(*db, engine, "t: ins[b].m -> 2.");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIoTransient);
+  EXPECT_FALSE(db->health().ok());
+  EXPECT_EQ(db->stats().io_failures, 3u);
+  EXPECT_EQ(db->stats().retries, 2u);
+  EXPECT_EQ(db->stats().degraded_entered, 1u);
+}
+
+TEST_F(DegradedFixture, StorageFaultsReachTheTraceSink) {
+  Engine engine;
+  RecordingTrace trace(engine.symbols(), engine.versions());
+  DatabaseOptions options = FastRetryOptions(&env_);
+  options.wal_retry_limit = 1;
+  options.trace = &trace;
+  std::unique_ptr<Database> db = OpenDb(engine, options);
+
+  FaultInjectingEnv::FaultPlan plan;
+  plan.fail_at = 0;
+  plan.repeat = 2;
+  plan.kind = FaultKind::kTransient;
+  plan.filter = OpFilter::kAppend;
+  env_.SetPlan(plan);
+  ASSERT_FALSE(Commit(*db, engine, "t: ins[a].m -> 1.").ok());
+  // One line per failed attempt, the last marked as the degrading one.
+  ASSERT_EQ(trace.lines().size(), 2u);
+  EXPECT_NE(trace.lines()[0].find("storage fault on wal-append (attempt 0)"),
+            std::string::npos);
+  EXPECT_EQ(trace.lines()[0].find("DEGRADED"), std::string::npos);
+  EXPECT_NE(trace.lines()[1].find("attempt 1"), std::string::npos);
+  EXPECT_NE(trace.lines()[1].find("DEGRADED (read-only)"), std::string::npos);
+}
+
+TEST_F(DegradedFixture, FailedCheckpointLeavesDatabaseHealthy) {
+  Engine engine;
+  std::unique_ptr<Database> db = OpenDb(engine, FastRetryOptions(&env_));
+  ASSERT_TRUE(Commit(*db, engine, "t: ins[a].m -> 1.").ok());
+
+  // Snapshot write fails (ENOSPC): nothing lost, still writable.
+  FaultInjectingEnv::FaultPlan plan;
+  plan.fail_at = 0;
+  plan.kind = FaultKind::kEnospc;
+  plan.filter = OpFilter::kWrite;
+  env_.SetPlan(plan);
+  EXPECT_FALSE(db->Checkpoint().ok());
+  EXPECT_TRUE(db->health().ok());
+  EXPECT_EQ(db->stats().io_failures, 1u);
+  EXPECT_GT(db->wal_records_since_checkpoint(), 0u);
+  env_.Disarm();
+  ASSERT_TRUE(Commit(*db, engine, "t: ins[b].m -> 2.").ok());
+  ASSERT_TRUE(db->Checkpoint().ok());
+}
+
+// ---- Connection-level degraded mode ---------------------------------------
+
+TEST(DegradedConnectionTest, ReadsAndSubscriptionsSurviveDegradedMode) {
+  FaultInjectingEnv env;
+  ConnectionOptions options;
+  options.env = &env;
+  options.retry_backoff_us = 0;
+  Result<std::unique_ptr<Connection>> conn = Connection::Open(kDir, options);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  auto session = (*conn)->OpenSession();
+  ASSERT_TRUE(session->Execute("t: ins[ann].sal -> 2000.").ok());
+  ASSERT_TRUE(session
+                  ->Execute("CREATE VIEW rich AS derive X.rich -> yes <- "
+                            "X.sal -> S, S > 1000.")
+                  .ok());
+  std::vector<ViewDelta> deltas;
+  ASSERT_TRUE(session
+                  ->Subscribe("rich",
+                              [&deltas](const ViewDelta& d) {
+                                deltas.push_back(d);
+                              })
+                  .ok());
+  ASSERT_TRUE(session->Execute("t: ins[bob].sal -> 3000.").ok());
+  ASSERT_EQ(deltas.size(), 1u);
+
+  // A reader pinned BEFORE the failure.
+  auto pinned = (*conn)->OpenSession();
+  Result<ResultSet> pinned_rich = pinned->Execute("QUERY rich");
+  ASSERT_TRUE(pinned_rich.ok());
+  EXPECT_EQ(pinned_rich->size(), 2u);  // ann and bob
+
+  FaultInjectingEnv::FaultPlan plan;
+  plan.fail_at = 0;
+  plan.kind = FaultKind::kEio;
+  plan.filter = OpFilter::kAppend;
+  env.SetPlan(plan);
+  Result<ResultSet> failed = session->Execute("t: ins[cal].sal -> 4000.");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+  env.Disarm();
+
+  // The connection is degraded and says why.
+  EXPECT_FALSE((*conn)->health().ok());
+  EXPECT_EQ((*conn)->storage_stats().degraded_entered, 1u);
+
+  // Further writes — Execute, ImportText, Checkpoint — refuse as
+  // kReadOnly without touching state or crashing.
+  EXPECT_EQ(session->Execute("t: ins[dee].sal -> 5000.").status().code(),
+            StatusCode::kReadOnly);
+  EXPECT_EQ((*conn)->ImportText("eve.sal -> 6000.").code(),
+            StatusCode::kReadOnly);
+  EXPECT_EQ((*conn)->Checkpoint().code(), StatusCode::kReadOnly);
+
+  // Reads keep serving the last committed state: the pinned session, a
+  // FRESH session, and the view all still answer.
+  EXPECT_TRUE(pinned->Execute("QUERY rich").ok());
+  auto fresh = (*conn)->OpenSession();
+  Result<ResultSet> after = fresh->Execute("QUERY rich");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), 2u);  // cal never committed
+  // No phantom subscription delivery for the refused/failed writes.
+  EXPECT_EQ(deltas.size(), 1u);
+}
+
+TEST(DegradedConnectionTest, ConnectionRetriesTransientAppends) {
+  FaultInjectingEnv env;
+  ConnectionOptions options;
+  options.env = &env;
+  options.retry_backoff_us = 0;
+  options.wal_retry_limit = 3;
+  Result<std::unique_ptr<Connection>> conn = Connection::Open(kDir, options);
+  ASSERT_TRUE(conn.ok());
+  auto session = (*conn)->OpenSession();
+
+  FaultInjectingEnv::FaultPlan plan;
+  plan.fail_at = 0;
+  plan.repeat = 2;
+  plan.kind = FaultKind::kTransient;
+  plan.partial_bytes = 3;
+  plan.filter = OpFilter::kAppend;
+  env.SetPlan(plan);
+  ASSERT_TRUE(session->Execute("t: ins[ann].sal -> 2000.").ok());
+  EXPECT_TRUE((*conn)->health().ok());
+  EXPECT_EQ((*conn)->storage_stats().retries, 2u);
+  EXPECT_EQ((*conn)->storage_stats().io_failures, 2u);
+}
+
+}  // namespace
+}  // namespace verso

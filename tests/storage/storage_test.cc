@@ -11,6 +11,8 @@
 #include "storage/database.h"
 #include "storage/snapshot.h"
 #include "storage/wal.h"
+#include "util/crc32.h"
+#include "util/fault_env.h"
 #include "util/io.h"
 
 namespace verso {
@@ -206,18 +208,86 @@ TEST_F(StorageFixture, TornTailIsDroppedNotFatal) {
   EXPECT_EQ(r->records[0].payload, "keep me");
 }
 
-TEST_F(StorageFixture, CorruptMiddleRecordStopsReplay) {
+TEST_F(StorageFixture, CorruptMiddleRecordDropsAllLaterRecords) {
+  // A corrupt record in the MIDDLE of the log is indistinguishable from a
+  // torn tail at that point: the bit-perfect records AFTER it are
+  // intentionally dropped too, because replaying deltas with a gap would
+  // fabricate a state no committed prefix ever had. The dropped bytes are
+  // preserved (wal.log.corrupt) by Database recovery, not destroyed.
   std::string path = dir_ + "/wal.log";
   WalWriter writer(path);
-  ASSERT_TRUE(writer.Append("one").ok());
-  ASSERT_TRUE(writer.Append("two").ok());
+  ASSERT_TRUE(writer.Append("keep").ok());
+  ASSERT_TRUE(writer.Append("corrupt me").ok());
+  ASSERT_TRUE(writer.Append("perfectly valid but unreachable").ok());
   std::string bytes = *ReadFile(path);
-  bytes[10] ^= 0xff;  // corrupt payload of the first record
+  // Flip one payload bit of the SECOND record: frame 1 ends at 12+4.
+  bytes[16 + 12 + 2] ^= 0x01;
   ASSERT_TRUE(WriteFile(path, bytes).ok());
   Result<WalReadResult> r = ReadWal(path);
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->truncated_tail);
-  EXPECT_TRUE(r->records.empty());
+  ASSERT_EQ(r->records.size(), 1u);
+  EXPECT_EQ(r->records[0].payload, "keep");
+  // Only the prefix before the damage counts as valid.
+  EXPECT_EQ(r->valid_bytes, 16u);
+}
+
+TEST_F(StorageFixture, LengthWordBitFlipIsCaughtDeterministically) {
+  // v2 frames carry a CRC over the length word itself, so a bit-flip in
+  // the length is caught by checksum comparison — deterministically — and
+  // never mis-frames the log. (v1 frames only caught this if the payload
+  // CRC of the mis-framed record happened to land wrong.)
+  std::string path = dir_ + "/wal.log";
+  WalWriter writer(path);
+  ASSERT_TRUE(writer.Append("first record payload").ok());
+  ASSERT_TRUE(writer.Append("second").ok());
+  std::string pristine = *ReadFile(path);
+  // Every bit of the length word, including ones that would SHRINK the
+  // frame so the next "frame" starts inside this record's payload.
+  for (int bit = 0; bit < 8; ++bit) {
+    std::string bytes = pristine;
+    bytes[0] ^= static_cast<char>(1 << bit);
+    ASSERT_TRUE(WriteFile(path, bytes).ok());
+    Result<WalReadResult> r = ReadWal(path);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->truncated_tail) << "bit " << bit;
+    EXPECT_TRUE(r->records.empty()) << "bit " << bit;
+    EXPECT_EQ(r->valid_bytes, 0u) << "bit " << bit;
+  }
+}
+
+TEST_F(StorageFixture, LegacyV1FramesStillReadable) {
+  // Hand-craft a pre-header-CRC frame (u32 length | u32 payload CRC |
+  // payload) and append a modern v2 record after it: one log, both frame
+  // versions, both replayed.
+  std::string path = dir_ + "/wal.log";
+  const std::string payload = "legacy v1 payload";
+  std::string frame;
+  uint32_t length = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    frame += static_cast<char>((length >> (8 * i)) & 0xff);
+  }
+  uint32_t crc = Crc32(payload.data(), payload.size());
+  for (int i = 0; i < 4; ++i) {
+    frame += static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+  frame += payload;
+  ASSERT_TRUE(AppendFile(path, frame).ok());
+
+  WalWriter writer(path);
+  ASSERT_TRUE(writer.Append(WalRecordKind::kBatch, "modern v2").ok());
+
+  Result<WalReadResult> r = ReadWal(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->truncated_tail);
+  ASSERT_EQ(r->records.size(), 2u);
+  EXPECT_EQ(r->records[0].payload, payload);
+  EXPECT_EQ(r->records[0].kind, WalRecordKind::kDelta);
+  EXPECT_EQ(r->records[1].payload, "modern v2");
+  EXPECT_EQ(r->records[1].kind, WalRecordKind::kBatch);
+  // v1 header is 8 bytes, v2 is 12: the offsets prove both were framed.
+  EXPECT_EQ(r->records[0].end_offset, 8 + payload.size());
+  EXPECT_EQ(r->records[1].offset, r->records[0].end_offset);
 }
 
 // ---- Database ----------------------------------------------------------------
@@ -611,6 +681,75 @@ TEST_F(StorageFixture, DeltaBatchRoundTrip) {
   payload.resize(payload.size() - 1);
   EXPECT_FALSE(
       DecodeDeltaBatch(payload, engine.symbols(), engine.versions()).ok());
+}
+
+TEST_F(StorageFixture, CheckpointCrashWindowLosesNothing) {
+  // Checkpoint is two durability steps: (1) install the snapshot by
+  // atomic rename, (2) remove the WAL. A crash anywhere in that sequence
+  // must lose nothing: before the rename the old snapshot + full WAL
+  // recover; after it the new snapshot + stale WAL recover (replaying the
+  // already-folded records idempotently). This is the regression test for
+  // the crash window between the two steps.
+  using FaultKind = FaultInjectingEnv::FaultKind;
+  using OpFilter = FaultInjectingEnv::OpFilter;
+  struct Window {
+    OpFilter filter;
+    size_t partial;  // non-data ops: 0 = op did not happen, 1 = it did
+    const char* what;
+  };
+  const Window windows[] = {
+      {OpFilter::kWrite, 0, "crash before the snapshot tmp write"},
+      {OpFilter::kWrite, 9, "crash mid snapshot tmp write (short write)"},
+      {OpFilter::kRename, 0, "crash before the snapshot rename"},
+      {OpFilter::kRename, 1, "crash after rename, before WAL removal"},
+      {OpFilter::kRemove, 0, "crash before the WAL removal"},
+      {OpFilter::kRemove, 1, "crash after the WAL removal"},
+  };
+  for (const Window& w : windows) {
+    SCOPED_TRACE(w.what);
+    FaultInjectingEnv env;
+    DatabaseOptions options;
+    options.env = &env;
+    options.retry_backoff_us = 0;
+    std::string expected;
+    {
+      Engine engine;
+      Result<std::unique_ptr<Database>> db =
+          Database::Open("/db", engine, options);
+      ASSERT_TRUE(db.ok());
+      ASSERT_TRUE((*db)->ImportBase(Base("a.m -> 1.", engine)).ok());
+      // An earlier checkpoint, so the torture'd one REPLACES a snapshot.
+      ASSERT_TRUE((*db)->Checkpoint().ok());
+      ASSERT_TRUE(
+          (*db)->ImportBase(Base("a.m -> 1. b.m -> 2.", engine)).ok());
+      expected = ObjectBaseToString((*db)->current(), engine.symbols(),
+                                    engine.versions());
+      FaultInjectingEnv::FaultPlan plan;
+      plan.fail_at = 0;
+      plan.kind = FaultKind::kCrash;
+      plan.partial_bytes = w.partial;
+      plan.filter = w.filter;
+      env.SetPlan(plan);
+      EXPECT_FALSE((*db)->Checkpoint().ok());
+      ASSERT_TRUE(env.crashed());
+    }
+    auto disk = env.CloneSurvivingFiles();
+    DatabaseOptions reopen;
+    reopen.env = disk.get();
+    reopen.retry_backoff_us = 0;
+    Engine engine;
+    Result<std::unique_ptr<Database>> db =
+        Database::Open("/db", engine, reopen);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_EQ(ObjectBaseToString((*db)->current(), engine.symbols(),
+                                 engine.versions()),
+              expected);
+    // The recovered database is fully writable again.
+    EXPECT_TRUE(db->get()->health().ok());
+    ASSERT_TRUE(
+        (*db)->ImportBase(Base("a.m -> 1. b.m -> 2. c.m -> 3.", engine))
+            .ok());
+  }
 }
 
 TEST_F(StorageFixture, FailedProgramLeavesDatabaseUntouched) {

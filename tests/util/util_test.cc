@@ -118,7 +118,10 @@ TEST(InternerTest, FindWithoutInterning) {
 class IoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/verso_io_test";
+    // Per-case directory: ctest runs each case as its own process, so a
+    // shared path races one case's remove_all against another's writes.
+    dir_ = ::testing::TempDir() + "/verso_io_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
     ASSERT_TRUE(EnsureDirectory(dir_).ok());
   }
