@@ -7,9 +7,12 @@
 # pin, snapshot reads under concurrent commits, subscription fan-out),
 # bench_snapshots (copy-on-write structural sharing: pin cost under
 # ongoing commits and T_P step-2 materialization, each against its
-# deep-copy baseline), and bench_index (the result-keyed IndexedApps
+# deep-copy baseline), bench_index (the result-keyed IndexedApps
 # index: bound-result body matching and DRed rederive probes, each
-# against the full-scan ablation). JSON results land next to this repo's
+# against the full-scan ablation), and bench_obs (the always-on metrics
+# registry: fixpoint + commit workloads with metrics enabled vs the
+# registry-disabled ablation — the On/Off pairs bound the
+# instrumentation's overhead). JSON results land next to this repo's
 # root so successive PRs can diff them.
 set -euo pipefail
 
@@ -19,7 +22,7 @@ BUILD_DIR=${BUILD_DIR:-build-bench}
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
       --target bench_tp_operator bench_fig2_enterprise bench_views \
-               bench_api bench_snapshots bench_index
+               bench_api bench_snapshots bench_index bench_obs
 
 "$BUILD_DIR"/bench_tp_operator \
     --benchmark_format=json \
@@ -45,6 +48,17 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
     --benchmark_format=json \
     --benchmark_out=BENCH_index.json \
     --benchmark_out_format=json
+# The obs ablation compares On/Off pairs of the same workload, so the
+# run-order drift of a busy host would masquerade as instrumentation
+# overhead: interleave repetitions and record medians instead.
+"$BUILD_DIR"/bench_obs \
+    --benchmark_enable_random_interleaving=true \
+    --benchmark_repetitions=6 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json \
+    --benchmark_out=BENCH_obs.json \
+    --benchmark_out_format=json
 
 echo "Wrote BENCH_tp.json, BENCH_fig2.json, BENCH_views.json," \
-     "BENCH_api.json, BENCH_snapshots.json, and BENCH_index.json"
+     "BENCH_api.json, BENCH_snapshots.json, BENCH_index.json," \
+     "and BENCH_obs.json"

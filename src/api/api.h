@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/metrics.h"
 #include "query/query.h"
 #include "storage/database.h"
 #include "util/numeric.h"
@@ -46,6 +47,7 @@
 namespace verso {
 
 class Connection;
+class MetricsTraceSink;
 class Session;
 class Statement;
 class ResultSet;
@@ -66,6 +68,9 @@ struct ConnectionOptions {
   /// the connection degrades to read-only (see DatabaseOptions).
   uint32_t wal_retry_limit = 3;
   uint32_t retry_backoff_us = 100;
+  /// Monotonic clock the WAL retry backoff sleeps through; nullptr means
+  /// Clock::Default() (see DatabaseOptions::clock).
+  Clock* clock = nullptr;
 };
 
 /// One commit's change to one materialized view's result, delivered to
@@ -128,13 +133,18 @@ DeltaLog CollectFacts(const ObjectBase& base,
 /// A ResultSet owns its rows — it stays valid after later commits — but
 /// renders names through its connection's symbol tables, so it must not
 /// outlive the connection.
+///
+/// kMetrics results are the one non-fact shape: their rows are name/value
+/// metric entries (metric_name()/metric_value()); the fact-typed
+/// accessors must not be used on them.
 class ResultSet {
  public:
   enum class Kind {
-    kWrite,  // update-program: rows = committed delta
-    kQuery,  // ad-hoc derived query: rows = derived facts
-    kView,   // QUERY <view>: rows = the view's derived facts
-    kDdl,    // CREATE VIEW / DROP VIEW: no rows
+    kWrite,    // update-program: rows = committed delta
+    kQuery,    // ad-hoc derived query: rows = derived facts
+    kView,     // QUERY <view>: rows = the view's derived facts
+    kDdl,      // CREATE VIEW / DROP VIEW: no rows
+    kMetrics,  // QUERY METRICS: rows = name/value metric entries
   };
 
   ResultSet(ResultSet&&) = default;
@@ -145,8 +155,10 @@ class ResultSet {
   /// commit produced, for reads the session's pinned epoch.
   uint64_t epoch() const { return epoch_; }
 
-  size_t size() const { return rows_.size(); }
-  bool empty() const { return rows_.empty(); }
+  size_t size() const {
+    return kind_ == Kind::kMetrics ? metrics_.size() : rows_.size();
+  }
+  bool empty() const { return size() == 0; }
 
   /// Advances to the next row; false when the cursor moves past the end.
   /// A fresh ResultSet starts before the first row.
@@ -185,6 +197,17 @@ class ResultSet {
   // -- query-statement introspection (nullptr for other kinds) ---------
   const QueryStats* query_stats() const;
 
+  // -- metrics rows (kMetrics only) ------------------------------------
+  /// All metric entries, name-sorted — the same snapshot
+  /// Connection::DumpMetrics would serialize at this point in time.
+  const std::vector<MetricsRegistry::Entry>& metrics() const {
+    return metrics_;
+  }
+  /// Name/value of the current metrics row; Next() must have returned
+  /// true on a kMetrics result.
+  const std::string& metric_name() const { return current_metric_->name; }
+  int64_t metric_value() const { return current_metric_->value; }
+
  private:
   friend class Connection;
   friend class Statement;
@@ -197,11 +220,24 @@ class ResultSet {
         symbols_(symbols),
         versions_(versions) {}
 
+  /// kMetrics: metric entries live beside the (empty) fact rows instead
+  /// of being interned as facts — metric values change every commit, and
+  /// interning them would grow the symbol table without bound.
+  ResultSet(uint64_t epoch, std::vector<MetricsRegistry::Entry> entries,
+            const SymbolTable* symbols, const VersionTable* versions)
+      : kind_(Kind::kMetrics),
+        epoch_(epoch),
+        metrics_(std::move(entries)),
+        symbols_(symbols),
+        versions_(versions) {}
+
   Kind kind_;
   uint64_t epoch_;
   DeltaLog rows_;
+  std::vector<MetricsRegistry::Entry> metrics_;  // kMetrics
   size_t next_ = 0;
   const DeltaFact* current_ = nullptr;
+  const MetricsRegistry::Entry* current_metric_ = nullptr;
   const SymbolTable* symbols_;
   const VersionTable* versions_;
   std::shared_ptr<RunOutcome> outcome_;    // kWrite
@@ -218,11 +254,21 @@ class ResultSet {
 ///     CREATE VIEW <name> AS <rules>      register a materialized view
 ///     DROP VIEW <name>                   drop it
 ///     QUERY <name>                       read a view from the snapshot
+///     QUERY METRICS                      snapshot the metrics registry
 ///
 /// Keywords are case-insensitive; `%` starts a to-end-of-line comment.
+/// METRICS is reserved: QUERY resolves it (in any case) to the metrics
+/// snapshot, never to a view of that name.
 class Statement {
  public:
-  enum class Kind { kUpdate, kQuery, kCreateView, kDropView, kQueryView };
+  enum class Kind {
+    kUpdate,
+    kQuery,
+    kCreateView,
+    kDropView,
+    kQueryView,
+    kMetrics,
+  };
 
   Statement(Statement&&) = default;
   Statement& operator=(Statement&&) = default;
@@ -376,6 +422,15 @@ class Connection : public ViewDeltaSink {
   /// poisoned (drop and re-create to recover); NotFound if unregistered.
   Status ViewHealth(std::string_view name) const;
 
+  /// Writes the current state of the process-wide metrics registry
+  /// (MetricsRegistry::Global()) as a stable JSON document: name-sorted
+  /// flat keys under "metrics", integer values, byte-identical for equal
+  /// snapshots. The machine-readable twin of `QUERY METRICS` — a QUERY
+  /// METRICS result and a DumpMetrics call with no events in between
+  /// serialize the identical snapshot. Works while degraded (it is a
+  /// read).
+  void DumpMetrics(std::ostream& out) const;
+
   /// Ok while the connection accepts writes; after a durability failure
   /// on the commit path, the Status that caused degraded (read-only)
   /// mode. While degraded, every write statement returns kReadOnly but
@@ -403,6 +458,9 @@ class Connection : public ViewDeltaSink {
   /// Wires a trace sink after open — handy because a StreamTrace is built
   /// over the connection's own tables. Applies to subsequent statement
   /// executions and view registrations (not owned; nullptr to unwire).
+  /// The sink sees the raw event stream: the connection's always-on
+  /// metrics bridge (MetricsTraceSink) sits in front and forwards every
+  /// event unchanged.
   void SetTrace(TraceSink* trace);
 
   /// Internal escape hatches for code not yet migrated to the facade and
@@ -446,6 +504,11 @@ class Connection : public ViewDeltaSink {
 
   ConnectionOptions options_;
   std::unique_ptr<Engine> engine_;
+  /// The always-on bridge from TraceSink events into the global metrics
+  /// registry; every layer below (database, catalog, evaluation) traces
+  /// through it, and it forwards to the client sink (options_.trace /
+  /// SetTrace) unchanged.
+  std::unique_ptr<MetricsTraceSink> metrics_trace_;
   std::unique_ptr<Database> db_;
   std::unique_ptr<ViewCatalog> catalog_;
   std::shared_ptr<const internal::Snapshot> cached_;

@@ -1,17 +1,55 @@
 #include <algorithm>
+#include <ostream>
 
 #include "api/api.h"
+#include "obs/metrics_sink.h"
 #include "parser/parser.h"
 
 namespace verso {
 
+namespace {
+
+/// Connection-layer handles into the global registry, bound once.
+struct ConnMetrics {
+  Counter& sessions_opened;
+  Counter& pins;
+  Histogram& pin_us;
+  Counter& deliveries;
+  Counter& delivered_facts;
+  Histogram& delivery_fanout_us;
+
+  static ConnMetrics& Get() {
+    static ConnMetrics* metrics =
+        new ConnMetrics(MetricsRegistry::Global());  // never dies
+    return *metrics;
+  }
+
+  explicit ConnMetrics(MetricsRegistry& registry)
+      : sessions_opened(registry.GetCounter("session.opened")),
+        pins(registry.GetCounter("session.pins")),
+        pin_us(registry.GetHistogram("session.pin_us")),
+        deliveries(registry.GetCounter("subscription.deliveries")),
+        delivered_facts(registry.GetCounter("subscription.delivered_facts")),
+        delivery_fanout_us(
+            registry.GetHistogram("subscription.fanout_us")) {}
+};
+
+}  // namespace
+
 Connection::Connection(ConnectionOptions options)
-    : options_(options), engine_(std::make_unique<Engine>()) {}
+    : options_(options),
+      engine_(std::make_unique<Engine>()),
+      // The bridge is permanent: every layer below traces through it, so
+      // the registry hears storage, evaluation, and view events whether
+      // or not the client wired a sink of its own.
+      metrics_trace_(std::make_unique<MetricsTraceSink>(
+          MetricsRegistry::Global(), options.trace)) {}
 
 Connection::~Connection() = default;
 
 void Connection::Finish() {
-  catalog_ = std::make_unique<ViewCatalog>(*engine_, options_.trace);
+  db_->set_trace(metrics_trace_.get());
+  catalog_ = std::make_unique<ViewCatalog>(*engine_, metrics_trace_.get());
   catalog_->Attach(*db_);
   catalog_->SetDeltaSink(this);
 }
@@ -23,7 +61,8 @@ Result<std::unique_ptr<Connection>> Connection::Open(
   db_options.env = options.env;
   db_options.wal_retry_limit = options.wal_retry_limit;
   db_options.retry_backoff_us = options.retry_backoff_us;
-  db_options.trace = options.trace;
+  db_options.clock = options.clock;
+  db_options.trace = conn->metrics_trace_.get();
   VERSO_ASSIGN_OR_RETURN(conn->db_,
                          Database::Open(dir, *conn->engine_, db_options));
   conn->Finish();
@@ -39,6 +78,7 @@ Result<std::unique_ptr<Connection>> Connection::OpenInMemory(
 }
 
 std::unique_ptr<Session> Connection::OpenSession() {
+  ConnMetrics::Get().sessions_opened.Add();
   return std::unique_ptr<Session>(new Session(this));
 }
 
@@ -83,9 +123,14 @@ Status Connection::ViewHealth(std::string_view name) const {
 }
 
 void Connection::SetTrace(TraceSink* trace) {
+  // The database and catalog keep tracing through the metrics bridge;
+  // only the bridge's downstream changes.
   options_.trace = trace;
-  catalog_->set_trace(trace);
-  db_->set_trace(trace);
+  metrics_trace_->set_next(trace);
+}
+
+void Connection::DumpMetrics(std::ostream& out) const {
+  MetricsRegistry::Global().DumpJson(out);
 }
 
 const Status& Connection::health() const { return db_->health(); }
@@ -118,6 +163,11 @@ std::shared_ptr<const internal::Snapshot> Connection::Pin() {
       cached_->ddl_generation == ddl) {
     return cached_;
   }
+  // Cache miss: a fresh snapshot is actually built (COW-cheap, but not
+  // free) — the hit path above stays untimed and uncounted.
+  ConnMetrics& metrics = ConnMetrics::Get();
+  metrics.pins.Add();
+  ScopedTimer pin_timer(MetricsRegistry::Global(), metrics.pin_us);
   auto snap = std::make_shared<internal::Snapshot>(db_->current());
   snap->epoch = now;
   snap->ddl_generation = ddl;
@@ -141,6 +191,9 @@ void Connection::OnViewDelta(const MaterializedView& view,
     if (sub.view == view.name()) ids.push_back(sub.id);
   }
   if (ids.empty()) return;  // nobody listening: skip the delta copy
+  ConnMetrics& metrics = ConnMetrics::Get();
+  ScopedTimer fanout_timer(MetricsRegistry::Global(),
+                           metrics.delivery_fanout_us);
   ViewDelta event;
   event.view = view.name();
   // The triggering member's own epoch, threaded from the commit: reading
@@ -157,14 +210,18 @@ void Connection::OnViewDelta(const MaterializedView& view,
         break;
       }
     }
-    if (callback) callback(event);
+    if (callback) {
+      callback(event);
+      metrics.deliveries.Add();
+      metrics.delivered_facts.Add(event.facts.size());
+    }
   }
 }
 
 Result<ResultSet> Connection::ExecuteWrite(Session& session,
                                            Program& program) {
-  Result<RunOutcome> out = db_->Execute(program, options_.eval,
-                                        options_.trace);
+  Result<RunOutcome> out =
+      db_->Execute(program, options_.eval, metrics_trace_.get());
   if (!out.ok()) {
     if (out.status().code() == StatusCode::kObserverFailed) {
       // The commit stands (see CommitObserver); only the observer work is
@@ -189,7 +246,7 @@ Result<ResultSet> Connection::ExecuteWrite(Session& session,
 Result<std::vector<ResultSet>> Connection::ExecuteWriteBatch(
     Session& session, const std::vector<Program*>& programs) {
   Result<std::vector<RunOutcome>> out =
-      db_->ExecuteBatch(programs, options_.eval, options_.trace);
+      db_->ExecuteBatch(programs, options_.eval, metrics_trace_.get());
   if (!out.ok()) {
     if (out.status().code() == StatusCode::kObserverFailed) {
       InvalidateSnapshot();

@@ -43,6 +43,14 @@ DeltaLog CollectFacts(const ObjectBase& base,
 }  // namespace internal
 
 bool ResultSet::Next() {
+  if (kind_ == Kind::kMetrics) {
+    if (next_ >= metrics_.size()) {
+      current_metric_ = nullptr;
+      return false;
+    }
+    current_metric_ = &metrics_[next_++];
+    return true;
+  }
   if (next_ >= rows_.size()) {
     current_ = nullptr;
     return false;
@@ -54,6 +62,7 @@ bool ResultSet::Next() {
 void ResultSet::Rewind() {
   next_ = 0;
   current_ = nullptr;
+  current_metric_ = nullptr;
 }
 
 std::string ResultSet::object() const {
@@ -81,6 +90,10 @@ std::string ResultSet::result_text() const {
 }
 
 std::string ResultSet::RowToString() const {
+  if (kind_ == Kind::kMetrics) {
+    return current_metric_->name + " = " +
+           std::to_string(current_metric_->value);
+  }
   return FactToString(row().vid, row().method, row().app, *symbols_,
                       *versions_);
 }

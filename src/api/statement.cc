@@ -86,6 +86,44 @@ bool IsIdentifier(const std::string& word) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
 }
 
+/// Case-insensitive match against the reserved METRICS word.
+bool IsMetricsKeyword(const std::string& identifier) {
+  if (identifier.size() != 7) return false;
+  const char* kWord = "metrics";
+  for (size_t i = 0; i < identifier.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(identifier[i])) != kWord[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Statement-layer handles into the global registry, bound once.
+/// `QUERY METRICS` execution deliberately bumps NONE of these (its
+/// prepare does, before the snapshot is taken): reading the metrics must
+/// not change them, so a QUERY METRICS result and a DumpMetrics call
+/// with no events in between compare byte-equal.
+struct StmtMetrics {
+  Counter& prepared;
+  Histogram& parse_us;
+  Counter& queries;
+  Histogram& query_eval_us;
+  Counter& view_reads;
+
+  static StmtMetrics& Get() {
+    static StmtMetrics* metrics =
+        new StmtMetrics(MetricsRegistry::Global());  // never dies
+    return *metrics;
+  }
+
+  explicit StmtMetrics(MetricsRegistry& registry)
+      : prepared(registry.GetCounter("statement.prepared")),
+        parse_us(registry.GetHistogram("statement.parse_us")),
+        queries(registry.GetCounter("query.count")),
+        query_eval_us(registry.GetHistogram("query.eval_us")),
+        view_reads(registry.GetCounter("query.view_reads")) {}
+};
+
 /// True iff the text's first clause is a derived-method rule: an optional
 /// `label:` prefix followed by the `derive` keyword.
 bool StartsWithDerive(std::string_view text) {
@@ -101,6 +139,11 @@ bool StartsWithDerive(std::string_view text) {
 }  // namespace
 
 Result<Statement> Session::Prepare(std::string_view text) {
+  // Counts every Prepare call (parse failures included); the span times
+  // the whole parse, whichever grammar branch it takes.
+  StmtMetrics& metrics = StmtMetrics::Get();
+  metrics.prepared.Add();
+  ScopedTimer parse_timer(MetricsRegistry::Global(), metrics.parse_us);
   SymbolTable& symbols = conn_->engine().symbols();
   TextScanner scan(text);
   TextScanner probe(text);
@@ -149,11 +192,16 @@ Result<Statement> Session::Prepare(std::string_view text) {
     scan.Word();  // "query"
     std::string name = scan.Identifier();
     if (!IsIdentifier(name)) {
-      return Status::ParseError("QUERY expects a view name");
+      return Status::ParseError("QUERY expects a view name or METRICS");
     }
     if (scan.Peek() == '.') scan.Consume();
     if (!scan.AtEnd()) {
       return Status::ParseError("unexpected text after QUERY " + name);
+    }
+    // METRICS is reserved: QUERY METRICS (any case) reads the metrics
+    // registry, never a view of that name.
+    if (IsMetricsKeyword(name)) {
+      return Statement(this, Statement::Kind::kMetrics, std::string(text));
     }
     Statement stmt(this, Statement::Kind::kQueryView, std::string(text));
     stmt.view_name_ = std::move(name);
@@ -179,10 +227,15 @@ Result<ResultSet> Statement::Execute() {
 
     case Kind::kQuery: {
       const internal::Snapshot& snap = session_->snap();
+      StmtMetrics& metrics = StmtMetrics::Get();
+      metrics.queries.Add();
       auto qstats = std::make_shared<QueryStats>();
+      ScopedTimer eval_timer(MetricsRegistry::Global(),
+                             metrics.query_eval_us);
       Result<ObjectBase> full = EvaluateQueries(
           query_, snap.base, conn->engine().symbols(),
           conn->engine().versions(), qstats.get(), conn->options_.query);
+      eval_timer.Stop();
       if (!full.ok()) return full.status();
       std::vector<MethodId> methods = query_.derived_methods;
       std::sort(methods.begin(), methods.end());
@@ -207,11 +260,19 @@ Result<ResultSet> Statement::Execute() {
             "view '" + view_name_ + "' is not in this session's snapshot "
             "(not registered, or poisoned, at pin time; Refresh() re-pins)");
       }
+      StmtMetrics::Get().view_reads.Add();
       return ResultSet(ResultSet::Kind::kView, snap.epoch,
                        internal::CollectFacts(it->second.result,
                                               it->second.methods),
                        &conn->symbols(), &conn->versions());
     }
+
+    case Kind::kMetrics:
+      // Deliberately counter-silent (no bumps, no pin — the epoch read
+      // touches nothing): the snapshot this returns is byte-for-byte the
+      // one a DumpMetrics call right after would serialize.
+      return ResultSet(conn->epoch(), MetricsRegistry::Global().Snapshot(),
+                       &conn->symbols(), &conn->versions());
   }
   return Status::Internal("unknown statement kind");
 }

@@ -88,7 +88,13 @@ Result<EvalStats> Evaluator::Run(const Program& program,
       sstats.index_hits += rstats.index.index_hits;
       sstats.indexed_scan_avoided_facts +=
           rstats.index.indexed_scan_avoided_facts;
-      if (trace_ != nullptr && round > 0 && options_.semi_naive) {
+      // Every consumed round notifies, in naive mode too (naive rounds
+      // report 0 seed probes and their full re-matches as residual
+      // runs), so sinks — the metrics bridge in particular — hear the
+      // same per-commit event stream regardless of evaluation mode or of
+      // whether the commit arrived through Execute or as an ExecuteBatch
+      // member.
+      if (trace_ != nullptr && round > 0) {
         trace_->OnDeltaRound(stratum, round, delta.size(), rstats.seed_probes,
                              rstats.residual_rules);
       }
@@ -97,10 +103,12 @@ Result<EvalStats> Evaluator::Run(const Program& program,
       if (delta.empty()) break;
     }
     if (trace_ != nullptr) {
-      if (sstats.index_probes != 0) {
-        trace_->OnIndexUse(stratum, sstats.index_probes, sstats.index_hits,
-                           sstats.indexed_scan_avoided_facts);
-      }
+      // Unconditional (zero probes included): whether a sink hears the
+      // index summary must not depend on the commit's shape — a batch of
+      // probe-free members would otherwise be invisible to sinks that
+      // account per-commit index behavior.
+      trace_->OnIndexUse(stratum, sstats.index_probes, sstats.index_hits,
+                         sstats.indexed_scan_avoided_facts);
       trace_->OnStratumFixpoint(stratum, sstats.rounds);
     }
   }

@@ -31,9 +31,12 @@ class TraceSink {
     (void)stratum;
     (void)round;
   }
-  /// A semi-naive round finished: `delta_facts` fact-level changes were
-  /// consumed, `seed_probes` delta-seeded partial matches were launched,
-  /// and `residual_rules` rules needed a full re-match.
+  /// A delta round (any round >= 1 of a stratum's fixpoint, in naive
+  /// mode too) finished: `delta_facts` fact-level changes were consumed,
+  /// `seed_probes` delta-seeded partial matches were launched, and
+  /// `residual_rules` rules needed a full re-match (in naive mode every
+  /// rule is a residual run and seed_probes is 0). Emitted identically
+  /// for single Execute commits and for each ExecuteBatch member.
   virtual void OnDeltaRound(uint32_t stratum, uint32_t round,
                             size_t delta_facts, size_t seed_probes,
                             size_t residual_rules) {
@@ -59,7 +62,9 @@ class TraceSink {
   /// A stratum reached its fixpoint having answered `probes` bound-result
   /// lookups through the (method, result) index: `hits` enumerated at
   /// least one fact and `avoided_facts` full-scan fact visits were
-  /// skipped. Emitted (before OnStratumFixpoint) only when probes > 0.
+  /// skipped. Emitted before OnStratumFixpoint for every stratum —
+  /// probes may be 0 — so per-commit coverage does not depend on the
+  /// commit's shape (and is identical for ExecuteBatch members).
   virtual void OnIndexUse(uint32_t stratum, size_t probes, size_t hits,
                           size_t avoided_facts) {
     (void)stratum;

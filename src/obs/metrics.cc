@@ -1,0 +1,129 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace verso {
+
+uint64_t Histogram::ValueAtQuantile(double q) const {
+  uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the quantile sample, 1-based; q=1 is the max sample's bucket.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketUpperBound(i);
+  }
+  // count_ raced ahead of a bucket increment; the last bucket bounds all.
+  return BucketUpperBound(kBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dies
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(&enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(&enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram(&enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, hist] : histograms_) {
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      hist->buckets_[i].store(0, std::memory_order_relaxed);
+    }
+    hist->count_.store(0, std::memory_order_relaxed);
+    hist->sum_micros_.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> entries;
+  entries.reserve(counters_.size() + gauges_.size() + 5 * histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    entries.push_back(Entry{name, static_cast<int64_t>(counter->value())});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    entries.push_back(Entry{name, gauge->value()});
+  }
+  for (const auto& [name, hist] : histograms_) {
+    entries.push_back(
+        Entry{name + ".count", static_cast<int64_t>(hist->count())});
+    entries.push_back(
+        Entry{name + ".sum_us", static_cast<int64_t>(hist->sum_micros())});
+    entries.push_back(Entry{name + ".p50_us",
+                            static_cast<int64_t>(hist->ValueAtQuantile(0.50))});
+    entries.push_back(Entry{name + ".p95_us",
+                            static_cast<int64_t>(hist->ValueAtQuantile(0.95))});
+    entries.push_back(Entry{name + ".p99_us",
+                            static_cast<int64_t>(hist->ValueAtQuantile(0.99))});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  return entries;
+}
+
+void MetricsRegistry::WriteJson(const std::vector<Entry>& entries,
+                                std::ostream& out) {
+  // Metric names are [a-z0-9._]+ by convention, so no JSON escaping is
+  // needed; keep the document stable (sorted keys, integer values, fixed
+  // layout) so successive dumps diff cleanly.
+  out << "{\n  \"verso_metrics_version\": 1,\n  \"metrics\": {";
+  bool first = true;
+  for (const Entry& entry : entries) {
+    out << (first ? "\n" : ",\n") << "    \"" << entry.name
+        << "\": " << entry.value;
+    first = false;
+  }
+  out << "\n  }\n}\n";
+}
+
+void MetricsRegistry::DumpJson(std::ostream& out) const {
+  WriteJson(Snapshot(), out);
+}
+
+}  // namespace verso

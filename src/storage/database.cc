@@ -1,14 +1,53 @@
 #include "storage/database.h"
 
 #include <algorithm>
-#include <chrono>
-#include <thread>
 
+#include "obs/metrics.h"
 #include "storage/codec.h"
 #include "storage/snapshot.h"
 #include "util/io.h"
 
 namespace verso {
+
+namespace {
+
+/// Commit-path handles into the global registry, bound once (registration
+/// takes a mutex; the commit path must not). The five histograms are the
+/// per-commit phase spans: evaluate, WAL append (durability, retries and
+/// backoff included), in-memory install, observer/view fan-out, and the
+/// whole transaction end to end.
+struct CommitMetrics {
+  Counter& commits;
+  Counter& batches;
+  Counter& noops;
+  Counter& rejected_readonly;
+  Counter& delta_facts;
+  Histogram& evaluate_us;
+  Histogram& wal_append_us;
+  Histogram& install_us;
+  Histogram& fanout_us;
+  Histogram& total_us;
+
+  static CommitMetrics& Get() {
+    static CommitMetrics* metrics =
+        new CommitMetrics(MetricsRegistry::Global());  // never dies
+    return *metrics;
+  }
+
+  explicit CommitMetrics(MetricsRegistry& registry)
+      : commits(registry.GetCounter("commit.count")),
+        batches(registry.GetCounter("commit.batches")),
+        noops(registry.GetCounter("commit.noops")),
+        rejected_readonly(registry.GetCounter("commit.rejected_readonly")),
+        delta_facts(registry.GetCounter("commit.delta_facts")),
+        evaluate_us(registry.GetHistogram("commit.evaluate_us")),
+        wal_append_us(registry.GetHistogram("commit.wal_append_us")),
+        install_us(registry.GetHistogram("commit.install_us")),
+        fanout_us(registry.GetHistogram("commit.fanout_us")),
+        total_us(registry.GetHistogram("commit.total_us")) {}
+};
+
+}  // namespace
 
 Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
                                                  Engine& engine,
@@ -164,6 +203,7 @@ Status Database::NotifyObservers(const DeltaLog& delta, uint64_t epoch) {
 
 Status Database::CheckWritable() const {
   if (degraded_.ok()) return Status::Ok();
+  CommitMetrics::Get().rejected_readonly.Add();
   return Status::ReadOnly("database is in degraded (read-only) mode: " +
                           degraded_.ToString());
 }
@@ -230,8 +270,8 @@ Status Database::AppendWalDurable(WalRecordKind kind,
     ++stats_.retries;
     ++attempt;
     if (opts_.retry_backoff_us > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(opts_.retry_backoff_us << attempt));
+      clock_->SleepMicros(static_cast<uint64_t>(opts_.retry_backoff_us)
+                          << attempt);
     }
   }
   EnterDegraded(status);
@@ -240,20 +280,36 @@ Status Database::AppendWalDurable(WalRecordKind kind,
 
 Status Database::CommitDelta(const ObjectBase& next, DeltaLog* committed) {
   VERSO_RETURN_IF_ERROR(CheckWritable());
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  CommitMetrics& metrics = CommitMetrics::Get();
   FactDelta delta = ComputeDelta(current_, next);
-  if (delta.empty()) return Status::Ok();
+  if (delta.empty()) {
+    metrics.noops.Add();
+    return Status::Ok();
+  }
   if (!ephemeral_) {
     std::string payload =
         EncodeDeltaBatch(delta, engine_.symbols(), engine_.versions());
     // Durability first: the record hits the log before memory moves. A
     // failed append leaves the base untouched and degrades the database.
+    // The span records on failure too (timer destructor), so degraded
+    // commits still show up in commit.wal_append_us.
+    ScopedTimer wal_timer(registry, metrics.wal_append_us);
     VERSO_RETURN_IF_ERROR(AppendWalDurable(WalRecordKind::kBatch, payload));
+    wal_timer.Stop();
     ++wal_records_;
   }
-  ApplyDelta(delta, current_);
+  {
+    ScopedTimer install_timer(registry, metrics.install_us);
+    ApplyDelta(delta, current_);
+  }
   ++commit_epoch_;
   DeltaLog log = ToDeltaLog(delta);
+  metrics.commits.Add();
+  metrics.delta_facts.Add(log.size());
+  ScopedTimer fanout_timer(registry, metrics.fanout_us);
   Status notify = NotifyObservers(log, commit_epoch_);
+  fanout_timer.Stop();
   if (committed != nullptr) *committed = std::move(log);
   return notify;
 }
@@ -268,8 +324,13 @@ Result<RunOutcome> Database::Execute(Program& program,
   // Refuse before evaluating: a degraded database cannot commit, so the
   // evaluation work (and any observer side effects) would be wasted.
   VERSO_RETURN_IF_ERROR(CheckWritable());
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  CommitMetrics& metrics = CommitMetrics::Get();
+  ScopedTimer total_timer(registry, metrics.total_us);
+  ScopedTimer eval_timer(registry, metrics.evaluate_us);
   VERSO_ASSIGN_OR_RETURN(RunOutcome outcome,
                          engine_.Run(program, current_, options, trace));
+  eval_timer.Stop();
   Status committed = CommitDelta(outcome.new_base, &outcome.committed_delta);
   outcome.committed_epoch = commit_epoch_;
   VERSO_RETURN_IF_ERROR(committed);
@@ -280,6 +341,10 @@ Result<std::vector<RunOutcome>> Database::ExecuteBatch(
     const std::vector<Program*>& programs, const EvalOptions& options,
     TraceSink* trace) {
   VERSO_RETURN_IF_ERROR(CheckWritable());
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  CommitMetrics& metrics = CommitMetrics::Get();
+  ScopedTimer total_timer(registry, metrics.total_us);
+  metrics.batches.Add();
   std::vector<RunOutcome> outcomes;
   std::vector<FactDelta> deltas;
   outcomes.reserve(programs.size());
@@ -289,6 +354,9 @@ Result<std::vector<RunOutcome>> Database::ExecuteBatch(
   // failing transaction aborts the batch before anything touches the log.
   // The outcomes vector keeps every new_base alive, so the evolving base
   // is tracked by pointer instead of copying it per transaction.
+  // One evaluate span covers the whole group — the batch's unit of work
+  // is the group, matching its one durability write below.
+  ScopedTimer eval_timer(registry, metrics.evaluate_us);
   const ObjectBase* working = &current_;
   for (Program* program : programs) {
     VERSO_ASSIGN_OR_RETURN(RunOutcome outcome,
@@ -297,10 +365,12 @@ Result<std::vector<RunOutcome>> Database::ExecuteBatch(
     outcomes.push_back(std::move(outcome));
     working = &outcomes.back().new_base;
   }
+  eval_timer.Stop();
 
   bool any_change = false;
   for (const FactDelta& delta : deltas) any_change |= !delta.empty();
   if (!any_change) {
+    metrics.noops.Add(deltas.size());
     for (RunOutcome& outcome : outcomes) {
       outcome.committed_epoch = commit_epoch_;
     }
@@ -313,11 +383,16 @@ Result<std::vector<RunOutcome>> Database::ExecuteBatch(
   if (!ephemeral_) {
     std::string payload =
         EncodeDeltaBatch(deltas, engine_.symbols(), engine_.versions());
+    ScopedTimer wal_timer(registry, metrics.wal_append_us);
     VERSO_RETURN_IF_ERROR(AppendWalDurable(WalRecordKind::kBatch, payload));
+    wal_timer.Stop();
     ++wal_records_;
   }
-  for (const FactDelta& delta : deltas) {
-    ApplyDelta(delta, current_);
+  {
+    ScopedTimer install_timer(registry, metrics.install_us);
+    for (const FactDelta& delta : deltas) {
+      ApplyDelta(delta, current_);
+    }
   }
   // Deliver every delta even if an observer errors on one of them: all of
   // them are durable and installed, so later deltas must reach the
@@ -326,12 +401,16 @@ Result<std::vector<RunOutcome>> Database::ExecuteBatch(
   // run; a no-op member neither advances it nor notifies (matching the
   // single-Execute path, where an empty delta commits nothing).
   Status first_error;
+  ScopedTimer fanout_timer(registry, metrics.fanout_us);
   for (size_t i = 0; i < deltas.size(); ++i) {
     if (deltas[i].empty()) {
+      metrics.noops.Add();
       outcomes[i].committed_epoch = commit_epoch_;
       continue;
     }
     DeltaLog log = ToDeltaLog(deltas[i]);
+    metrics.commits.Add();
+    metrics.delta_facts.Add(log.size());
     ++commit_epoch_;
     // Observers for member i are stamped with member i's OWN epoch — a
     // subscription delta delivered mid-batch must not carry a later

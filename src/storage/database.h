@@ -8,6 +8,7 @@
 #include "core/delta.h"
 #include "core/engine.h"
 #include "storage/wal.h"
+#include "util/clock.h"
 #include "util/io.h"
 #include "util/result.h"
 
@@ -53,6 +54,10 @@ struct DatabaseOptions {
   /// Base backoff between transient-append retries; attempt k sleeps
   /// `retry_backoff_us << k`. 0 disables sleeping (tests).
   uint32_t retry_backoff_us = 100;
+  /// Monotonic clock the retry backoff sleeps through; nullptr means
+  /// Clock::Default(). Tests substitute a FakeClock to assert the
+  /// backoff schedule without waiting out real time.
+  Clock* clock = nullptr;
   /// Storage-fault events (OnStorageFault) go here (not owned). The
   /// per-call TraceSink of Execute/ExecuteBatch traces evaluation only.
   TraceSink* trace = nullptr;
@@ -204,6 +209,7 @@ class Database {
         engine_(engine),
         opts_(opts),
         env_(opts.env != nullptr ? opts.env : Env::Default()),
+        clock_(opts.clock != nullptr ? opts.clock : Clock::Default()),
         current_(engine.MakeBase()),
         wal_(dir_.empty() ? std::string() : dir_ + "/wal.log", env_) {}
 
@@ -229,6 +235,7 @@ class Database {
   Engine& engine_;
   DatabaseOptions opts_;
   Env* env_;
+  Clock* clock_;
   ObjectBase current_;
   WalWriter wal_;
   std::vector<CommitObserver*> observers_;

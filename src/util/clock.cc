@@ -1,0 +1,25 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace verso {
+
+uint64_t SteadyClock::NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SteadyClock::SleepMicros(uint64_t micros) {
+  if (micros == 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+Clock* Clock::Default() {
+  static SteadyClock clock;
+  return &clock;
+}
+
+}  // namespace verso

@@ -1,0 +1,71 @@
+#ifndef VERSO_UTIL_CLOCK_H_
+#define VERSO_UTIL_CLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace verso {
+
+/// Virtual monotonic time seam. Everything in the library that reads a
+/// wall clock or sleeps — metrics histogram timers (src/obs) and the WAL
+/// transient-retry backoff (storage/database.cc) — goes through a Clock,
+/// so tests substitute a FakeClock and stop depending on real time.
+/// SteadyClock is the production backend; Clock::Default() returns a
+/// process-wide SteadyClock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic nanoseconds since an arbitrary fixed origin.
+  virtual uint64_t NowNanos() = 0;
+
+  /// Blocks the calling thread for `micros` microseconds.
+  virtual void SleepMicros(uint64_t micros) = 0;
+
+  uint64_t NowMicros() { return NowNanos() / 1000; }
+
+  /// The process-wide real (steady) clock.
+  static Clock* Default();
+};
+
+/// std::chrono::steady_clock + std::this_thread::sleep_for.
+class SteadyClock : public Clock {
+ public:
+  uint64_t NowNanos() override;
+  void SleepMicros(uint64_t micros) override;
+};
+
+/// Deterministic clock for tests: time advances only via Advance* and
+/// SleepMicros (a fake sleep returns immediately but moves the clock
+/// forward by the requested amount, so backoff schedules stay observable
+/// without wall-clock delay). Not thread-safe — the usual one-thread
+/// embedded contract.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(uint64_t start_nanos = 0) : now_nanos_(start_nanos) {}
+
+  uint64_t NowNanos() override { return now_nanos_; }
+  void SleepMicros(uint64_t micros) override {
+    sleeps_.push_back(micros);
+    now_nanos_ += micros * 1000;
+  }
+
+  void AdvanceNanos(uint64_t nanos) { now_nanos_ += nanos; }
+  void AdvanceMicros(uint64_t micros) { now_nanos_ += micros * 1000; }
+
+  /// Every SleepMicros request, in call order.
+  const std::vector<uint64_t>& sleeps() const { return sleeps_; }
+  uint64_t slept_micros_total() const {
+    uint64_t total = 0;
+    for (uint64_t s : sleeps_) total += s;
+    return total;
+  }
+
+ private:
+  uint64_t now_nanos_;
+  std::vector<uint64_t> sleeps_;
+};
+
+}  // namespace verso
+
+#endif  // VERSO_UTIL_CLOCK_H_

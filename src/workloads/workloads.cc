@@ -1,6 +1,31 @@
 #include "workloads/workloads.h"
 
+#include "obs/metrics.h"
+
 namespace verso {
+
+namespace {
+
+/// Generator handles into the global registry — benches and examples
+/// report workload sizes through the same surface as everything else.
+struct WorkloadMetrics {
+  Counter& bases_generated;
+  Counter& objects;
+  Counter& facts;
+
+  static WorkloadMetrics& Get() {
+    static WorkloadMetrics* metrics =
+        new WorkloadMetrics(MetricsRegistry::Global());  // never dies
+    return *metrics;
+  }
+
+  explicit WorkloadMetrics(MetricsRegistry& registry)
+      : bases_generated(registry.GetCounter("workload.bases_generated")),
+        objects(registry.GetCounter("workload.objects")),
+        facts(registry.GetCounter("workload.facts")) {}
+};
+
+}  // namespace
 
 Enterprise MakeEnterprise(const EnterpriseOptions& options, Engine& engine,
                           ObjectBase& base) {
@@ -31,15 +56,19 @@ Enterprise MakeEnterprise(const EnterpriseOptions& options, Engine& engine,
     }
   }
 
+  size_t facts = 0;
   for (size_t i = 0; i < n; ++i) {
     engine.AddFact(base, e.names[i], "isa", "empl");
     engine.AddFact(base, e.names[i], "sal", e.salary[i]);
+    facts += 2;
     if (e.is_manager[i]) {
       engine.AddFact(base, e.names[i], "pos", "mgr");
+      ++facts;
     }
     if (e.boss[i] >= 0) {
       engine.AddFact(base, e.names[i], "boss",
                      engine.symbols().Symbol(e.names[e.boss[i]]));
+      ++facts;
     }
   }
   for (size_t i = 0; i < options.bystanders; ++i) {
@@ -47,7 +76,12 @@ Enterprise MakeEnterprise(const EnterpriseOptions& options, Engine& engine,
     engine.AddFact(base, name, "isa", "stone");
     engine.AddFact(base, name, "mass",
                    static_cast<int64_t>(rng.Below(1000)));
+    facts += 2;
   }
+  WorkloadMetrics& metrics = WorkloadMetrics::Get();
+  metrics.bases_generated.Add();
+  metrics.objects.Add(n + options.bystanders);
+  metrics.facts.Add(facts);
   return e;
 }
 
@@ -92,13 +126,19 @@ Genealogy MakeGenealogy(const GenealogyOptions& options, Engine& engine,
       if (!dup) g.parents[i].push_back(parent);
     }
   }
+  size_t facts = 0;
   for (size_t i = 0; i < n; ++i) {
     engine.AddFact(base, g.names[i], "isa", "person");
+    facts += 1 + g.parents[i].size();
     for (int p : g.parents[i]) {
       engine.AddFact(base, g.names[i], "parents",
                      engine.symbols().Symbol(g.names[static_cast<size_t>(p)]));
     }
   }
+  WorkloadMetrics& metrics = WorkloadMetrics::Get();
+  metrics.bases_generated.Add();
+  metrics.objects.Add(n);
+  metrics.facts.Add(facts);
   return g;
 }
 
@@ -114,6 +154,10 @@ void MakeGraph(size_t nodes, size_t edges, uint64_t seed, Engine& engine,
     engine.AddFact(base, "n" + std::to_string(from), "edge",
                    engine.symbols().Symbol("n" + std::to_string(to)));
   }
+  WorkloadMetrics& metrics = WorkloadMetrics::Get();
+  metrics.bases_generated.Add();
+  metrics.objects.Add(nodes);
+  metrics.facts.Add(nodes + edges);
 }
 
 const char kEnterpriseProgramText[] = R"(

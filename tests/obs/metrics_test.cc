@@ -1,0 +1,194 @@
+// Unit tests for the always-on metrics subsystem (src/obs): counter
+// monotonicity, histogram quantile bounds, snapshot-vs-live consistency,
+// the enabled (ablation) gate, deterministic timing through FakeClock,
+// and the stable JSON document.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "util/clock.h"
+
+namespace verso {
+namespace {
+
+TEST(CounterTest, AddsMonotonically) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("c");
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  // Same name, same handle: registration is idempotent.
+  EXPECT_EQ(&registry.GetCounter("c"), &counter);
+  registry.GetCounter("c").Add();
+  EXPECT_EQ(counter.value(), 43u);
+}
+
+TEST(GaugeTest, SetAndAddMayGoDown) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.GetGauge("g");
+  gauge.Set(10);
+  gauge.Add(-25);
+  EXPECT_EQ(gauge.value(), -15);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  EXPECT_EQ(Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10u);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11u);
+  // Saturation: enormous samples land in the last bucket.
+  EXPECT_EQ(Histogram::BucketOf(~0ull), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1024u);
+}
+
+TEST(HistogramTest, QuantileIsUpperBoundWithinTwoX) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.GetHistogram("h");
+  // 100 samples 1..100 µs: the quantile estimate must bound the true
+  // quantile from above and stay within the 2x bucket-resolution bound.
+  for (uint64_t v = 1; v <= 100; ++v) hist.Record(v);
+  EXPECT_EQ(hist.count(), 100u);
+  EXPECT_EQ(hist.sum_micros(), 5050u);
+  struct Case {
+    double q;
+    uint64_t truth;
+  };
+  for (const Case& c : {Case{0.50, 50}, Case{0.95, 95}, Case{0.99, 99},
+                        Case{1.0, 100}}) {
+    uint64_t estimate = hist.ValueAtQuantile(c.q);
+    EXPECT_GE(estimate, c.truth) << "q=" << c.q;
+    EXPECT_LE(estimate, 2 * c.truth) << "q=" << c.q;
+  }
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.GetHistogram("h");
+  EXPECT_EQ(hist.ValueAtQuantile(0.5), 0u);
+}
+
+TEST(MetricsRegistryTest, DisabledGateFreezesEveryKind) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("c");
+  Gauge& gauge = registry.GetGauge("g");
+  Histogram& hist = registry.GetHistogram("h");
+  counter.Add(5);
+  registry.set_enabled(false);
+  counter.Add(100);
+  gauge.Set(7);
+  hist.Record(3);
+  EXPECT_EQ(counter.value(), 5u);  // retained, not reset
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(hist.count(), 0u);
+  registry.set_enabled(true);
+  counter.Add();
+  EXPECT_EQ(counter.value(), 6u);
+}
+
+TEST(MetricsRegistryTest, SnapshotMatchesLiveValuesSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("z.last").Add(3);
+  registry.GetCounter("a.first").Add(1);
+  registry.GetGauge("m.middle").Set(-2);
+  registry.GetHistogram("h.hist").Record(10);
+
+  std::vector<MetricsRegistry::Entry> entries = registry.Snapshot();
+  ASSERT_EQ(entries.size(), 2u + 1u + 5u);  // histogram expands to 5 rows
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].name, entries[i].name);
+  }
+  auto value_of = [&entries](const std::string& name) -> int64_t {
+    for (const auto& entry : entries) {
+      if (entry.name == name) return entry.value;
+    }
+    ADD_FAILURE() << "missing entry " << name;
+    return -1;
+  };
+  EXPECT_EQ(value_of("a.first"), 1);
+  EXPECT_EQ(value_of("z.last"), 3);
+  EXPECT_EQ(value_of("m.middle"), -2);
+  EXPECT_EQ(value_of("h.hist.count"), 1);
+  EXPECT_EQ(value_of("h.hist.sum_us"), 10);
+  EXPECT_EQ(value_of("h.hist.p50_us"), 16);  // bucket upper bound of 10µs
+
+  // Snapshot is a copy: later events do not retro-change it, and a fresh
+  // snapshot sees them.
+  registry.GetCounter("a.first").Add();
+  EXPECT_EQ(value_of("a.first"), 1);
+  EXPECT_EQ(registry.Snapshot()[0].value, 2);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("c");
+  Histogram& hist = registry.GetHistogram("h");
+  counter.Add(9);
+  hist.Record(100);
+  registry.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.ValueAtQuantile(0.5), 0u);
+  EXPECT_EQ(&registry.GetCounter("c"), &counter);  // handle survives
+}
+
+TEST(MetricsRegistryTest, JsonIsStableAndByteIdenticalForEqualSnapshots) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.count").Add(2);
+  registry.GetCounter("a.count").Add(1);
+  std::ostringstream first;
+  std::ostringstream second;
+  registry.DumpJson(first);
+  registry.DumpJson(second);
+  EXPECT_EQ(first.str(), second.str());
+  EXPECT_EQ(first.str(),
+            "{\n"
+            "  \"verso_metrics_version\": 1,\n"
+            "  \"metrics\": {\n"
+            "    \"a.count\": 1,\n"
+            "    \"b.count\": 2\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(ScopedTimerTest, RecordsElapsedMicrosThroughFakeClock) {
+  MetricsRegistry registry;
+  FakeClock clock;
+  registry.set_clock(&clock);
+  Histogram& hist = registry.GetHistogram("span_us");
+  {
+    ScopedTimer timer(registry, hist);
+    clock.AdvanceMicros(300);
+  }  // records on destruction
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.sum_micros(), 300u);
+
+  ScopedTimer timer(registry, hist);
+  clock.AdvanceMicros(40);
+  EXPECT_EQ(timer.Stop(), 40u);
+  EXPECT_EQ(timer.Stop(), 0u);  // Stop is once-only
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_EQ(hist.sum_micros(), 340u);
+}
+
+TEST(ScopedTimerTest, DisabledRegistrySkipsClockEntirely) {
+  MetricsRegistry registry;
+  FakeClock clock;
+  registry.set_clock(&clock);
+  registry.set_enabled(false);
+  Histogram& hist = registry.GetHistogram("span_us");
+  {
+    ScopedTimer timer(registry, hist);
+    clock.AdvanceMicros(300);
+  }
+  EXPECT_EQ(hist.count(), 0u);
+}
+
+}  // namespace
+}  // namespace verso

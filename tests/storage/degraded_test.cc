@@ -11,6 +11,7 @@
 #include "parser/parser.h"
 #include "storage/database.h"
 #include "storage/wal.h"
+#include "util/clock.h"
 #include "util/fault_env.h"
 
 namespace verso {
@@ -279,6 +280,34 @@ TEST(DegradedConnectionTest, ConnectionRetriesTransientAppends) {
   EXPECT_TRUE((*conn)->health().ok());
   EXPECT_EQ((*conn)->storage_stats().retries, 2u);
   EXPECT_EQ((*conn)->storage_stats().io_failures, 2u);
+}
+
+TEST_F(DegradedFixture, TransientRetryBackoffFollowsExponentialSchedule) {
+  // The backoff sleeps through the Clock seam: a FakeClock makes the
+  // exponential schedule observable (and the test instant) instead of
+  // actually waiting out retry_backoff_us << attempt.
+  Engine engine;
+  FakeClock clock;
+  DatabaseOptions options;
+  options.env = &env_;
+  options.retry_backoff_us = 100;
+  options.clock = &clock;
+  std::unique_ptr<Database> db = OpenDb(engine, options);
+  ASSERT_TRUE(Commit(*db, engine, "t: ins[a].m -> 1.").ok());
+  EXPECT_TRUE(clock.sleeps().empty());  // the success path never sleeps
+
+  FaultInjectingEnv::FaultPlan plan;
+  plan.fail_at = 0;
+  plan.repeat = 3;
+  plan.kind = FaultKind::kTransient;
+  plan.filter = OpFilter::kAppend;
+  env_.SetPlan(plan);
+  ASSERT_TRUE(Commit(*db, engine, "t: ins[b].m -> 2.").ok());
+  EXPECT_EQ(db->stats().retries, 3u);
+  // Attempt k (1-based after the failure that triggers it) sleeps
+  // retry_backoff_us << k: 200, 400, 800 µs.
+  EXPECT_EQ(clock.sleeps(), (std::vector<uint64_t>{200, 400, 800}));
+  EXPECT_EQ(clock.slept_micros_total(), 1400u);
 }
 
 }  // namespace
