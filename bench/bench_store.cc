@@ -1,0 +1,260 @@
+// Store backend throughput (src/store) and the restart economics the
+// subsystem exists for:
+//
+//   * put/get/scan per backend — the raw component API cost;
+//   * BM_DatabaseCheckpoint — folding the committed base into the store;
+//   * BM_ColdOpenCheckpointed vs BM_ColdOpenFullWalReplay — the headline:
+//     after a checkpoint a cold Database::Open loads the store image and
+//     replays only the WAL suffix, while an uncheckpointed directory
+//     replays the full commit history (chunked imports + update churn),
+//     so the checkpointed open must win clearly at 4096 objects.
+//
+// All I/O runs against a FaultInjectingEnv (in-memory, fault-free here):
+// the benchmarks compare code paths, not disk hardware.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "parser/parser.h"
+#include "storage/database.h"
+#include "store/store.h"
+#include "util/fault_env.h"
+
+namespace verso::bench {
+namespace {
+
+constexpr const char* kDir = "/bench";
+
+std::string Key(size_t i) { return "b/key" + std::to_string(i); }
+
+std::unique_ptr<Store> MustOpen(StoreBackend backend, Env* env) {
+  Result<std::unique_ptr<Store>> store = OpenStore(backend, kDir, env);
+  return store.ok() ? std::move(store).value() : nullptr;
+}
+
+/// Preloads `n` keys with `value_bytes`-sized values, 64 per commit.
+Status Preload(Store& store, size_t n, size_t value_bytes) {
+  const std::string value(value_bytes, 'v');
+  for (size_t i = 0; i < n;) {
+    WriteTransaction txn = store.BeginWrite();
+    for (size_t k = 0; k < 64 && i < n; ++k, ++i) txn.Put(Key(i), value);
+    Status s = txn.Commit();
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+void BM_StorePut(benchmark::State& state, StoreBackend backend) {
+  FaultInjectingEnv env;
+  std::unique_ptr<Store> store = MustOpen(backend, &env);
+  if (store == nullptr) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  const size_t keys = static_cast<size_t>(state.range(0));
+  const std::string value(128, 'v');
+  size_t next = 0;
+  for (auto _ : state) {
+    // One transaction of 8 puts over a rotating key window: overwrites
+    // dominate once the window wraps, so the page-log backend also pays
+    // its compaction amortization here.
+    WriteTransaction txn = store->BeginWrite();
+    for (size_t k = 0; k < 8; ++k) {
+      txn.Put(Key(next), value);
+      next = (next + 1) % keys;
+    }
+    Status s = txn.Commit();
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK_CAPTURE(BM_StorePut, mem, StoreBackend::kMem)->Arg(256)->Arg(4096);
+BENCHMARK_CAPTURE(BM_StorePut, pagelog, StoreBackend::kPageLog)
+    ->Arg(256)
+    ->Arg(4096);
+
+void BM_StoreGet(benchmark::State& state, StoreBackend backend) {
+  FaultInjectingEnv env;
+  std::unique_ptr<Store> store = MustOpen(backend, &env);
+  const size_t keys = static_cast<size_t>(state.range(0));
+  if (store == nullptr || !Preload(*store, keys, 128).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  ReadTransaction read = store->BeginRead();
+  size_t next = 0;
+  for (auto _ : state) {
+    Result<std::string> value = store->Get(read, Key(next));
+    if (!value.ok()) {
+      state.SkipWithError(value.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*value);
+    next = (next + 1) % keys;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_StoreGet, mem, StoreBackend::kMem)->Arg(256)->Arg(4096);
+BENCHMARK_CAPTURE(BM_StoreGet, pagelog, StoreBackend::kPageLog)
+    ->Arg(256)
+    ->Arg(4096);
+
+void BM_StoreScan(benchmark::State& state, StoreBackend backend) {
+  FaultInjectingEnv env;
+  std::unique_ptr<Store> store = MustOpen(backend, &env);
+  const size_t keys = static_cast<size_t>(state.range(0));
+  if (store == nullptr || !Preload(*store, keys, 128).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  ReadTransaction read = store->BeginRead();
+  for (auto _ : state) {
+    size_t seen = 0;
+    size_t bytes = 0;
+    Status s = store->Scan(read, "b/",
+                           [&](std::string_view, std::string_view value) {
+                             ++seen;
+                             bytes += value.size();
+                             return Status::Ok();
+                           });
+    if (!s.ok() || seen != keys) {
+      state.SkipWithError("scan failed");
+      return;
+    }
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(keys));
+}
+BENCHMARK_CAPTURE(BM_StoreScan, mem, StoreBackend::kMem)->Arg(256)->Arg(4096);
+BENCHMARK_CAPTURE(BM_StoreScan, pagelog, StoreBackend::kPageLog)
+    ->Arg(256)
+    ->Arg(4096);
+
+// ---- database-level restart economics --------------------------------------
+
+/// Commits `objects` into a fresh database as 16 chunked imports plus
+/// four full-base update-churn rounds, so the WAL carries ~5x the base in
+/// replay work — the history a checkpoint folds away.
+std::unique_ptr<Database> BuildHistory(FaultInjectingEnv& env, Engine& engine,
+                                       StoreBackend backend, size_t objects) {
+  DatabaseOptions options;
+  options.env = &env;
+  options.retry_backoff_us = 0;
+  options.store_backend = backend;
+  Result<std::unique_ptr<Database>> db = Database::Open(kDir, engine, options);
+  if (!db.ok()) return nullptr;
+  ObjectBase base = engine.MakeBase();
+  const size_t chunk = (objects + 15) / 16;
+  for (size_t done = 0; done < objects;) {
+    for (size_t k = 0; k < chunk && done < objects; ++k, ++done) {
+      std::string name = "o" + std::to_string(done);
+      engine.AddFact(base, name, "isa", "thing");
+      engine.AddFact(base, name, "sal",
+                     static_cast<int64_t>(100 + (done % 977)));
+    }
+    if (!(*db)->ImportBase(base).ok()) return nullptr;
+  }
+  Result<Program> doubling = ParseProgram(
+      "r: mod[E].sal -> (S, S2) <- E.isa -> thing, E.sal -> S, S2 = S * 2.",
+      engine);
+  Result<Program> halving = ParseProgram(
+      "r: mod[E].sal -> (S, S2) <- E.isa -> thing, E.sal -> S, S2 = S / 2.",
+      engine);
+  if (!doubling.ok() || !halving.ok()) return nullptr;
+  for (int round = 0; round < 4; ++round) {
+    if (!(*db)->Execute(*doubling).ok() || !(*db)->Execute(*halving).ok()) {
+      return nullptr;
+    }
+  }
+  return std::move(db).value();
+}
+
+void BM_DatabaseCheckpoint(benchmark::State& state, StoreBackend backend) {
+  FaultInjectingEnv env;
+  Engine engine;
+  std::unique_ptr<Database> db = BuildHistory(
+      env, engine, backend, static_cast<size_t>(state.range(0)));
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    Status s = db->Checkpoint();
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  state.counters["store_keys"] =
+      static_cast<double>(db->store()->key_count());
+}
+BENCHMARK_CAPTURE(BM_DatabaseCheckpoint, mem, StoreBackend::kMem)
+    ->Arg(256)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_DatabaseCheckpoint, pagelog, StoreBackend::kPageLog)
+    ->Arg(256)
+    ->Arg(4096);
+
+void ColdOpen(benchmark::State& state, StoreBackend backend,
+              bool checkpointed) {
+  FaultInjectingEnv env;
+  size_t facts = 0;
+  {
+    Engine engine;
+    std::unique_ptr<Database> db = BuildHistory(
+        env, engine, backend, static_cast<size_t>(state.range(0)));
+    if (db == nullptr || (checkpointed && !db->Checkpoint().ok())) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+    facts = db->current().fact_count();
+  }
+  DatabaseOptions options;
+  options.env = &env;
+  options.retry_backoff_us = 0;
+  options.store_backend = backend;
+  size_t replayed = 0;
+  for (auto _ : state) {
+    Engine engine;
+    Result<std::unique_ptr<Database>> db =
+        Database::Open(kDir, engine, options);
+    if (!db.ok() || (*db)->current().fact_count() != facts) {
+      state.SkipWithError("recovery failed");
+      return;
+    }
+    replayed = (*db)->wal_records_since_checkpoint();
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["replayed_frames"] = static_cast<double>(replayed);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(facts));
+}
+
+void BM_ColdOpenCheckpointed(benchmark::State& state, StoreBackend backend) {
+  ColdOpen(state, backend, /*checkpointed=*/true);
+}
+void BM_ColdOpenFullWalReplay(benchmark::State& state, StoreBackend backend) {
+  ColdOpen(state, backend, /*checkpointed=*/false);
+}
+BENCHMARK_CAPTURE(BM_ColdOpenCheckpointed, mem, StoreBackend::kMem)
+    ->Arg(256)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_ColdOpenCheckpointed, pagelog, StoreBackend::kPageLog)
+    ->Arg(256)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_ColdOpenFullWalReplay, mem, StoreBackend::kMem)
+    ->Arg(256)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_ColdOpenFullWalReplay, pagelog, StoreBackend::kPageLog)
+    ->Arg(256)
+    ->Arg(4096);
+
+}  // namespace
+}  // namespace verso::bench
+
+BENCHMARK_MAIN();

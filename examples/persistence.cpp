@@ -13,6 +13,8 @@
 
 int main() {
   const std::string dir = "/tmp/verso_example_db";
+  std::remove((dir + "/store.img").c_str());
+  std::remove((dir + "/store.plog").c_str());
   std::remove((dir + "/snapshot.vsnp").c_str());
   std::remove((dir + "/wal.log").c_str());
 
@@ -59,7 +61,8 @@ int main() {
     }
   }
 
-  // Reopen in a fresh connection: state is recovered from the snapshot.
+  // Reopen in a fresh connection: state is recovered from the
+  // checkpointed store image (plus any WAL suffix — none here).
   verso::Result<std::unique_ptr<verso::Connection>> reopened =
       verso::Connection::Open(dir);
   if (!reopened.ok()) {

@@ -9,10 +9,12 @@
 # ongoing commits and T_P step-2 materialization, each against its
 # deep-copy baseline), bench_index (the result-keyed IndexedApps
 # index: bound-result body matching and DRed rederive probes, each
-# against the full-scan ablation), and bench_obs (the always-on metrics
+# against the full-scan ablation), bench_obs (the always-on metrics
 # registry: fixpoint + commit workloads with metrics enabled vs the
 # registry-disabled ablation — the On/Off pairs bound the
-# instrumentation's overhead). JSON results land next to this repo's
+# instrumentation's overhead), and bench_store (src/store backends:
+# put/get/scan, checkpoint cost, and checkpointed cold-open vs
+# full-WAL-replay restart). JSON results land next to this repo's
 # root so successive PRs can diff them.
 set -euo pipefail
 
@@ -22,7 +24,7 @@ BUILD_DIR=${BUILD_DIR:-build-bench}
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
       --target bench_tp_operator bench_fig2_enterprise bench_views \
-               bench_api bench_snapshots bench_index bench_obs
+               bench_api bench_snapshots bench_index bench_obs bench_store
 
 "$BUILD_DIR"/bench_tp_operator \
     --benchmark_format=json \
@@ -58,7 +60,11 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
     --benchmark_format=json \
     --benchmark_out=BENCH_obs.json \
     --benchmark_out_format=json
+"$BUILD_DIR"/bench_store \
+    --benchmark_format=json \
+    --benchmark_out=BENCH_store.json \
+    --benchmark_out_format=json
 
 echo "Wrote BENCH_tp.json, BENCH_fig2.json, BENCH_views.json," \
      "BENCH_api.json, BENCH_snapshots.json, BENCH_index.json," \
-     "and BENCH_obs.json"
+     "BENCH_obs.json, and BENCH_store.json"

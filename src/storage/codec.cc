@@ -192,6 +192,44 @@ Status DecodeObjectBaseInto(std::string_view data, SymbolTable& symbols,
   return Status::Ok();
 }
 
+std::string EncodeVersionKey(Vid vid, const SymbolTable& symbols,
+                             const VersionTable& versions) {
+  BufferWriter writer;
+  writer.Varint(versions.depth(vid));
+  const std::vector<UpdateKind>& ops = versions.ShapeOps(versions.shape(vid));
+  for (UpdateKind op : ops) writer.Byte(static_cast<uint8_t>(op));
+  EncodeOid(writer, versions.root(vid), symbols);
+  return writer.Take();
+}
+
+std::string EncodeVersionRecord(Vid vid, const VersionState& state,
+                                const SymbolTable& symbols,
+                                const VersionTable& versions) {
+  BufferWriter writer;
+  writer.Varint(state.fact_count());
+  for (const auto& [method, apps] : state.methods()) {
+    for (const GroundApp& app : apps) {
+      EncodeFact(writer, vid, method, app, symbols, versions);
+    }
+  }
+  return writer.Take();
+}
+
+Status DecodeVersionRecordInto(std::string_view data, SymbolTable& symbols,
+                               VersionTable& versions, ObjectBase& base) {
+  BufferReader reader(data);
+  VERSO_ASSIGN_OR_RETURN(uint64_t count, reader.Varint());
+  for (uint64_t i = 0; i < count; ++i) {
+    VERSO_ASSIGN_OR_RETURN(DecodedFact fact,
+                           DecodeFact(reader, symbols, versions));
+    base.Insert(fact.vid, fact.method, std::move(fact.app));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("version record has trailing bytes");
+  }
+  return Status::Ok();
+}
+
 FactDelta ComputeDelta(const ObjectBase& before, const ObjectBase& after) {
   // Structural sharing makes this O(changed state): a version whose state
   // handle both bases share — and, below that, a method whose application

@@ -72,6 +72,25 @@ std::string EncodeObjectBase(const ObjectBase& base,
 Status DecodeObjectBaseInto(std::string_view data, SymbolTable& symbols,
                             VersionTable& versions, ObjectBase& base);
 
+/// Per-version images for the checkpoint store (src/store): the base is
+/// stored one version per key so recovery is a single range scan and a
+/// checkpoint can delete exactly the versions that disappeared.
+///
+/// The key is the symbolic version image EncodeFact leads with — varint
+/// functor-chain depth, update ops outermost-first, then the root OID —
+/// so keys are deterministic across engines and equal keys mean the same
+/// version identity the WAL codec uses.
+std::string EncodeVersionKey(Vid vid, const SymbolTable& symbols,
+                             const VersionTable& versions);
+/// One version's whole state as a store value: varint fact count, then
+/// that version's facts as EncodeFact images.
+std::string EncodeVersionRecord(Vid vid, const VersionState& state,
+                                const SymbolTable& symbols,
+                                const VersionTable& versions);
+/// Decodes one EncodeVersionRecord image, inserting its facts into `base`.
+Status DecodeVersionRecordInto(std::string_view data, SymbolTable& symbols,
+                               VersionTable& versions, ObjectBase& base);
+
 /// Difference between two object bases; the WAL logs one delta per
 /// committed update-program.
 struct FactDelta {

@@ -1,10 +1,12 @@
 #include "storage/database.h"
 
 #include <algorithm>
+#include <set>
 
 #include "obs/metrics.h"
 #include "storage/codec.h"
 #include "storage/snapshot.h"
+#include "store/store.h"
 #include "util/io.h"
 
 namespace verso {
@@ -47,6 +49,40 @@ struct CommitMetrics {
         total_us(registry.GetHistogram("commit.total_us")) {}
 };
 
+/// Checkpoint/recovery handles. The recovery pair makes bounded recovery
+/// observable: replayed_frames is the suffix length the last checkpoint
+/// left behind, recovery_us the total microseconds spent replaying.
+/// Counters rather than histograms — opens are rare, and dashboards
+/// watch the totals alongside the checkpoint cadence.
+struct StorageMetrics {
+  Counter& checkpoints;
+  Counter& auto_checkpoints;
+  Counter& recovery_replayed_frames;
+  Counter& recovery_us;
+  Counter& recovery_store_keys;
+  Histogram& checkpoint_us;
+
+  static StorageMetrics& Get() {
+    static StorageMetrics* metrics =
+        new StorageMetrics(MetricsRegistry::Global());  // never dies
+    return *metrics;
+  }
+
+  explicit StorageMetrics(MetricsRegistry& registry)
+      : checkpoints(registry.GetCounter("storage.checkpoints")),
+        auto_checkpoints(registry.GetCounter("storage.auto_checkpoints")),
+        recovery_replayed_frames(
+            registry.GetCounter("storage.recovery_replayed_frames")),
+        recovery_us(registry.GetCounter("storage.recovery_us")),
+        recovery_store_keys(
+            registry.GetCounter("storage.recovery_store_keys")),
+        checkpoint_us(registry.GetHistogram("storage.checkpoint_us")) {}
+};
+
+/// Store keys of base state: "b/" + EncodeVersionKey. The prefix leaves
+/// room for future record families (views, catalogs) in the same store.
+constexpr char kBasePrefix[] = "b/";
+
 }  // namespace
 
 Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
@@ -58,9 +94,34 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
         "ephemeral database)");
   }
   std::unique_ptr<Database> db(new Database(dir, engine, options));
+  StorageMetrics& smetrics = StorageMetrics::Get();
   Env* env = db->env_;
   VERSO_RETURN_IF_ERROR(env->EnsureDirectory(dir));
-  if (env->FileExists(db->snapshot_path())) {
+  const uint64_t recover_start = db->clock_->NowNanos();
+  VERSO_ASSIGN_OR_RETURN(db->store_,
+                         OpenStore(options.store_backend, dir, env));
+  ReadTransaction base_read = db->store_->BeginRead();
+  Result<uint64_t> generation = db->store_->GetMeta(base_read, "generation");
+  if (generation.ok()) {
+    // The store holds the latest checkpoint generation: rebuild the base
+    // from its per-version records in one range scan, then replay only
+    // the WAL suffix behind it below — O(base + tail), not O(history).
+    db->checkpoint_generation_ = *generation;
+    size_t keys = 0;
+    VERSO_RETURN_IF_ERROR(db->store_->Scan(
+        base_read, kBasePrefix,
+        [&](std::string_view, std::string_view value) {
+          ++keys;
+          return DecodeVersionRecordInto(value, engine.symbols(),
+                                         engine.versions(), db->current_);
+        }));
+    smetrics.recovery_store_keys.Add(keys);
+  } else if (generation.status().code() != StatusCode::kNotFound) {
+    return generation.status();
+  } else if (env->FileExists(db->snapshot_path())) {
+    // Pre-store directory: the legacy snapshot stays the checkpoint of
+    // record until the first store checkpoint supersedes (and removes)
+    // it.
     VERSO_RETURN_IF_ERROR(ReadSnapshotInto(db->snapshot_path(),
                                            engine.symbols(), engine.versions(),
                                            db->current_, env));
@@ -153,10 +214,17 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
     }
     ++db->wal_records_;
   }
+  db->wal_bytes_ = wal.valid_bytes;
+  smetrics.recovery_replayed_frames.Add(wal.records.size());
+  smetrics.recovery_us.Add((db->clock_->NowNanos() - recover_start) / 1000);
   return db;
 }
 
 Result<std::unique_ptr<Database>> Database::OpenInMemory(Engine& engine) {
+  // Preregister the checkpoint/recovery metrics so the observability
+  // surface is stable: a dashboard sees storage.* at zero from an
+  // ephemeral database rather than the keys appearing on first reopen.
+  StorageMetrics::Get();
   std::unique_ptr<Database> db(
       new Database(std::string(), engine, DatabaseOptions()));
   db->ephemeral_ = true;
@@ -298,6 +366,7 @@ Status Database::CommitDelta(const ObjectBase& next, DeltaLog* committed) {
     VERSO_RETURN_IF_ERROR(AppendWalDurable(WalRecordKind::kBatch, payload));
     wal_timer.Stop();
     ++wal_records_;
+    wal_bytes_ += payload.size() + 12;  // v2 frame: 12-byte header
   }
   {
     ScopedTimer install_timer(registry, metrics.install_us);
@@ -311,6 +380,9 @@ Status Database::CommitDelta(const ObjectBase& next, DeltaLog* committed) {
   Status notify = NotifyObservers(log, commit_epoch_);
   fanout_timer.Stop();
   if (committed != nullptr) *committed = std::move(log);
+  // After fan-out: the commit (and its observer deliveries) are complete
+  // whether or not the WAL gets folded now.
+  MaybeAutoCheckpoint();
   return notify;
 }
 
@@ -387,6 +459,7 @@ Result<std::vector<RunOutcome>> Database::ExecuteBatch(
     VERSO_RETURN_IF_ERROR(AppendWalDurable(WalRecordKind::kBatch, payload));
     wal_timer.Stop();
     ++wal_records_;
+    wal_bytes_ += payload.size() + 12;  // v2 frame: 12-byte header
   }
   {
     ScopedTimer install_timer(registry, metrics.install_us);
@@ -421,6 +494,7 @@ Result<std::vector<RunOutcome>> Database::ExecuteBatch(
     outcomes[i].committed_epoch = commit_epoch_;
     if (!status.ok() && first_error.ok()) first_error = status;
   }
+  MaybeAutoCheckpoint();
   VERSO_RETURN_IF_ERROR(first_error);
   return outcomes;
 }
@@ -428,17 +502,43 @@ Result<std::vector<RunOutcome>> Database::ExecuteBatch(
 Status Database::Checkpoint() {
   if (ephemeral_) return Status::Ok();  // nothing to fold
   VERSO_RETURN_IF_ERROR(CheckWritable());
-  Status snapshot = WriteSnapshot(snapshot_path(), current_,
-                                  engine_.symbols(), engine_.versions(), env_);
-  if (!snapshot.ok()) {
-    // Nothing lost: the WAL still holds every commit and the old
-    // snapshot (if any) is untouched (atomic rename). Stay healthy.
-    ++stats_.io_failures;
-    TraceFault("checkpoint-snapshot", snapshot, 0, false);
-    return snapshot;
+  StorageMetrics& metrics = StorageMetrics::Get();
+  ScopedTimer timer(MetricsRegistry::Global(), metrics.checkpoint_us);
+  // Stage the whole base, one record per version, keyed so recovery
+  // rebuilds it with a single "b/" range scan; keys present in the store
+  // but absent from the staged set are versions deleted since the last
+  // checkpoint, removed in the same atomic commit as the bumped
+  // generation.
+  WriteTransaction txn = store_->BeginWrite();
+  std::set<std::string, std::less<>> live;
+  for (const auto& [vid, state] : current_.versions()) {
+    std::string key = std::string(kBasePrefix) +
+                      EncodeVersionKey(vid, engine_.symbols(),
+                                       engine_.versions());
+    txn.Put(key, EncodeVersionRecord(vid, *state, engine_.symbols(),
+                                     engine_.versions()));
+    live.insert(std::move(key));
   }
-  // The snapshot rename is durable; only now may the WAL shrink. A crash
-  // (or failure) between the two steps leaves snapshot + stale WAL, and
+  ReadTransaction stale_scan = store_->BeginRead();
+  VERSO_RETURN_IF_ERROR(store_->Scan(
+      stale_scan, kBasePrefix,
+      [&](std::string_view key, std::string_view) {
+        if (live.find(key) == live.end()) txn.Delete(std::string(key));
+        return Status::Ok();
+      }));
+  txn.PutMeta("generation", checkpoint_generation_ + 1);
+  Status committed = txn.Commit();
+  if (!committed.ok()) {
+    // Nothing lost: the WAL still holds every commit and the store (at
+    // the old generation) is untouched — both backends commit
+    // atomically. Stay healthy.
+    ++stats_.io_failures;
+    TraceFault("checkpoint-store", committed, 0, false);
+    return committed;
+  }
+  ++checkpoint_generation_;
+  // The store commit is durable; only now may the WAL shrink. A crash
+  // (or failure) between the two steps leaves store + stale WAL, and
   // recovery replays the already-folded records idempotently — the
   // torture harness crashes at every I/O point of this sequence.
   Status truncated = env_->RemoveFile(wal_.path());
@@ -448,7 +548,28 @@ Status Database::Checkpoint() {
     return truncated;
   }
   wal_records_ = 0;
+  wal_bytes_ = 0;
+  metrics.checkpoints.Add();
+  // A legacy snapshot.vsnp is now strictly older than the store
+  // generation recovery prefers; removing it is cleanup, so a failure
+  // is traced, not returned.
+  if (env_->FileExists(snapshot_path())) {
+    Status removed = env_->RemoveFile(snapshot_path());
+    if (!removed.ok()) {
+      ++stats_.io_failures;
+      TraceFault("checkpoint-clean-snapshot", removed, 0, false);
+    }
+  }
   return Status::Ok();
+}
+
+void Database::MaybeAutoCheckpoint() {
+  if (ephemeral_ || opts_.checkpoint_wal_bytes == 0) return;
+  if (wal_bytes_ < opts_.checkpoint_wal_bytes) return;
+  if (!degraded_.ok()) return;  // Checkpoint would refuse; don't double-count
+  if (Checkpoint().ok()) {
+    StorageMetrics::Get().auto_checkpoints.Add();
+  }
 }
 
 }  // namespace verso

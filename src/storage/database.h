@@ -8,6 +8,7 @@
 #include "core/delta.h"
 #include "core/engine.h"
 #include "storage/wal.h"
+#include "store/store.h"
 #include "util/clock.h"
 #include "util/io.h"
 #include "util/result.h"
@@ -61,6 +62,19 @@ struct DatabaseOptions {
   /// Storage-fault events (OnStorageFault) go here (not owned). The
   /// per-call TraceSink of Execute/ExecuteBatch traces evaluation only.
   TraceSink* trace = nullptr;
+  /// Checkpoint/recovery store backend (src/store): kMem rewrites one
+  /// whole-base image per checkpoint, kPageLog appends O(delta) records
+  /// and compacts itself. Fixed at open; reopen a directory with the
+  /// backend that checkpointed it (recovery reads the backend's own
+  /// file, it does not migrate between formats).
+  StoreBackend store_backend = StoreBackend::kMem;
+  /// When > 0, a successful commit that leaves the WAL at or past this
+  /// many bytes triggers an automatic Checkpoint(), bounding recovery
+  /// replay to O(base + threshold) regardless of commit count.
+  /// Best-effort: an auto-checkpoint failure is traced and counted but
+  /// never fails the commit that triggered it (which is already
+  /// durable). 0 disables.
+  size_t checkpoint_wal_bytes = 0;
 };
 
 /// Storage-fault counters, exposed so benches and workloads report fault
@@ -78,14 +92,22 @@ struct StorageStats {
 /// A persistent object base: update-programs execute as transactions.
 ///
 /// Directory layout:
-///     <dir>/snapshot.vsnp   point-in-time image (atomic rename)
-///     <dir>/wal.log         fact deltas committed since the snapshot
+///     <dir>/store.img | store.plog   checkpoint store (src/store; which
+///                                    file exists depends on the backend)
+///     <dir>/wal.log                  fact deltas committed since the
+///                                    last checkpoint
+///     <dir>/snapshot.vsnp            legacy pre-store checkpoint image;
+///                                    still recovered from, superseded
+///                                    (and removed) by the next
+///                                    Checkpoint()
 ///
-/// Open() recovers by loading the snapshot (if any) and replaying valid
-/// WAL records; a torn tail (crashed writer) is ignored. Execute() runs a
+/// Open() recovers from the latest store generation — the base is stored
+/// one version per key under "b/", rebuilt by a single range scan — then
+/// replays only the WAL suffix behind it; a torn tail (crashed writer) is
+/// ignored. Recovery is O(base + tail), not O(history). Execute() runs a
 /// program through the engine, logs the resulting delta to the WAL
 /// *before* installing it in memory, and Checkpoint() folds the WAL into
-/// a fresh snapshot.
+/// the store.
 ///
 /// NOTE: this is an internal layer. Client code should use the
 /// `verso::Connection` / `verso::Session` facade (src/api/api.h), which
@@ -168,10 +190,13 @@ class Database {
       const EvalOptions& options = EvalOptions(),
       TraceSink* trace = nullptr);
 
-  /// Writes a fresh snapshot and truncates the WAL. Crash-safe: the
-  /// snapshot is installed by atomic rename, and the WAL is removed only
-  /// after; a crash between the two steps leaves snapshot + stale WAL,
-  /// which recovery replays idempotently (fact-level deltas have set
+  /// Folds the committed base into the checkpoint store — one atomic
+  /// store transaction carrying every live version record, the deletes
+  /// of versions gone since the last checkpoint, and the bumped
+  /// generation — then truncates the WAL behind it. Crash-safe: both
+  /// backends commit atomically, and the WAL is removed only after; a
+  /// crash between the two steps leaves store + stale WAL, which
+  /// recovery replays idempotently (fact-level deltas have set
   /// semantics), losing nothing. A failed checkpoint leaves the database
   /// healthy — the WAL still holds every commit.
   Status Checkpoint();
@@ -187,6 +212,15 @@ class Database {
   void set_trace(TraceSink* trace) { opts_.trace = trace; }
 
   size_t wal_records_since_checkpoint() const { return wal_records_; }
+  /// Byte length of the WAL since the last checkpoint — what the
+  /// checkpoint_wal_bytes auto-checkpoint threshold compares against.
+  size_t wal_bytes_since_checkpoint() const { return wal_bytes_; }
+  /// Checkpoint generation recovered from (then bumped by) the store;
+  /// 0 until the first checkpoint.
+  uint64_t checkpoint_generation() const { return checkpoint_generation_; }
+  /// The checkpoint store, for inspection; nullptr for ephemeral
+  /// databases.
+  const Store* store() const { return store_.get(); }
   bool recovered_from_torn_wal() const { return recovered_torn_; }
 
   /// Ok unless recovery found a torn WAL tail but could not preserve the
@@ -230,6 +264,10 @@ class Database {
 
   Status CommitDelta(const ObjectBase& next, DeltaLog* committed = nullptr);
   Status NotifyObservers(const DeltaLog& delta, uint64_t epoch);
+  /// Runs Checkpoint() when the auto-checkpoint threshold is armed and
+  /// the WAL has grown past it. Called after a commit is durable and
+  /// installed; failures are traced inside Checkpoint, never propagated.
+  void MaybeAutoCheckpoint();
 
   std::string dir_;
   Engine& engine_;
@@ -238,8 +276,11 @@ class Database {
   Clock* clock_;
   ObjectBase current_;
   WalWriter wal_;
+  std::unique_ptr<Store> store_;
   std::vector<CommitObserver*> observers_;
   size_t wal_records_ = 0;
+  size_t wal_bytes_ = 0;
+  uint64_t checkpoint_generation_ = 0;
   uint64_t commit_epoch_ = 0;
   bool recovered_torn_ = false;
   bool ephemeral_ = false;

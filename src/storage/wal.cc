@@ -30,12 +30,13 @@ constexpr uint32_t kFlagBits = kBatchBit | kHeaderCrcBit;
 
 }  // namespace
 
-Status WalWriter::Append(WalRecordKind kind, std::string_view payload) {
-  uint32_t length_word = static_cast<uint32_t>(payload.size());
-  if (length_word & kFlagBits) {
+Result<std::string> EncodeWalFrame(WalRecordKind kind,
+                                   std::string_view payload) {
+  if (payload.size() >= (1ull << 30)) {
     return Status::InvalidArgument("WAL payload exceeds 1 GiB frame limit");
   }
-  length_word |= kHeaderCrcBit;
+  uint32_t length_word =
+      static_cast<uint32_t>(payload.size()) | kHeaderCrcBit;
   if (kind == WalRecordKind::kBatch) length_word |= kBatchBit;
   std::string record;
   record.reserve(payload.size() + 12);
@@ -45,6 +46,11 @@ Status WalWriter::Append(WalRecordKind kind, std::string_view payload) {
   AppendU32(record, Crc32(record.data(), 4));
   AppendU32(record, Crc32(payload.data(), payload.size()));
   record.append(payload.data(), payload.size());
+  return record;
+}
+
+Status WalWriter::Append(WalRecordKind kind, std::string_view payload) {
+  VERSO_ASSIGN_OR_RETURN(std::string record, EncodeWalFrame(kind, payload));
   return env_->AppendFile(path_, record);
 }
 

@@ -81,6 +81,15 @@ struct WalReadResult {
 /// Reads all valid records; a missing file yields zero records.
 Result<WalReadResult> ReadWal(const std::string& path, Env* env = nullptr);
 
+/// Encodes one v2 frame — the exact byte image WalWriter::Append writes.
+/// Exposed so other persistence layers (src/store) frame their records
+/// identically and recover them with ReadWal: the page-log backend appends
+/// these frames, and the mem backend's image file is one such frame
+/// installed by atomic rename. Fails for payloads at or past the 1 GiB
+/// frame limit (the two high length bits are flags).
+Result<std::string> EncodeWalFrame(WalRecordKind kind,
+                                   std::string_view payload);
+
 }  // namespace verso
 
 #endif  // VERSO_STORAGE_WAL_H_

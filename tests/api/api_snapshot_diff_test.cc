@@ -15,6 +15,7 @@
 #include "api/api.h"
 #include "core/pretty.h"
 #include "query/query.h"
+#include "util/fault_env.h"
 
 namespace verso {
 namespace {
@@ -193,6 +194,133 @@ TEST(ApiSnapshotDiffTest, PinnedReadsSurviveOneHundredCommits) {
             EvalFromScratch(kChainRules, head->base(), conn));
   EXPECT_EQ(Render(**grade_live, conn),
             EvalFromScratch(kGradeRules, head->base(), conn));
+}
+
+TEST(ApiSnapshotDiffTest, StoreBackendsStayBitIdentical) {
+  // Three lanes run the same transaction script: an ephemeral in-memory
+  // connection and one persistent connection per store backend. After
+  // every commit the committed base and the live view result must render
+  // bit-identically across all lanes; at the end each persistent lane
+  // checkpoints, reopens cold, and must still match.
+  struct Lane {
+    const char* name;
+    bool persistent;
+    StoreBackend backend;
+    std::unique_ptr<FaultInjectingEnv> env;
+    std::unique_ptr<Connection> conn;
+    std::unique_ptr<Session> session;
+  };
+  Lane lanes[] = {
+      {"ephemeral", false, StoreBackend::kMem, nullptr, nullptr, nullptr},
+      {"mem", true, StoreBackend::kMem, nullptr, nullptr, nullptr},
+      {"pagelog", true, StoreBackend::kPageLog, nullptr, nullptr, nullptr},
+  };
+
+  std::string base_text;
+  for (int i = 0; i < 6; ++i) {
+    std::string e = "e" + std::to_string(i);
+    base_text += e + ".isa -> empl. ";
+    base_text += e + ".sal -> " + std::to_string(1500 * (i + 1)) + ". ";
+    if (i < 5) base_text += e + ".boss -> e" + std::to_string(i + 1) + ". ";
+  }
+
+  for (Lane& lane : lanes) {
+    SCOPED_TRACE(lane.name);
+    if (lane.persistent) {
+      lane.env = std::make_unique<FaultInjectingEnv>();
+      ConnectionOptions options;
+      options.env = lane.env.get();
+      options.retry_backoff_us = 0;
+      options.store_backend = lane.backend;
+      Result<std::unique_ptr<Connection>> opened =
+          Connection::Open("/db", options);
+      ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+      lane.conn = std::move(opened).value();
+    } else {
+      Result<std::unique_ptr<Connection>> opened = Connection::OpenInMemory();
+      ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+      lane.conn = std::move(opened).value();
+    }
+    ASSERT_TRUE(lane.conn->ImportText(base_text).ok());
+    lane.session = lane.conn->OpenSession();
+    ASSERT_TRUE(lane.session
+                    ->Execute(std::string("CREATE VIEW chain AS ") +
+                              kChainRules)
+                    .ok());
+    ASSERT_TRUE(lane.session
+                    ->Execute(std::string("CREATE VIEW grade AS ") +
+                              kGradeRules)
+                    .ok());
+  }
+
+  auto lane_render = [](Lane& lane) {
+    std::string out = Render(lane.conn->database().current(), *lane.conn);
+    Result<const ObjectBase*> chain = lane.session->ViewSnapshot("chain");
+    Result<const ObjectBase*> grade = lane.session->ViewSnapshot("grade");
+    EXPECT_TRUE(chain.ok() && grade.ok());
+    if (chain.ok()) out += "--chain--\n" + Render(**chain, *lane.conn);
+    if (grade.ok()) out += "--grade--\n" + Render(**grade, *lane.conn);
+    return out;
+  };
+
+  for (int i = 0; i < 30; ++i) {
+    std::string text;
+    if (i % 3 == 0) {
+      text = (i % 2 == 0)
+                 ? "t: mod[e2].boss -> (e3, e4) <- e2.boss -> e3."
+                 : "t: mod[e2].boss -> (e4, e3) <- e2.boss -> e4.";
+    } else {
+      std::string e = "e" + std::to_string(i % 6);
+      text = "t: mod[" + e + "].sal -> (S, S2) <- " + e +
+             ".sal -> S, S2 = S + 900.";
+    }
+    std::string reference;
+    for (Lane& lane : lanes) {
+      SCOPED_TRACE(std::string(lane.name) + " txn " + std::to_string(i));
+      // Keep the session fresh: Session pins its open epoch, so reopen
+      // one at head per commit to read the live state.
+      lane.session = lane.conn->OpenSession();
+      Result<ResultSet> rs = lane.session->Execute(text);
+      ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+      lane.session = lane.conn->OpenSession();
+      std::string render = lane_render(lane);
+      if (&lane == &lanes[0]) {
+        reference = render;
+      } else {
+        EXPECT_EQ(render, reference) << "lane diverged at txn " << i;
+      }
+    }
+  }
+
+  // Checkpoint + cold reopen: the recovered persistent lanes must still
+  // render exactly like the ephemeral reference.
+  lanes[0].session = lanes[0].conn->OpenSession();
+  const std::string reference = lane_render(lanes[0]);
+  for (Lane& lane : lanes) {
+    if (!lane.persistent) continue;
+    SCOPED_TRACE(std::string(lane.name) + " recovery");
+    ASSERT_TRUE(lane.conn->Checkpoint().ok());
+    lane.session.reset();
+    lane.conn.reset();
+    ConnectionOptions options;
+    options.env = lane.env.get();
+    options.retry_backoff_us = 0;
+    options.store_backend = lane.backend;
+    Result<std::unique_ptr<Connection>> reopened =
+        Connection::Open("/db", options);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    lane.conn = std::move(reopened).value();
+    lane.session = lane.conn->OpenSession();
+    ASSERT_TRUE(lane.session
+                    ->Execute(std::string("CREATE VIEW chain AS ") +
+                              kChainRules)
+                    .ok());
+    ASSERT_TRUE(lane.session
+                    ->Execute(std::string("CREATE VIEW grade AS ") +
+                              kGradeRules)
+                    .ok());
+    EXPECT_EQ(lane_render(lane), reference);
+  }
 }
 
 }  // namespace

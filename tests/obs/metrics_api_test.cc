@@ -173,5 +173,55 @@ TEST(MetricsApiTest, DegradedModeRejectionsAreCountedAndMetricsStillServe) {
   EXPECT_EQ(from_query.str(), dump.str());
 }
 
+TEST(MetricsApiTest, RecoveryAndCheckpointCountersAreReported) {
+  // The storage.* recovery surface: after a checkpoint plus a two-commit
+  // WAL suffix, a cold reopen reports exactly the suffix as replayed
+  // frames, the base as recovered store keys, and the checkpoint itself
+  // on the store/checkpoint counters.
+  FaultInjectingEnv env;
+  ConnectionOptions options;
+  options.env = &env;
+  options.retry_backoff_us = 0;
+  options.store_backend = StoreBackend::kPageLog;
+  {
+    Result<std::unique_ptr<Connection>> conn =
+        Connection::Open("/db", options);
+    ASSERT_TRUE(conn.ok());
+    auto session = (*conn)->OpenSession();
+    ASSERT_TRUE(session->Execute("t: ins[ann].sal -> 1000.").ok());
+    ASSERT_TRUE(session->Execute("t: ins[bob].sal -> 2000.").ok());
+    ASSERT_TRUE(session->Execute("t: ins[cal].sal -> 3000.").ok());
+    ASSERT_TRUE((*conn)->Checkpoint().ok());
+    ASSERT_TRUE(session->Execute("t: ins[dee].sal -> 4000.").ok());
+    ASSERT_TRUE(session->Execute("t: ins[eve].sal -> 5000.").ok());
+  }
+  // The first open of an empty directory replayed nothing; snapshot the
+  // counters before the reopen so the assertions see only its deltas.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  int64_t frames_before =
+      static_cast<int64_t>(registry.GetCounter("storage.recovery_replayed_frames").value());
+  int64_t keys_before =
+      static_cast<int64_t>(registry.GetCounter("storage.recovery_store_keys").value());
+  EXPECT_EQ(frames_before, 0);
+
+  Result<std::unique_ptr<Connection>> conn = Connection::Open("/db", options);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  auto session = (*conn)->OpenSession();
+  Result<ResultSet> rs = session->Execute("QUERY METRICS");
+  ASSERT_TRUE(rs.ok());
+  const auto& entries = rs->metrics();
+  EXPECT_EQ(MetricValue(entries, "storage.recovery_replayed_frames") -
+                frames_before,
+            2);  // only the post-checkpoint WAL suffix
+  EXPECT_GT(MetricValue(entries, "storage.recovery_store_keys") - keys_before,
+            0);  // ann/bob/cal came from the store, not the WAL
+  EXPECT_GE(MetricValue(entries, "storage.recovery_us"), 0);
+  EXPECT_EQ(MetricValue(entries, "storage.checkpoints"), 1);
+  EXPECT_EQ(MetricValue(entries, "storage.auto_checkpoints"), 0);
+  EXPECT_GE(MetricValue(entries, "store.commits"), 1);
+  EXPECT_GT(MetricValue(entries, "store.puts"), 0);
+  EXPECT_GT(MetricValue(entries, "storage.checkpoint_us.count"), 0);
+}
+
 }  // namespace
 }  // namespace verso

@@ -12,6 +12,7 @@
 //   VERSO_TORTURE_SEED           workload seed            (default 12345)
 //   VERSO_TORTURE_OP_STRIDE      crash-op sampling stride (default 1)
 //   VERSO_TORTURE_PREFIX_STRIDE  WAL byte-prefix stride   (default 1)
+//   VERSO_TORTURE_BACKEND        "mem" / "pagelog"        (default: both)
 
 #include <gtest/gtest.h>
 
@@ -86,10 +87,23 @@ std::vector<std::string> MakeWorkload(uint64_t seed) {
   return txns;
 }
 
-ConnectionOptions TortureOptions(Env* env) {
+/// Backends the sweep runs against — both by default, narrowable via the
+/// VERSO_TORTURE_BACKEND knob so CI can split them across matrix jobs.
+std::vector<StoreBackend> TortureBackends() {
+  const char* value = std::getenv("VERSO_TORTURE_BACKEND");
+  if (value == nullptr || *value == '\0') {
+    return {StoreBackend::kMem, StoreBackend::kPageLog};
+  }
+  Result<StoreBackend> parsed = ParseStoreBackend(value);
+  EXPECT_TRUE(parsed.ok()) << "bad VERSO_TORTURE_BACKEND: " << value;
+  return {parsed.ok() ? *parsed : StoreBackend::kMem};
+}
+
+ConnectionOptions TortureOptions(Env* env, StoreBackend backend) {
   ConnectionOptions options;
   options.env = env;
   options.retry_backoff_us = 0;
+  options.store_backend = backend;
   return options;
 }
 
@@ -132,9 +146,9 @@ struct Reference {
 /// failure (after a crash fault everything fails). When `ref` is given,
 /// records expected states; `checkpoint_at` < 0 disables the checkpoint.
 size_t RunWorkload(FaultInjectingEnv& env, const std::vector<std::string>& txns,
-                   int checkpoint_at, Reference* ref) {
+                   int checkpoint_at, StoreBackend backend, Reference* ref) {
   Result<std::unique_ptr<Connection>> conn =
-      Connection::Open(kDir, TortureOptions(&env));
+      Connection::Open(kDir, TortureOptions(&env, backend));
   if (!conn.ok()) return 0;
   auto session = (*conn)->OpenSession();
   if (!session->Execute(kViewDdl).ok()) return 0;
@@ -208,9 +222,9 @@ size_t RunWorkload(FaultInjectingEnv& env, const std::vector<std::string>& txns,
 /// committed transactions. Returns that prefix length k (nullopt = the
 /// recovered state matched NO committed prefix: atomicity is broken).
 std::optional<size_t> RecoverAndMatch(Env* disk, const Reference& ref,
-                                      bool check_view) {
+                                      StoreBackend backend, bool check_view) {
   Result<std::unique_ptr<Connection>> conn =
-      Connection::Open(kDir, TortureOptions(disk));
+      Connection::Open(kDir, TortureOptions(disk, backend));
   if (!conn.ok()) {
     ADD_FAILURE() << "recovery failed: " << conn.status().ToString();
     return std::nullopt;
@@ -253,36 +267,44 @@ TEST(CrashTortureTest, CrashAtEveryMutatingOpRecoversToACommittedPrefix) {
   const std::vector<std::string> txns = MakeWorkload(seed);
   const int checkpoint_at = static_cast<int>(txns.size()) / 2;
 
-  // Fault-free reference run: records the committed-prefix truth and the
-  // size of the crash-point space (and validates subscription replay).
-  FaultInjectingEnv clean;
-  Reference ref;
-  size_t all = RunWorkload(clean, txns, checkpoint_at, &ref);
-  ASSERT_EQ(all, txns.size());
-  ASSERT_EQ(ref.states.size(), txns.size() + 1);
-  ASSERT_GT(ref.total_ops, 0u);
+  for (StoreBackend backend : TortureBackends()) {
+    SCOPED_TRACE(std::string("backend ") + StoreBackendName(backend));
+    // Fault-free reference run: records the committed-prefix truth and
+    // the size of the crash-point space (and validates subscription
+    // replay). The op space differs per backend — the page-log store
+    // appends (and may compact), the mem store rewrites one image — so
+    // each backend sweeps its own space, which for pagelog includes the
+    // mid-checkpoint WAL-truncation windows behind a live store log.
+    FaultInjectingEnv clean;
+    Reference ref;
+    size_t all = RunWorkload(clean, txns, checkpoint_at, backend, &ref);
+    ASSERT_EQ(all, txns.size());
+    ASSERT_EQ(ref.states.size(), txns.size() + 1);
+    ASSERT_GT(ref.total_ops, 0u);
 
-  // Crash at every mutating I/O point, twice: once with nothing of the
-  // crashing op landing, once with a partial payload (short write / the
-  // op completing right before the crash).
-  for (uint64_t op = 0; op < ref.total_ops; op += stride) {
-    for (size_t partial : {size_t{0}, size_t{6}}) {
-      SCOPED_TRACE("crash at op " + std::to_string(op) + " partial " +
-                   std::to_string(partial) + " seed " + std::to_string(seed));
-      FaultInjectingEnv env;
-      FaultInjectingEnv::FaultPlan plan;
-      plan.fail_at = op;
-      plan.kind = FaultKind::kCrash;
-      plan.partial_bytes = partial;
-      env.SetPlan(plan);
-      size_t acked = RunWorkload(env, txns, checkpoint_at, nullptr);
-      ASSERT_TRUE(env.crashed());
-      auto disk = env.CloneSurvivingFiles();
-      std::optional<size_t> k = RecoverAndMatch(disk.get(), ref,
-                                                /*check_view=*/true);
-      ASSERT_TRUE(k.has_value());
-      // Durability: every acknowledged commit survived the crash.
-      EXPECT_GE(*k, acked) << "acked commit lost";
+    // Crash at every mutating I/O point, twice: once with nothing of the
+    // crashing op landing, once with a partial payload (short write / the
+    // op completing right before the crash).
+    for (uint64_t op = 0; op < ref.total_ops; op += stride) {
+      for (size_t partial : {size_t{0}, size_t{6}}) {
+        SCOPED_TRACE("crash at op " + std::to_string(op) + " partial " +
+                     std::to_string(partial) + " seed " +
+                     std::to_string(seed));
+        FaultInjectingEnv env;
+        FaultInjectingEnv::FaultPlan plan;
+        plan.fail_at = op;
+        plan.kind = FaultKind::kCrash;
+        plan.partial_bytes = partial;
+        env.SetPlan(plan);
+        size_t acked = RunWorkload(env, txns, checkpoint_at, backend, nullptr);
+        ASSERT_TRUE(env.crashed());
+        auto disk = env.CloneSurvivingFiles();
+        std::optional<size_t> k = RecoverAndMatch(disk.get(), ref, backend,
+                                                  /*check_view=*/true);
+        ASSERT_TRUE(k.has_value());
+        // Durability: every acknowledged commit survived the crash.
+        EXPECT_GE(*k, acked) << "acked commit lost";
+      }
     }
   }
 }
@@ -292,50 +314,53 @@ TEST(CrashTortureTest, EveryWalBytePrefixRecoversToACommittedPrefix) {
   const uint64_t stride = EnvKnob("VERSO_TORTURE_PREFIX_STRIDE", 1);
   const std::vector<std::string> txns = MakeWorkload(seed);
 
-  // Reference run WITHOUT a checkpoint, so the WAL alone carries every
-  // transaction and truncating it to L bytes models a crash with exactly
-  // L bytes durable.
-  FaultInjectingEnv clean;
-  Reference ref;
-  ASSERT_EQ(RunWorkload(clean, txns, /*checkpoint_at=*/-1, &ref),
-            txns.size());
-  ASSERT_FALSE(ref.wal_bytes.empty());
+  for (StoreBackend backend : TortureBackends()) {
+    SCOPED_TRACE(std::string("backend ") + StoreBackendName(backend));
+    // Reference run WITHOUT a checkpoint, so the WAL alone carries every
+    // transaction and truncating it to L bytes models a crash with
+    // exactly L bytes durable.
+    FaultInjectingEnv clean;
+    Reference ref;
+    ASSERT_EQ(RunWorkload(clean, txns, /*checkpoint_at=*/-1, backend, &ref),
+              txns.size());
+    ASSERT_FALSE(ref.wal_bytes.empty());
 
-  std::vector<size_t> lengths;
-  for (size_t len = 0; len < ref.wal_bytes.size(); len += stride) {
-    lengths.push_back(len);
-  }
-  lengths.push_back(ref.wal_bytes.size());  // the stride never skips "all"
+    std::vector<size_t> lengths;
+    for (size_t len = 0; len < ref.wal_bytes.size(); len += stride) {
+      lengths.push_back(len);
+    }
+    lengths.push_back(ref.wal_bytes.size());  // the stride never skips "all"
 
-  size_t last_records = 0;
-  for (size_t len : lengths) {
-    SCOPED_TRACE("wal prefix " + std::to_string(len) + "/" +
-                 std::to_string(ref.wal_bytes.size()) + " bytes, seed " +
-                 std::to_string(seed));
-    FaultInjectingEnv env;
-    env.SetFileContents(std::string(kDir) + "/wal.log",
-                        ref.wal_bytes.substr(0, len));
+    size_t last_records = 0;
+    for (size_t len : lengths) {
+      SCOPED_TRACE("wal prefix " + std::to_string(len) + "/" +
+                   std::to_string(ref.wal_bytes.size()) + " bytes, seed " +
+                   std::to_string(seed));
+      FaultInjectingEnv env;
+      env.SetFileContents(std::string(kDir) + "/wal.log",
+                          ref.wal_bytes.substr(0, len));
+      Result<std::unique_ptr<Connection>> conn =
+          Connection::Open(kDir, TortureOptions(&env, backend));
+      ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+      // Recovery replays exactly the full frames of the prefix; the state
+      // must be the one the reference run had at that record count — not
+      // merely "some equal-looking state".
+      size_t records = (*conn)->wal_records_since_checkpoint();
+      ASSERT_LT(records, ref.state_by_records.size());
+      EXPECT_EQ(BaseString(**conn), ref.state_by_records[records]);
+      // More durable bytes can only mean more recovered records.
+      EXPECT_GE(records, last_records) << "recovery went backwards";
+      last_records = records;
+    }
+    // The full log recovers the full run.
+    EXPECT_EQ(last_records, ref.state_by_records.size() - 1);
+    FaultInjectingEnv full;
+    full.SetFileContents(std::string(kDir) + "/wal.log", ref.wal_bytes);
     Result<std::unique_ptr<Connection>> conn =
-        Connection::Open(kDir, TortureOptions(&env));
-    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
-    // Recovery replays exactly the full frames of the prefix; the state
-    // must be the one the reference run had at that record count — not
-    // merely "some equal-looking state".
-    size_t records = (*conn)->wal_records_since_checkpoint();
-    ASSERT_LT(records, ref.state_by_records.size());
-    EXPECT_EQ(BaseString(**conn), ref.state_by_records[records]);
-    // More durable bytes can only mean more recovered records.
-    EXPECT_GE(records, last_records) << "recovery went backwards";
-    last_records = records;
+        Connection::Open(kDir, TortureOptions(&full, backend));
+    ASSERT_TRUE(conn.ok());
+    EXPECT_EQ(BaseString(**conn), ref.states.back());
   }
-  // The full log recovers the full run.
-  EXPECT_EQ(last_records, ref.state_by_records.size() - 1);
-  FaultInjectingEnv full;
-  full.SetFileContents(std::string(kDir) + "/wal.log", ref.wal_bytes);
-  Result<std::unique_ptr<Connection>> conn =
-      Connection::Open(kDir, TortureOptions(&full));
-  ASSERT_TRUE(conn.ok());
-  EXPECT_EQ(BaseString(**conn), ref.states.back());
 }
 
 TEST(CrashTortureTest, DifferentSeedsDifferentWorkloads) {

@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 
 #include "core/pretty.h"
+#include "obs/metrics.h"
 #include "parser/parser.h"
 #include "storage/codec.h"
 #include "storage/database.h"
@@ -684,10 +686,11 @@ TEST_F(StorageFixture, DeltaBatchRoundTrip) {
 }
 
 TEST_F(StorageFixture, CheckpointCrashWindowLosesNothing) {
-  // Checkpoint is two durability steps: (1) install the snapshot by
-  // atomic rename, (2) remove the WAL. A crash anywhere in that sequence
-  // must lose nothing: before the rename the old snapshot + full WAL
-  // recover; after it the new snapshot + stale WAL recover (replaying the
+  // Checkpoint is two durability steps: (1) commit the base into the
+  // store — for the default mem backend, install the new image by atomic
+  // rename — (2) remove the WAL. A crash anywhere in that sequence must
+  // lose nothing: before the rename the old image + full WAL recover;
+  // after it the new image + stale WAL recover (replaying the
   // already-folded records idempotently). This is the regression test for
   // the crash window between the two steps.
   using FaultKind = FaultInjectingEnv::FaultKind;
@@ -750,6 +753,235 @@ TEST_F(StorageFixture, CheckpointCrashWindowLosesNothing) {
         (*db)->ImportBase(Base("a.m -> 1. b.m -> 2. c.m -> 3.", engine))
             .ok());
   }
+}
+
+TEST_F(StorageFixture, PageLogCheckpointCrashWindowLosesNothing) {
+  // The page-log twin of CheckpointCrashWindowLosesNothing: here step (1)
+  // is an APPEND of one ops frame to store.plog (possibly followed by a
+  // compaction rewrite), step (2) the WAL removal. A torn append frame
+  // must be chopped on reopen and the stale WAL replayed over the old
+  // store generation.
+  using FaultKind = FaultInjectingEnv::FaultKind;
+  using OpFilter = FaultInjectingEnv::OpFilter;
+  struct Window {
+    OpFilter filter;
+    size_t partial;
+    const char* what;
+  };
+  const Window windows[] = {
+      {OpFilter::kAppend, 0, "crash before the store append"},
+      {OpFilter::kAppend, 7, "crash mid store append (torn frame)"},
+      {OpFilter::kRemove, 0, "crash before the WAL removal"},
+      {OpFilter::kRemove, 1, "crash after the WAL removal"},
+  };
+  for (const Window& w : windows) {
+    SCOPED_TRACE(w.what);
+    FaultInjectingEnv env;
+    DatabaseOptions options;
+    options.env = &env;
+    options.retry_backoff_us = 0;
+    options.store_backend = StoreBackend::kPageLog;
+    std::string expected;
+    {
+      Engine engine;
+      Result<std::unique_ptr<Database>> db =
+          Database::Open("/db", engine, options);
+      ASSERT_TRUE(db.ok());
+      ASSERT_TRUE((*db)->ImportBase(Base("a.m -> 1.", engine)).ok());
+      // An earlier checkpoint, so the torture'd one EXTENDS a live log.
+      ASSERT_TRUE((*db)->Checkpoint().ok());
+      ASSERT_TRUE(
+          (*db)->ImportBase(Base("a.m -> 1. b.m -> 2.", engine)).ok());
+      expected = ObjectBaseToString((*db)->current(), engine.symbols(),
+                                    engine.versions());
+      FaultInjectingEnv::FaultPlan plan;
+      plan.fail_at = 0;
+      plan.kind = FaultKind::kCrash;
+      plan.partial_bytes = w.partial;
+      plan.filter = w.filter;
+      env.SetPlan(plan);
+      EXPECT_FALSE((*db)->Checkpoint().ok());
+      ASSERT_TRUE(env.crashed());
+    }
+    auto disk = env.CloneSurvivingFiles();
+    DatabaseOptions reopen;
+    reopen.env = disk.get();
+    reopen.retry_backoff_us = 0;
+    reopen.store_backend = StoreBackend::kPageLog;
+    Engine engine;
+    Result<std::unique_ptr<Database>> db =
+        Database::Open("/db", engine, reopen);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_EQ(ObjectBaseToString((*db)->current(), engine.symbols(),
+                                 engine.versions()),
+              expected);
+    EXPECT_TRUE(db->get()->health().ok());
+    ASSERT_TRUE(
+        (*db)->ImportBase(Base("a.m -> 1. b.m -> 2. c.m -> 3.", engine))
+            .ok());
+  }
+}
+
+TEST_F(StorageFixture, CheckpointBoundsRecoveryToTheWalSuffix) {
+  // The acceptance property of the store rebase: a cold open after a
+  // checkpoint replays ONLY the post-checkpoint WAL suffix (frame-count
+  // metric), rebuilding the bulk of the base from the store's "b/" range
+  // scan instead of the full commit history.
+  Counter& frames = MetricsRegistry::Global().GetCounter(
+      "storage.recovery_replayed_frames");
+  Counter& store_keys =
+      MetricsRegistry::Global().GetCounter("storage.recovery_store_keys");
+  for (StoreBackend backend : {StoreBackend::kMem, StoreBackend::kPageLog}) {
+    SCOPED_TRACE(StoreBackendName(backend));
+    FaultInjectingEnv env;
+    DatabaseOptions options;
+    options.env = &env;
+    options.retry_backoff_us = 0;
+    options.store_backend = backend;
+    std::string expected;
+    {
+      Engine engine;
+      Result<std::unique_ptr<Database>> db =
+          Database::Open("/db", engine, options);
+      ASSERT_TRUE(db.ok());
+      // 6 pre-checkpoint commits, then the fold, then a 2-commit suffix.
+      std::string text;
+      for (int i = 0; i < 6; ++i) {
+        text += "o" + std::to_string(i) + ".m -> " + std::to_string(i) + ". ";
+        ASSERT_TRUE((*db)->ImportBase(Base(text.c_str(), engine)).ok());
+      }
+      ASSERT_TRUE((*db)->Checkpoint().ok());
+      EXPECT_EQ((*db)->checkpoint_generation(), 1u);
+      for (int i = 6; i < 8; ++i) {
+        text += "o" + std::to_string(i) + ".m -> " + std::to_string(i) + ". ";
+        ASSERT_TRUE((*db)->ImportBase(Base(text.c_str(), engine)).ok());
+      }
+      EXPECT_EQ((*db)->wal_records_since_checkpoint(), 2u);
+      expected = ObjectBaseToString((*db)->current(), engine.symbols(),
+                                    engine.versions());
+    }
+    uint64_t frames_before = frames.value();
+    uint64_t keys_before = store_keys.value();
+    Engine engine;
+    Result<std::unique_ptr<Database>> db =
+        Database::Open("/db", engine, options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_EQ((*db)->wal_records_since_checkpoint(), 2u);
+    EXPECT_EQ(frames.value() - frames_before, 2u);  // suffix only
+    EXPECT_EQ(store_keys.value() - keys_before, 6u);  // o0..o5 from store
+    EXPECT_EQ((*db)->checkpoint_generation(), 1u);
+    EXPECT_EQ(ObjectBaseToString((*db)->current(), engine.symbols(),
+                                 engine.versions()),
+              expected);
+  }
+}
+
+TEST_F(StorageFixture, AutoCheckpointKeepsRecoveryReplayBounded) {
+  // With checkpoint_wal_bytes armed, replay work at recovery stays
+  // bounded no matter how many transactions commit: every commit that
+  // pushes the WAL past the threshold folds it, so a cold open replays
+  // at most the last unfolded suffix.
+  Counter& frames = MetricsRegistry::Global().GetCounter(
+      "storage.recovery_replayed_frames");
+  Counter& autos =
+      MetricsRegistry::Global().GetCounter("storage.auto_checkpoints");
+  FaultInjectingEnv env;
+  DatabaseOptions options;
+  options.env = &env;
+  options.retry_backoff_us = 0;
+  options.store_backend = StoreBackend::kPageLog;
+  options.checkpoint_wal_bytes = 256;
+  std::string expected;
+  {
+    Engine engine;
+    Result<std::unique_ptr<Database>> db =
+        Database::Open("/db", engine, options);
+    ASSERT_TRUE(db.ok());
+    std::string text;
+    size_t max_wal = 0;
+    for (int i = 0; i < 40; ++i) {
+      text += "o" + std::to_string(i) + ".m -> " + std::to_string(i) + ". ";
+      ASSERT_TRUE((*db)->ImportBase(Base(text.c_str(), engine)).ok());
+      max_wal = std::max(max_wal, (*db)->wal_bytes_since_checkpoint());
+    }
+    // The WAL never accumulates past one commit beyond the threshold
+    // (each commit's frame is a few hundred bytes here).
+    EXPECT_LT(max_wal, options.checkpoint_wal_bytes + 2048);
+    EXPECT_GT((*db)->checkpoint_generation(), 2u);
+    EXPECT_GT(autos.value(), 2u);
+    expected = ObjectBaseToString((*db)->current(), engine.symbols(),
+                                  engine.versions());
+  }
+  uint64_t frames_before = frames.value();
+  Engine engine;
+  Result<std::unique_ptr<Database>> db =
+      Database::Open("/db", engine, options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  // 40 commits happened; recovery replays at most a couple of frames.
+  EXPECT_LE(frames.value() - frames_before, 2u);
+  EXPECT_EQ(ObjectBaseToString((*db)->current(), engine.symbols(),
+                               engine.versions()),
+            expected);
+
+  // Unarmed (the default), the same workload folds nothing.
+  FaultInjectingEnv manual_env;
+  DatabaseOptions manual;
+  manual.env = &manual_env;
+  manual.retry_backoff_us = 0;
+  Engine manual_engine;
+  Result<std::unique_ptr<Database>> manual_db =
+      Database::Open("/db", manual_engine, manual);
+  ASSERT_TRUE(manual_db.ok());
+  std::string text;
+  for (int i = 0; i < 10; ++i) {
+    text += "o" + std::to_string(i) + ".m -> " + std::to_string(i) + ". ";
+    ASSERT_TRUE(
+        (*manual_db)->ImportBase(Base(text.c_str(), manual_engine)).ok());
+  }
+  EXPECT_EQ((*manual_db)->wal_records_since_checkpoint(), 10u);
+  EXPECT_EQ((*manual_db)->checkpoint_generation(), 0u);
+}
+
+TEST_F(StorageFixture, LegacySnapshotDirectoryUpgradesToStoreOnCheckpoint) {
+  // A directory checkpointed before the store subsystem existed holds
+  // snapshot.vsnp + wal.log. It must recover as-is, and the next
+  // Checkpoint() must supersede the legacy image with a store generation
+  // (removing the old file).
+  FaultInjectingEnv env;
+  std::string expected;
+  {
+    Engine engine;
+    ObjectBase base = Base("a.m -> 1. b.m -> 2.", engine);
+    ASSERT_TRUE(WriteSnapshot("/db/snapshot.vsnp", base, engine.symbols(),
+                              engine.versions(), &env)
+                    .ok());
+    expected = ObjectBaseToString(base, engine.symbols(), engine.versions());
+  }
+  DatabaseOptions options;
+  options.env = &env;
+  options.retry_backoff_us = 0;
+  {
+    Engine engine;
+    Result<std::unique_ptr<Database>> db =
+        Database::Open("/db", engine, options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_EQ(ObjectBaseToString((*db)->current(), engine.symbols(),
+                                 engine.versions()),
+              expected);
+    EXPECT_EQ((*db)->checkpoint_generation(), 0u);  // pre-store dir
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    EXPECT_EQ((*db)->checkpoint_generation(), 1u);
+    EXPECT_FALSE(env.FileExists("/db/snapshot.vsnp"));
+    EXPECT_TRUE(env.FileExists("/db/store.img"));
+  }
+  Engine engine;
+  Result<std::unique_ptr<Database>> db =
+      Database::Open("/db", engine, options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->checkpoint_generation(), 1u);
+  EXPECT_EQ(ObjectBaseToString((*db)->current(), engine.symbols(),
+                               engine.versions()),
+            expected);
 }
 
 TEST_F(StorageFixture, FailedProgramLeavesDatabaseUntouched) {
