@@ -1,0 +1,117 @@
+// Prices the static analyzer: full AnalyzeUpdateProgram runs at 256 to
+// 4096 generated rules (the pairwise write-set classification is
+// quadratic per stratum, so wide single-stratum programs are the worst
+// case), plus the end-to-end prepare overhead the analyzer adds to a
+// Statement on the paper's own 4-rule program.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "api/api.h"
+#include "bench_common.h"
+
+namespace verso::bench {
+namespace {
+
+/// `pairs` disjoint writer/reader rule pairs (2 * pairs rules): every
+/// writer owns its method, so all write sets are provably disjoint —
+/// the common healthy shape, with zero diagnostics.
+std::string DisjointProgram(int pairs) {
+  std::string text;
+  for (int i = 0; i < pairs; ++i) {
+    std::string n = std::to_string(i);
+    text += "w" + n + ": mod[E].pay" + n + " -> (S, S2) <- E.isa -> c" + n +
+            ", E.pay" + n + " -> S, S2 = S + 1.\n";
+    text += "r" + n + ": ins[mod(E)].seen" + n +
+            " -> yes <- mod(E).isa -> c" + n + ".\n";
+  }
+  return text;
+}
+
+/// `rules` ins heads on one shared (version, method): a single stratum
+/// whose pairwise classification visits every rule pair — the quadratic
+/// worst case the 4096-rule point sizes.
+std::string SharedTargetProgram(int rules) {
+  std::string text;
+  for (int i = 0; i < rules; ++i) {
+    std::string n = std::to_string(i);
+    text += "r" + n + ": ins[E].tag -> t" + n + " <- E.isa -> c" + n +
+            ".\n";
+  }
+  return text;
+}
+
+void RunAnalyzeBench(benchmark::State& state, const std::string& text) {
+  SymbolTable symbols;
+  Result<Program> program = ParseProgram(text, symbols);
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  size_t diagnostics = 0;
+  for (auto _ : state) {
+    AnalysisReport report = AnalyzeUpdateProgram(*program, symbols);
+    diagnostics = report.diagnostics.size();
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["rules"] = static_cast<double>(program->rules.size());
+  state.counters["diagnostics"] = static_cast<double>(diagnostics);
+}
+
+void BM_AnalyzeDisjoint(benchmark::State& state) {
+  RunAnalyzeBench(state, DisjointProgram(static_cast<int>(state.range(0))));
+}
+// 2 * pairs rules; the version-level dependency graph is quadratic in
+// the pair count, so the 4096-rule point lives in SharedTarget below.
+BENCHMARK(BM_AnalyzeDisjoint)->Arg(128)->Arg(512);
+
+void BM_AnalyzeSharedTarget(benchmark::State& state) {
+  RunAnalyzeBench(state,
+                  SharedTargetProgram(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_AnalyzeSharedTarget)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_AnalyzePaperProgram(benchmark::State& state) {
+  RunAnalyzeBench(state, kEnterpriseProgramText);
+}
+BENCHMARK(BM_AnalyzePaperProgram);
+
+/// End-to-end Statement::Prepare of the paper's program with the
+/// analyzer on vs off: the user-visible prepare overhead.
+void RunPrepareBench(benchmark::State& state, bool enabled) {
+  ConnectionOptions options;
+  options.analysis.enabled = enabled;
+  Result<std::unique_ptr<Connection>> conn =
+      Connection::OpenInMemory(options);
+  if (!conn.ok()) {
+    state.SkipWithError(conn.status().ToString().c_str());
+    return;
+  }
+  std::unique_ptr<Session> session = (*conn)->OpenSession();
+  for (auto _ : state) {
+    Result<Statement> stmt = session->Prepare(kEnterpriseProgramText);
+    if (!stmt.ok()) {
+      state.SkipWithError(stmt.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*stmt);
+  }
+}
+
+void BM_PrepareAnalysisOn(benchmark::State& state) {
+  RunPrepareBench(state, true);
+}
+BENCHMARK(BM_PrepareAnalysisOn);
+
+void BM_PrepareAnalysisOff(benchmark::State& state) {
+  RunPrepareBench(state, false);
+}
+BENCHMARK(BM_PrepareAnalysisOff);
+
+}  // namespace
+}  // namespace verso::bench
+
+BENCHMARK_MAIN();

@@ -12,10 +12,12 @@
 # against the full-scan ablation), bench_obs (the always-on metrics
 # registry: fixpoint + commit workloads with metrics enabled vs the
 # registry-disabled ablation — the On/Off pairs bound the
-# instrumentation's overhead), and bench_store (src/store backends:
+# instrumentation's overhead), bench_store (src/store backends:
 # put/get/scan, checkpoint cost, and checkpointed cold-open vs
-# full-WAL-replay restart). JSON results land next to this repo's
-# root so successive PRs can diff them.
+# full-WAL-replay restart), and bench_analysis (the static rule-program
+# analyzer: full analysis runs at 256-4096 generated rules and the
+# prepare overhead it adds to a Statement, on vs off). JSON results
+# land next to this repo's root so successive PRs can diff them.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -64,7 +66,11 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
     --benchmark_format=json \
     --benchmark_out=BENCH_store.json \
     --benchmark_out_format=json
+"$BUILD_DIR"/bench_analysis \
+    --benchmark_format=json \
+    --benchmark_out=BENCH_analysis.json \
+    --benchmark_out_format=json
 
 echo "Wrote BENCH_tp.json, BENCH_fig2.json, BENCH_views.json," \
      "BENCH_api.json, BENCH_snapshots.json, BENCH_index.json," \
-     "BENCH_obs.json, and BENCH_store.json"
+     "BENCH_obs.json, BENCH_store.json, and BENCH_analysis.json"

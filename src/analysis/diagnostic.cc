@@ -1,0 +1,38 @@
+#include "analysis/diagnostic.h"
+
+namespace verso {
+
+std::string_view SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out(SeverityName(severity));
+  out += " [" + check + "]";
+  if (rule >= 0) {
+    out += " rule " + std::to_string(rule);
+    if (!rule_label.empty()) out += " ('" + rule_label + "')";
+    if (line > 0) out += " line " + std::to_string(line);
+    if (literal >= 0) out += " literal " + std::to_string(literal);
+  }
+  out += ": " + message;
+  return out;
+}
+
+Status Diagnostic::ToStatus() const {
+  if (check == kCheckUnsafeRule) return Status::UnsafeRule(ToString());
+  if (check == kCheckNegationCycle) {
+    return Status::NotStratifiable(ToString());
+  }
+  return Status::InvalidArgument(ToString());
+}
+
+}  // namespace verso

@@ -1,0 +1,71 @@
+#ifndef VERSO_ANALYSIS_DIAGNOSTIC_H_
+#define VERSO_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace verso {
+
+/// Severity of one static-analysis finding. Errors make the program
+/// unrunnable (the evaluator would reject it anyway — the analyzer just
+/// reports it earlier and with position); warnings flag programs that run
+/// but whose meaning is suspect (statically detectable non-confluence,
+/// dead rules); notes are informational refinements.
+enum class Severity : uint8_t {
+  kError = 0,
+  kWarning = 1,
+  kNote = 2,
+};
+
+/// "error" / "warning" / "note".
+std::string_view SeverityName(Severity severity);
+
+/// Stable identifiers of the analyzer's checks, used as the `check` field
+/// of diagnostics and as keys in the JSON report.
+///
+///   unsafe-rule      safety / range-restriction violation (Section 2.1)
+///   negation-cycle   negation (or another strict constraint) through
+///                    recursion: no stratification exists (Section 4)
+///   update-conflict  two same-stratum rules update a potentially
+///                    unifiable version with clashing kinds — the
+///                    statically detectable non-confluence the paper's
+///                    determinism conditions are built around
+///   dead-rule        rule can never fire (contradictory body literals,
+///                    a ground built-in that is false, or a body update
+///                    literal no rule head can ever make true)
+///
+/// New checks must keep these strings stable: clients pin on them.
+inline constexpr const char kCheckUnsafeRule[] = "unsafe-rule";
+inline constexpr const char kCheckNegationCycle[] = "negation-cycle";
+inline constexpr const char kCheckUpdateConflict[] = "update-conflict";
+inline constexpr const char kCheckDeadRule[] = "dead-rule";
+
+/// One structured prepare-time diagnostic: every failure or finding the
+/// statement layer reports — parse-adjacent analysis errors included —
+/// carries the same (rule, line, literal) position triple, so clients see
+/// one granularity no matter which pass produced the message.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string check;       // one of the kCheck* identifiers
+  int rule = -1;           // rule index in program order; -1 = whole program
+  std::string rule_label;  // Rule::DisplayName() at diagnosis time
+  int line = 0;            // 1-based source line; 0 = built programmatically
+  int literal = -1;        // body literal index; -1 = head / whole rule
+  std::string message;
+
+  /// "error [update-conflict] rule 2 ('rule3') line 5: <message>" — the
+  /// uniform rendering both the text report and ToStatus() use.
+  std::string ToString() const;
+
+  /// The diagnostic as a Status whose code matches what the evaluator
+  /// would have returned for the same defect (kUnsafeRule for
+  /// unsafe-rule, kNotStratifiable for negation-cycle, kInvalidArgument
+  /// otherwise), with the ToString() rendering as message.
+  Status ToStatus() const;
+};
+
+}  // namespace verso
+
+#endif  // VERSO_ANALYSIS_DIAGNOSTIC_H_

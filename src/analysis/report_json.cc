@@ -1,0 +1,189 @@
+#include <ostream>
+#include <sstream>
+
+#include "analysis/analyzer.h"
+
+namespace verso {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslash, control chars) —
+/// metric names and rule labels are ASCII identifiers, diagnostics may
+/// quote program text.
+void WriteJsonString(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void WritePairList(std::ostream& out,
+                   const std::vector<std::pair<uint32_t, uint32_t>>& pairs) {
+  out << "[";
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "[" << pairs[i].first << "," << pairs[i].second << "]";
+  }
+  out << "]";
+}
+
+const char* ProgramKindName(AnalysisReport::ProgramKind kind) {
+  return kind == AnalysisReport::ProgramKind::kUpdate ? "update" : "derive";
+}
+
+}  // namespace
+
+size_t AnalysisReport::CountSeverity(Severity severity) const {
+  size_t n = 0;
+  for (const Diagnostic& diag : diagnostics) {
+    if (diag.severity == severity) ++n;
+  }
+  return n;
+}
+
+Status AnalysisReport::FirstBlocking(const AnalysisOptions& options) const {
+  for (const Diagnostic& diag : diagnostics) {
+    if (diag.severity == Severity::kError ||
+        (options.warnings_block && diag.severity == Severity::kWarning)) {
+      return diag.ToStatus();
+    }
+  }
+  return Status::Ok();
+}
+
+std::string AnalysisReport::ToText() const {
+  std::ostringstream out;
+  out << "analysis: " << ProgramKindName(program_kind) << " program, "
+      << rule_count << (rule_count == 1 ? " rule" : " rules") << ", ";
+  if (stratifiable) {
+    out << strata.size() << (strata.size() == 1 ? " stratum" : " strata");
+  } else {
+    out << "NOT stratifiable";
+  }
+  out << "\n";
+  out << "diagnostics: " << errors() << " error(s), " << warnings()
+      << " warning(s), " << notes() << " note(s)\n";
+  for (const Diagnostic& diag : diagnostics) {
+    out << "  " << diag.ToString() << "\n";
+  }
+  for (size_t s = 0; s < strata.size(); ++s) {
+    const StratumReport& stratum = strata[s];
+    out << "stratum " << s << ":";
+    for (uint32_t rule : stratum.rules) {
+      out << " " << rule_labels[rule];
+    }
+    out << " -- "
+        << (stratum.independent ? "independent"
+                                : "NOT independent");
+    if (!stratum.overlap_pairs.empty()) {
+      out << ", " << stratum.overlap_pairs.size() << " overlap pair(s)";
+    }
+    if (!stratum.conflict_pairs.empty()) {
+      out << ", " << stratum.conflict_pairs.size() << " conflict pair(s)";
+    }
+    out << "\n";
+  }
+  out << "dependency edges: " << edges.size() << "\n";
+  return out.str();
+}
+
+void AnalysisReport::WriteJson(std::ostream& out) const {
+  size_t independent_strata = 0;
+  for (const StratumReport& stratum : strata) {
+    if (stratum.independent) ++independent_strata;
+  }
+  out << "{\"verso_analysis_version\":1,";
+  out << "\"program\":{\"kind\":\"" << ProgramKindName(program_kind)
+      << "\",\"rules\":" << rule_count
+      << ",\"stratifiable\":" << (stratifiable ? "true" : "false")
+      << ",\"strata\":" << strata.size() << "},";
+  out << "\"summary\":{\"errors\":" << errors()
+      << ",\"warnings\":" << warnings() << ",\"notes\":" << notes()
+      << ",\"independent_strata\":" << independent_strata << "},";
+  out << "\"diagnostics\":[";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& diag = diagnostics[i];
+    if (i > 0) out << ",";
+    out << "{\"severity\":\"" << SeverityName(diag.severity)
+        << "\",\"check\":";
+    WriteJsonString(out, diag.check);
+    out << ",\"rule\":" << diag.rule << ",\"rule_label\":";
+    WriteJsonString(out, diag.rule_label);
+    out << ",\"line\":" << diag.line << ",\"literal\":" << diag.literal
+        << ",\"message\":";
+    WriteJsonString(out, diag.message);
+    out << "}";
+  }
+  out << "],";
+  out << "\"rules\":[";
+  for (size_t r = 0; r < rule_count; ++r) {
+    if (r > 0) out << ",";
+    out << "{\"index\":" << r << ",\"label\":";
+    WriteJsonString(out, rule_labels[r]);
+    out << ",\"line\":" << rule_lines[r] << ",\"stratum\":";
+    if (r < stratum_of_rule.size()) {
+      out << stratum_of_rule[r];
+    } else {
+      out << -1;
+    }
+    out << "}";
+  }
+  out << "],";
+  out << "\"dependency_graph\":{\"edges\":[";
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "{\"from\":" << edges[i].from << ",\"to\":" << edges[i].to
+        << ",\"kind\":\"" << (edges[i].strict ? "strict" : "weak") << "\"}";
+  }
+  out << "]},";
+  out << "\"strata\":[";
+  for (size_t s = 0; s < strata.size(); ++s) {
+    const StratumReport& stratum = strata[s];
+    if (s > 0) out << ",";
+    out << "{\"index\":" << s << ",\"rules\":[";
+    for (size_t i = 0; i < stratum.rules.size(); ++i) {
+      if (i > 0) out << ",";
+      out << stratum.rules[i];
+    }
+    out << "],\"independent\":" << (stratum.independent ? "true" : "false")
+        << ",\"overlaps\":";
+    WritePairList(out, stratum.overlap_pairs);
+    out << ",\"conflicts\":";
+    WritePairList(out, stratum.conflict_pairs);
+    out << "}";
+  }
+  out << "]}";
+  out << "\n";
+}
+
+std::string AnalysisReport::ToJson() const {
+  std::ostringstream out;
+  WriteJson(out);
+  return out.str();
+}
+
+}  // namespace verso

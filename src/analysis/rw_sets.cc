@@ -1,0 +1,119 @@
+#include "analysis/rw_sets.h"
+
+#include "core/unify.h"
+
+namespace verso {
+
+namespace {
+
+/// Shape match of object-id-terms: constants must be the same OID;
+/// variables match variables. With `identical`, variables must be the
+/// same VarId (single-rule comparison).
+bool ObjTermMatches(const ObjTerm& a, const ObjTerm& b, bool identical) {
+  if (a.is_var != b.is_var) return false;
+  if (a.is_var) return !identical || a.var == b.var;
+  return a.oid == b.oid;
+}
+
+bool VidTermMatches(const VidTerm& a, const VidTerm& b, bool identical) {
+  return a.ops == b.ops && ObjTermMatches(a.base, b.base, identical);
+}
+
+bool AppMatches(const AppPattern& a, const AppPattern& b, bool identical) {
+  if (a.method != b.method || a.args.size() != b.args.size()) return false;
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    if (!ObjTermMatches(a.args[i], b.args[i], identical)) return false;
+  }
+  return ObjTermMatches(a.result, b.result, identical);
+}
+
+bool LiteralMatches(const Literal& a, const Literal& b, bool identical) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Literal::Kind::kVersion:
+      return VidTermMatches(a.version.version, b.version.version, identical) &&
+             AppMatches(a.version.app, b.version.app, identical);
+    case Literal::Kind::kUpdate:
+      if (a.update.kind != b.update.kind ||
+          a.update.delete_all != b.update.delete_all) {
+        return false;
+      }
+      if (!VidTermMatches(a.update.version, b.update.version, identical)) {
+        return false;
+      }
+      if (a.update.delete_all) return true;
+      if (!AppMatches(a.update.app, b.update.app, identical)) return false;
+      return a.update.kind != UpdateKind::kModify ||
+             ObjTermMatches(a.update.new_result, b.update.new_result,
+                            identical);
+    case Literal::Kind::kBuiltin:
+      // Expression nodes live in per-rule pools; comparing them across
+      // rules is not meaningful for the guard heuristic, and a built-in
+      // carries no fact shape to contradict.
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+WriteSet WriteSetOf(const Rule& rule) {
+  WriteSet ws;
+  ws.kind = rule.head.kind;
+  ws.version = rule.head.version;
+  ws.all_methods = rule.head.delete_all;
+  if (!ws.all_methods) ws.method = rule.head.app.method;
+  return ws;
+}
+
+WriteOverlap ClassifyWritePair(const Rule& a, const Rule& b) {
+  WriteSet wa = WriteSetOf(a);
+  WriteSet wb = WriteSetOf(b);
+  // Non-unifiable updated versions can never materialize the same
+  // successor state: fully independent.
+  if (!UnifyVidTerms(wa.version, wb.version)) return WriteOverlap::kDisjoint;
+  const bool methods_overlap =
+      wa.all_methods || wb.all_methods || wa.method == wb.method;
+  if (wa.kind != wb.kind) {
+    // Competing update kinds on one version fork its successor state
+    // (ins(V) against del(V)/mod(V) siblings); when the methods also
+    // overlap, the same application is asserted by one head and
+    // retracted or rewritten by the other — order-dependent meaning.
+    return methods_overlap ? WriteOverlap::kConflict : WriteOverlap::kOverlap;
+  }
+  if (!methods_overlap) return WriteOverlap::kDisjoint;
+  // Same kind, same method, unifiable version: duplicate ins and repeated
+  // del commute (set semantics); two mod heads race to rewrite the same
+  // application.
+  return wa.kind == UpdateKind::kModify ? WriteOverlap::kConflict
+                                        : WriteOverlap::kOverlap;
+}
+
+bool SameLiteralShape(const Literal& a, const Literal& b) {
+  return LiteralMatches(a, b, /*identical=*/false);
+}
+
+bool IdenticalLiteral(const Literal& a, const Literal& b) {
+  return LiteralMatches(a, b, /*identical=*/true);
+}
+
+namespace {
+
+bool HasComplement(const Rule& positive_side, const Rule& negative_side) {
+  for (const Literal& pos : positive_side.body) {
+    if (pos.negated || pos.kind == Literal::Kind::kBuiltin) continue;
+    for (const Literal& neg : negative_side.body) {
+      if (!neg.negated) continue;
+      if (SameLiteralShape(pos, neg)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool GuardedByComplement(const Rule& a, const Rule& b) {
+  return HasComplement(a, b) || HasComplement(b, a);
+}
+
+}  // namespace verso

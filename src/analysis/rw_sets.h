@@ -1,0 +1,66 @@
+#ifndef VERSO_ANALYSIS_RW_SETS_H_
+#define VERSO_ANALYSIS_RW_SETS_H_
+
+#include "core/rule.h"
+
+namespace verso {
+
+/// The statically known write footprint of one update-rule head: firing
+/// the rule materializes version kind(V) and asserts (ins), retracts
+/// (del), or rewrites (mod) applications of one method — or of every
+/// method, for a `del[V].*` head.
+struct WriteSet {
+  UpdateKind kind = UpdateKind::kInsert;
+  VidTerm version;     // V — the version term being updated
+  bool all_methods = false;  // del[V].* head
+  MethodId method;     // meaningful when !all_methods
+};
+
+WriteSet WriteSetOf(const Rule& rule);
+
+/// Pairwise classification of two rules' write sets, the basis of both
+/// the update-conflict check and the per-stratum independence verdict:
+///
+///   kDisjoint  provably disjoint written facts — the pair can be
+///              evaluated by different workers with no coordination;
+///   kOverlap   may write the same facts, but confluently (duplicate
+///              ins, repeated del): order cannot change the fixpoint;
+///   kConflict  statically detectable non-confluence — an ins head
+///              against a del/mod head (or two mod heads, or del vs mod)
+///              on a potentially unifiable version with overlapping
+///              methods, i.e. the same application may be asserted and
+///              retracted/rewritten within one stratum.
+enum class WriteOverlap : uint8_t {
+  kDisjoint = 0,
+  kOverlap = 1,
+  kConflict = 2,
+};
+
+/// Classifies the write sets of two rules assumed to share a stratum.
+/// Rules are standardized apart: variables of `a` and `b` are unrelated.
+WriteOverlap ClassifyWritePair(const Rule& a, const Rule& b);
+
+/// True iff the two literals have the same shape: same literal kind,
+/// method, update kind, functor chain, and constant positions agree —
+/// with every variable treated as matching every variable. Used for the
+/// complementary-guard refinement across two rules (shape comparison is
+/// the right notion there: the rules quantify their variables apart).
+bool SameLiteralShape(const Literal& a, const Literal& b);
+
+/// True iff the two literals of ONE rule are identical up to polarity:
+/// like SameLiteralShape but variables must be the very same VarId. A
+/// positive and a negative identical literal in one body is a
+/// contradiction — the rule can never fire.
+bool IdenticalLiteral(const Literal& a, const Literal& b);
+
+/// True iff some positive version-/update-literal of `a` occurs negated
+/// in `b` (or vice versa) with the same shape: the classic complementary
+/// guard (`E.pos -> mgr` against `not E.pos -> mgr`) that makes two
+/// overlapping heads fire on disjoint bindings. Downgrades a conflict
+/// diagnostic to a note — the analyzer cannot prove the guard covers all
+/// bindings, but the program is clearly written to be deterministic.
+bool GuardedByComplement(const Rule& a, const Rule& b);
+
+}  // namespace verso
+
+#endif  // VERSO_ANALYSIS_RW_SETS_H_

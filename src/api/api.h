@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "core/engine.h"
 #include "obs/metrics.h"
 #include "query/query.h"
@@ -58,6 +59,11 @@ struct ConnectionOptions {
   EvalOptions eval;
   /// Evaluation of ad-hoc derived-method queries (reads).
   QueryOptions query;
+  /// Static analysis run at Statement prepare time and on CREATE VIEW
+  /// (src/analysis). Enabled by default; diagnostic-only unless a
+  /// blocking severity fires (errors always block — the evaluator would
+  /// reject those programs anyway, just later and with less position).
+  AnalysisOptions analysis;
   /// Observes rule firings, commits, view maintenance, and storage
   /// faults (not owned; must outlive the connection).
   TraceSink* trace = nullptr;
@@ -150,11 +156,12 @@ DeltaLog CollectFacts(const ObjectBase& base,
 class ResultSet {
  public:
   enum class Kind {
-    kWrite,    // update-program: rows = committed delta
-    kQuery,    // ad-hoc derived query: rows = derived facts
-    kView,     // QUERY <view>: rows = the view's derived facts
-    kDdl,      // CREATE VIEW / DROP VIEW: no rows
-    kMetrics,  // QUERY METRICS: rows = name/value metric entries
+    kWrite,     // update-program: rows = committed delta
+    kQuery,     // ad-hoc derived query: rows = derived facts
+    kView,      // QUERY <view>: rows = the view's derived facts
+    kDdl,       // CREATE VIEW / DROP VIEW: no rows
+    kMetrics,   // QUERY METRICS: rows = name/value metric entries
+    kAnalysis,  // QUERY ANALYZE <program>: rows = diagnostics
   };
 
   ResultSet(ResultSet&&) = default;
@@ -166,7 +173,9 @@ class ResultSet {
   uint64_t epoch() const { return epoch_; }
 
   size_t size() const {
-    return kind_ == Kind::kMetrics ? metrics_.size() : rows_.size();
+    if (kind_ == Kind::kMetrics) return metrics_.size();
+    if (kind_ == Kind::kAnalysis) return analysis_->diagnostics.size();
+    return rows_.size();
   }
   bool empty() const { return size() == 0; }
 
@@ -218,6 +227,17 @@ class ResultSet {
   const std::string& metric_name() const { return current_metric_->name; }
   int64_t metric_value() const { return current_metric_->value; }
 
+  // -- analysis report (kAnalysis only) --------------------------------
+  /// The full structured report (dependency graph, independence verdict,
+  /// ToText()/ToJson() renderings); nullptr for other kinds. Rows of a
+  /// kAnalysis result are the report's diagnostics, one per Next().
+  const AnalysisReport* analysis() const { return analysis_.get(); }
+  /// The current diagnostic row; Next() must have returned true on a
+  /// kAnalysis result.
+  const Diagnostic& diagnostic() const {
+    return analysis_->diagnostics[next_ - 1];
+  }
+
  private:
   friend class Connection;
   friend class Statement;
@@ -241,6 +261,16 @@ class ResultSet {
         symbols_(symbols),
         versions_(versions) {}
 
+  /// kAnalysis: the rows are the report's diagnostics; like metrics rows
+  /// they are not facts and never touch the symbol table.
+  ResultSet(uint64_t epoch, std::shared_ptr<const AnalysisReport> report,
+            const SymbolTable* symbols, const VersionTable* versions)
+      : kind_(Kind::kAnalysis),
+        epoch_(epoch),
+        symbols_(symbols),
+        versions_(versions),
+        analysis_(std::move(report)) {}
+
   Kind kind_;
   uint64_t epoch_;
   DeltaLog rows_;
@@ -252,6 +282,7 @@ class ResultSet {
   const VersionTable* versions_;
   std::shared_ptr<RunOutcome> outcome_;    // kWrite
   std::shared_ptr<QueryStats> qstats_;     // kQuery
+  std::shared_ptr<const AnalysisReport> analysis_;  // kAnalysis
 };
 
 /// One prepared statement, bound to the session that prepared it. The
@@ -265,10 +296,17 @@ class ResultSet {
 ///     DROP VIEW <name>                   drop it
 ///     QUERY <name>                       read a view from the snapshot
 ///     QUERY METRICS                      snapshot the metrics registry
+///     QUERY ANALYZE <program>            static analysis report (update
+///                                        or derive program; never runs it)
 ///
 /// Keywords are case-insensitive; `%` starts a to-end-of-line comment.
-/// METRICS is reserved: QUERY resolves it (in any case) to the metrics
-/// snapshot, never to a view of that name.
+/// METRICS and ANALYZE are reserved: QUERY resolves them (in any case) to
+/// the metrics snapshot / the analyzer, never to views of those names.
+///
+/// Preparing a kUpdate, kQuery, or kCreateView statement also runs the
+/// static analyzer (ConnectionOptions::analysis): blocking diagnostics
+/// fail the Prepare with the same status code evaluation would have
+/// produced, and the full report stays readable via analysis().
 class Statement {
  public:
   enum class Kind {
@@ -278,6 +316,7 @@ class Statement {
     kDropView,
     kQueryView,
     kMetrics,
+    kAnalyze,
   };
 
   Statement(Statement&&) = default;
@@ -290,6 +329,9 @@ class Statement {
   /// The parsed update-program of a kUpdate statement (pairs with a
   /// write ResultSet's stratification() for StratificationToString).
   const Program& program() const { return program_; }
+  /// The prepare-time analysis report of a kUpdate / kQuery / kCreateView
+  /// statement, or nullptr (analysis disabled, or other kinds).
+  const AnalysisReport* analysis() const { return analysis_.get(); }
 
   /// Runs the statement. Reads (kQuery, kQueryView) evaluate against the
   /// session's pinned snapshot; writes (kUpdate) commit against the
@@ -307,8 +349,10 @@ class Statement {
   Kind kind_;
   std::string text_;
   std::string view_name_;  // view statements
+  std::string body_text_;  // kAnalyze: the program after the keyword
   Program program_;        // kUpdate
   QueryProgram query_;     // kQuery, kCreateView
+  std::shared_ptr<const AnalysisReport> analysis_;  // prepare-time report
 };
 
 /// A per-client handle. Opening a session pins the current commit epoch:
@@ -431,6 +475,18 @@ class Connection : public ViewDeltaSink {
   /// Ok while the view is live; the first maintenance error after it
   /// poisoned (drop and re-create to recover); NotFound if unregistered.
   Status ViewHealth(std::string_view name) const;
+
+  /// Statically analyzes `program_text` (an update-program, or a derived-
+  /// method program starting with `derive`) against the CURRENT committed
+  /// base's schema, without executing anything: safety, stratifiability
+  /// with cycle paths, same-stratum update conflicts, dead rules, and the
+  /// rule dependency graph with a per-stratum independence verdict. The
+  /// kAnalysis result carries the report (ResultSet::analysis() — text
+  /// via ToText(), stable JSON via ToJson()); its rows are the
+  /// diagnostics. Parse failures fail the call; analysis findings never
+  /// do (errors are rows, like any diagnostic). The machine-readable twin
+  /// of `QUERY ANALYZE <program>`.
+  Result<ResultSet> AnalyzeProgram(std::string_view program_text);
 
   /// Writes the current state of the process-wide metrics registry
   /// (MetricsRegistry::Global()) as a stable JSON document: name-sorted

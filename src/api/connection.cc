@@ -278,7 +278,7 @@ Result<ResultSet> Connection::CreateView(Session& session,
                                          const std::string& name,
                                          const QueryProgram& program) {
   VERSO_RETURN_IF_ERROR(
-      catalog_->Register(name, program, db_->current()));
+      catalog_->Register(name, program, db_->current(), options_.analysis));
   // The epoch is unchanged but the view set is not: invalidate the shared
   // snapshot so this session (and new ones) read the view from now on.
   InvalidateSnapshot();

@@ -51,6 +51,11 @@ bool ResultSet::Next() {
     current_metric_ = &metrics_[next_++];
     return true;
   }
+  if (kind_ == Kind::kAnalysis) {
+    if (next_ >= analysis_->diagnostics.size()) return false;
+    ++next_;
+    return true;
+  }
   if (next_ >= rows_.size()) {
     current_ = nullptr;
     return false;
@@ -94,6 +99,7 @@ std::string ResultSet::RowToString() const {
     return current_metric_->name + " = " +
            std::to_string(current_metric_->value);
   }
+  if (kind_ == Kind::kAnalysis) return diagnostic().ToString();
   return FactToString(row().vid, row().method, row().app, *symbols_,
                       *versions_);
 }

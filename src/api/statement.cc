@@ -86,12 +86,11 @@ bool IsIdentifier(const std::string& word) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/// Case-insensitive match against the reserved METRICS word.
-bool IsMetricsKeyword(const std::string& identifier) {
-  if (identifier.size() != 7) return false;
-  const char* kWord = "metrics";
+/// Case-insensitive match against a reserved all-lowercase word.
+bool IsKeyword(const std::string& identifier, std::string_view word) {
+  if (identifier.size() != word.size()) return false;
   for (size_t i = 0; i < identifier.size(); ++i) {
-    if (std::tolower(static_cast<unsigned char>(identifier[i])) != kWord[i]) {
+    if (std::tolower(static_cast<unsigned char>(identifier[i])) != word[i]) {
       return false;
     }
   }
@@ -167,6 +166,16 @@ Result<Statement> Session::Prepare(std::string_view text) {
     stmt.view_name_ = std::move(name);
     VERSO_ASSIGN_OR_RETURN(
         stmt.query_, ParseQueryProgram(text.substr(scan.pos()), symbols));
+    // Prepare-time analysis runs pure-static (no base schema): Prepare
+    // results must not depend on committed data. Errors block here with
+    // rule-level positions; Execute applies the same policy again over
+    // the then-current catalog.
+    if (conn_->options_.analysis.enabled) {
+      auto report = std::make_shared<AnalysisReport>(
+          AnalyzeDerivedProgram(stmt.query_, symbols));
+      VERSO_RETURN_IF_ERROR(report->FirstBlocking(conn_->options_.analysis));
+      stmt.analysis_ = std::move(report);
+    }
     return stmt;
   }
 
@@ -192,7 +201,20 @@ Result<Statement> Session::Prepare(std::string_view text) {
     scan.Word();  // "query"
     std::string name = scan.Identifier();
     if (!IsIdentifier(name)) {
-      return Status::ParseError("QUERY expects a view name or METRICS");
+      return Status::ParseError(
+          "QUERY expects a view name, METRICS, or ANALYZE <program>");
+    }
+    // ANALYZE is reserved: the rest of the text is the program to
+    // analyze, handed verbatim to the analyzer at Execute time (it is
+    // parsed there — against the connection's live symbols — so the
+    // report reflects the schema at execution, not at prepare).
+    if (IsKeyword(name, "analyze")) {
+      Statement stmt(this, Statement::Kind::kAnalyze, std::string(text));
+      stmt.body_text_ = std::string(text.substr(scan.pos()));
+      if (TextScanner(stmt.body_text_).AtEnd()) {
+        return Status::ParseError("QUERY ANALYZE expects a program");
+      }
+      return stmt;
     }
     if (scan.Peek() == '.') scan.Consume();
     if (!scan.AtEnd()) {
@@ -200,7 +222,7 @@ Result<Statement> Session::Prepare(std::string_view text) {
     }
     // METRICS is reserved: QUERY METRICS (any case) reads the metrics
     // registry, never a view of that name.
-    if (IsMetricsKeyword(name)) {
+    if (IsKeyword(name, "metrics")) {
       return Statement(this, Statement::Kind::kMetrics, std::string(text));
     }
     Statement stmt(this, Statement::Kind::kQueryView, std::string(text));
@@ -211,11 +233,23 @@ Result<Statement> Session::Prepare(std::string_view text) {
   if (StartsWithDerive(text)) {
     Statement stmt(this, Statement::Kind::kQuery, std::string(text));
     VERSO_ASSIGN_OR_RETURN(stmt.query_, ParseQueryProgram(text, symbols));
+    if (conn_->options_.analysis.enabled) {
+      auto report = std::make_shared<AnalysisReport>(
+          AnalyzeDerivedProgram(stmt.query_, symbols));
+      VERSO_RETURN_IF_ERROR(report->FirstBlocking(conn_->options_.analysis));
+      stmt.analysis_ = std::move(report);
+    }
     return stmt;
   }
 
   Statement stmt(this, Statement::Kind::kUpdate, std::string(text));
   VERSO_ASSIGN_OR_RETURN(stmt.program_, ParseProgram(text, symbols));
+  if (conn_->options_.analysis.enabled) {
+    auto report = std::make_shared<AnalysisReport>(
+        AnalyzeUpdateProgram(stmt.program_, symbols));
+    VERSO_RETURN_IF_ERROR(report->FirstBlocking(conn_->options_.analysis));
+    stmt.analysis_ = std::move(report);
+  }
   return stmt;
 }
 
@@ -273,8 +307,32 @@ Result<ResultSet> Statement::Execute() {
       // one a DumpMetrics call right after would serialize.
       return ResultSet(conn->epoch(), MetricsRegistry::Global().Snapshot(),
                        &conn->symbols(), &conn->versions());
+
+    case Kind::kAnalyze:
+      return conn->AnalyzeProgram(body_text_);
   }
   return Status::Internal("unknown statement kind");
+}
+
+Result<ResultSet> Connection::AnalyzeProgram(std::string_view program_text) {
+  SymbolTable& symbols = engine_->symbols();
+  // Schema context: the methods carried by the current committed base,
+  // so the dead-rule check can also flag reads nothing can satisfy.
+  AnalysisContext context = ContextFromBase(db_->current());
+  std::shared_ptr<const AnalysisReport> report;
+  if (StartsWithDerive(program_text)) {
+    VERSO_ASSIGN_OR_RETURN(QueryProgram program,
+                           ParseQueryProgram(program_text, symbols));
+    report = std::make_shared<AnalysisReport>(
+        AnalyzeDerivedProgram(program, symbols, context));
+  } else {
+    VERSO_ASSIGN_OR_RETURN(Program program,
+                           ParseProgram(program_text, symbols));
+    report = std::make_shared<AnalysisReport>(
+        AnalyzeUpdateProgram(program, symbols, context));
+  }
+  return ResultSet(db_->commit_epoch(), std::move(report),
+                   &engine_->symbols(), &engine_->versions());
 }
 
 }  // namespace verso

@@ -1,6 +1,7 @@
 #include "core/stratify.h"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <set>
 
@@ -41,9 +42,17 @@ bool HeadUnifiesSubterm(const VidTerm& head_target, const VidTerm& t) {
   return false;
 }
 
+/// Union adjacency (strict + weak) of the graph.
+std::vector<std::vector<uint32_t>> Adjacency(const RuleGraph& graph) {
+  std::vector<std::vector<uint32_t>> adj(graph.rule_count);
+  for (const auto& [from, to] : graph.strict_edges) adj[from].push_back(to);
+  for (const auto& [from, to] : graph.weak_edges) adj[from].push_back(to);
+  return adj;
+}
+
 }  // namespace
 
-Result<Stratification> Stratify(const Program& program) {
+RuleGraph BuildRuleGraph(const Program& program) {
   const size_t n = program.rules.size();
 
   std::vector<VidTerm> head_target(n);
@@ -64,7 +73,7 @@ Result<Stratification> Stratify(const Program& program) {
                                static_cast<uint32_t>(to));
     if (strict) {
       strict_edges.insert(edge);
-    } else if (!strict_edges.count(edge)) {
+    } else if (strict_edges.count(edge) == 0) {
       weak_edges.insert(edge);
     }
   };
@@ -105,16 +114,19 @@ Result<Stratification> Stratify(const Program& program) {
   // Promote: a strict edge supersedes a weak edge between the same rules.
   for (const auto& e : strict_edges) weak_edges.erase(e);
 
+  RuleGraph graph;
+  graph.rule_count = n;
+  graph.strict_edges.assign(strict_edges.begin(), strict_edges.end());
+  graph.weak_edges.assign(weak_edges.begin(), weak_edges.end());
+
   // Tarjan SCC over the union graph.
-  std::vector<std::vector<uint32_t>> adj(n);
-  for (const auto& [from, to] : strict_edges) adj[from].push_back(to);
-  for (const auto& [from, to] : weak_edges) adj[from].push_back(to);
+  std::vector<std::vector<uint32_t>> adj = Adjacency(graph);
 
   std::vector<int> index(n, -1);
   std::vector<int> lowlink(n, 0);
   std::vector<bool> on_stack(n, false);
   std::vector<uint32_t> stack;
-  std::vector<int> component(n, -1);
+  graph.component.assign(n, -1);
   int next_index = 0;
   int component_count = 0;
 
@@ -147,7 +159,7 @@ Result<Stratification> Stratify(const Program& program) {
             uint32_t w = stack.back();
             stack.pop_back();
             on_stack[w] = false;
-            component[w] = component_count;
+            graph.component[w] = component_count;
             if (w == frame.node) break;
           }
           ++component_count;
@@ -161,44 +173,91 @@ Result<Stratification> Stratify(const Program& program) {
       }
     }
   }
+  graph.component_count = component_count;
+  return graph;
+}
 
-  // A strict edge inside one SCC makes the program non-stratifiable.
-  for (const auto& [from, to] : strict_edges) {
-    if (component[from] == component[to]) {
+std::vector<uint32_t> FindRuleCycle(const RuleGraph& graph, uint32_t from,
+                                    uint32_t to) {
+  if (!graph.SameComponent(from, to)) return {};
+  if (from == to) return {from, from};
+  // BFS from `to` back to `from` inside the SCC; predecessor chain gives
+  // the shortest completing path, so the rendered cycle is minimal.
+  std::vector<std::vector<uint32_t>> adj = Adjacency(graph);
+  std::vector<int> pred(graph.rule_count, -1);
+  std::deque<uint32_t> queue{to};
+  pred[to] = static_cast<int>(to);
+  bool found = false;
+  while (!queue.empty() && !found) {
+    uint32_t node = queue.front();
+    queue.pop_front();
+    for (uint32_t next : adj[node]) {
+      if (!graph.SameComponent(next, from) || pred[next] != -1) continue;
+      pred[next] = static_cast<int>(node);
+      if (next == from) {
+        found = true;
+        break;
+      }
+      queue.push_back(next);
+    }
+  }
+  if (!found) return {};
+  std::vector<uint32_t> back;  // from, pred(from), ..., to
+  for (uint32_t at = from;; at = static_cast<uint32_t>(pred[at])) {
+    back.push_back(at);
+    if (at == to) break;
+  }
+  std::vector<uint32_t> cycle{from};  // from -> to -> ... -> from
+  cycle.insert(cycle.end(), back.rbegin(), back.rend());
+  return cycle;
+}
+
+Result<Stratification> Stratify(const Program& program) {
+  const size_t n = program.rules.size();
+  RuleGraph graph = BuildRuleGraph(program);
+
+  // A strict edge inside one SCC makes the program non-stratifiable; name
+  // the whole offending cycle, not just the edge's endpoints.
+  for (const auto& [from, to] : graph.strict_edges) {
+    if (graph.SameComponent(from, to)) {
+      std::string path;
+      for (uint32_t r : FindRuleCycle(graph, from, to)) {
+        if (!path.empty()) path += " -> ";
+        path += program.rules[r].DisplayName();
+      }
       return Status::NotStratifiable(
           "rules '" + program.rules[from].DisplayName() + "' and '" +
           program.rules[to].DisplayName() +
           "' are mutually recursive through a constraint that requires '" +
-          program.rules[from].DisplayName() + "' to be in a strictly lower "
-          "stratum (conditions (a)-(d) of Section 4)");
+          program.rules[from].DisplayName() +
+          "' to be in a strictly lower stratum (conditions (a)-(d) of "
+          "Section 4); dependency cycle: " +
+          path);
     }
   }
 
-  // Longest-path layering over the condensation. Tarjan emits components
-  // in reverse topological order, so process them from last to first.
-  std::vector<uint32_t> comp_level(static_cast<size_t>(component_count), 0);
+  // Longest-path layering over the condensation: repeated relaxation (the
+  // graph is a DAG after the check above; n is the number of rules, which
+  // is small, so Bellman-Ford-style passes are fine).
+  std::vector<uint32_t> comp_level(
+      static_cast<size_t>(graph.component_count), 0);
   auto relax = [&](uint32_t from, uint32_t to, uint32_t weight) {
-    int cf = component[from];
-    int ct = component[to];
+    int cf = graph.component[from];
+    int ct = graph.component[to];
     if (cf == ct) return;
-    comp_level[ct] =
-        std::max(comp_level[ct], comp_level[cf] + weight);
+    comp_level[ct] = std::max(comp_level[ct], comp_level[cf] + weight);
   };
-  // Edges go from lower components to higher; iterate components in
-  // topological order (component_count-1 .. 0) relaxing outgoing edges.
-  // Simpler: repeat relaxation |C| times (Bellman-Ford style on a DAG is
-  // overkill but n is the number of rules, which is small).
-  for (int pass = 0; pass < component_count; ++pass) {
+  for (int pass = 0; pass < graph.component_count; ++pass) {
     bool changed = false;
-    for (const auto& [from, to] : strict_edges) {
-      uint32_t before = comp_level[component[to]];
+    for (const auto& [from, to] : graph.strict_edges) {
+      uint32_t before = comp_level[graph.component[to]];
       relax(from, to, 1);
-      changed |= comp_level[component[to]] != before;
+      changed |= comp_level[graph.component[to]] != before;
     }
-    for (const auto& [from, to] : weak_edges) {
-      uint32_t before = comp_level[component[to]];
+    for (const auto& [from, to] : graph.weak_edges) {
+      uint32_t before = comp_level[graph.component[to]];
       relax(from, to, 0);
-      changed |= comp_level[component[to]] != before;
+      changed |= comp_level[graph.component[to]] != before;
     }
     if (!changed) break;
   }
@@ -207,7 +266,7 @@ Result<Stratification> Stratify(const Program& program) {
   std::vector<uint32_t> levels;
   levels.reserve(n);
   for (size_t r = 0; r < n; ++r) {
-    levels.push_back(comp_level[component[r]]);
+    levels.push_back(comp_level[graph.component[r]]);
   }
   std::vector<uint32_t> sorted = levels;
   std::sort(sorted.begin(), sorted.end());

@@ -21,6 +21,37 @@ struct Stratification {
   size_t stratum_count() const { return strata.size(); }
 };
 
+/// The rule-dependency graph the stratifier layers, exposed so the static
+/// analyzer (src/analysis) can report on the same edges the evaluator
+/// orders by. An edge (from, to) constrains stratum(from) + w <=
+/// stratum(to): strict edges (w = 1) come from conditions (a), (c), (d);
+/// weak edges (w = 0) from condition (b). A strict edge between the same
+/// rules supersedes the weak one.
+struct RuleGraph {
+  size_t rule_count = 0;
+  /// Sorted, deduplicated (from, to) pairs; disjoint from weak_edges.
+  std::vector<std::pair<uint32_t, uint32_t>> strict_edges;
+  std::vector<std::pair<uint32_t, uint32_t>> weak_edges;
+  /// Tarjan SCC id per rule (ids in reverse topological order).
+  std::vector<int> component;
+  int component_count = 0;
+
+  bool SameComponent(uint32_t a, uint32_t b) const {
+    return component[a] == component[b];
+  }
+};
+
+/// Builds the dependency graph of conditions (a)-(d) and its SCC
+/// condensation. Pure function of the program's head/body terms.
+RuleGraph BuildRuleGraph(const Program& program);
+
+/// A cycle witnessing that the edge (from, to) lies inside one SCC:
+/// rule indices `from, to, ..., from` (first == last), following graph
+/// edges, the shortest such path back from `to`. Empty when the edge does
+/// not close a cycle. Used to render "r1 -> r2 -> r1" diagnostics.
+std::vector<uint32_t> FindRuleCycle(const RuleGraph& graph, uint32_t from,
+                                    uint32_t to);
+
 /// Computes a stratification satisfying the paper's conditions:
 ///   (a) rules whose head version-id-term unifies with a subterm of V are
 ///       strictly below any rule with head (V) — a copied state is never

@@ -158,13 +158,53 @@ Result<QueryStratification> AnalyzeQueryProgram(QueryProgram& program,
 
   std::vector<std::vector<uint32_t>> components = scc.Run();
 
-  // Condition (d): no negation inside a component.
+  // Condition (d): no negation inside a component. The diagnostic names
+  // the actual method cycle (head -> negated body -> ... -> head), found
+  // by BFS within the component.
   for (const Edge& edge : edges) {
-    if (edge.negated &&
-        scc.ComponentOf(edge.head_node) == scc.ComponentOf(edge.body_node)) {
-      return Status::NotStratifiable(
-          "derived methods are recursive through negation");
+    if (!edge.negated ||
+        scc.ComponentOf(edge.head_node) != scc.ComponentOf(edge.body_node)) {
+      continue;
     }
+    std::vector<MethodId> method_of_node(node_of_method.size());
+    for (const auto& [m, node] : node_of_method) {
+      method_of_node[node] = MethodId(m);
+    }
+    std::string path(symbols.MethodName(method_of_node[edge.head_node]));
+    if (edge.head_node == edge.body_node) {
+      path += " -> ";
+      path += symbols.MethodName(method_of_node[edge.head_node]);
+    } else {
+      std::vector<std::vector<uint32_t>> adj(node_of_method.size());
+      for (const Edge& e : edges) adj[e.head_node].push_back(e.body_node);
+      // BFS body -> ... -> head inside the component; pred[x] -> x is an
+      // edge, so walking pred back from head then reversing yields the
+      // closing path in dependency order.
+      std::vector<int> pred(node_of_method.size(), -1);
+      std::vector<uint32_t> queue{edge.body_node};
+      pred[edge.body_node] = static_cast<int>(edge.body_node);
+      for (size_t qi = 0; qi < queue.size() && pred[edge.head_node] == -1;
+           ++qi) {
+        for (uint32_t next : adj[queue[qi]]) {
+          if (scc.ComponentOf(next) != scc.ComponentOf(edge.head_node) ||
+              pred[next] != -1) {
+            continue;
+          }
+          pred[next] = static_cast<int>(queue[qi]);
+          queue.push_back(next);
+        }
+      }
+      std::vector<uint32_t> back{edge.head_node};
+      while (back.back() != edge.body_node) {
+        back.push_back(static_cast<uint32_t>(pred[back.back()]));
+      }
+      for (auto it = back.rbegin(); it != back.rend(); ++it) {
+        path += " -> ";
+        path += symbols.MethodName(method_of_node[*it]);
+      }
+    }
+    return Status::NotStratifiable(
+        "derived methods are recursive through negation: " + path);
   }
 
   QueryStratification out;

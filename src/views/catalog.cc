@@ -3,24 +3,26 @@
 namespace verso {
 
 Status ViewCatalog::Register(std::string name, QueryProgram program,
-                             const ObjectBase& base) {
+                             const ObjectBase& base,
+                             const AnalysisOptions& analysis) {
   if (views_.count(name)) {
     return Status::InvalidArgument("view '" + name + "' already registered");
   }
   VERSO_ASSIGN_OR_RETURN(
       std::unique_ptr<MaterializedView> view,
       MaterializedView::Create(name, std::move(program), base, symbols_,
-                               versions_, trace_));
+                               versions_, trace_, analysis));
   views_.emplace(std::move(name), std::move(view));
   ++ddl_generation_;
   return Status::Ok();
 }
 
 Status ViewCatalog::RegisterText(std::string name, std::string_view source,
-                                 const ObjectBase& base) {
+                                 const ObjectBase& base,
+                                 const AnalysisOptions& analysis) {
   VERSO_ASSIGN_OR_RETURN(QueryProgram program,
                          ParseQueryProgram(source, symbols_));
-  return Register(std::move(name), std::move(program), base);
+  return Register(std::move(name), std::move(program), base, analysis);
 }
 
 Status ViewCatalog::Drop(std::string_view name) {

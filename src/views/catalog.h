@@ -47,13 +47,17 @@ class ViewCatalog : public CommitObserver {
   ViewCatalog& operator=(const ViewCatalog&) = delete;
 
   /// Registers `program` as a materialized view over `base` (typically
-  /// db.current()), evaluating it in full once. Fails on duplicate names.
+  /// db.current()), evaluating it in full once. Fails on duplicate names,
+  /// and on blocking static-analysis diagnostics (see
+  /// MaterializedView::Create; pass analysis.enabled = false to skip).
   Status Register(std::string name, QueryProgram program,
-                  const ObjectBase& base);
+                  const ObjectBase& base,
+                  const AnalysisOptions& analysis = AnalysisOptions());
 
   /// Parses `source` as a derived-method program and registers it.
   Status RegisterText(std::string name, std::string_view source,
-                      const ObjectBase& base);
+                      const ObjectBase& base,
+                      const AnalysisOptions& analysis = AnalysisOptions());
 
   /// Drops a registered view.
   Status Drop(std::string_view name);

@@ -39,7 +39,8 @@ DeltaFact ToDeltaFact(const ViewFactKey& key, bool added) {
 
 Result<std::unique_ptr<MaterializedView>> MaterializedView::Create(
     std::string name, QueryProgram program, const ObjectBase& base,
-    SymbolTable& symbols, VersionTable& versions, TraceSink* trace) {
+    SymbolTable& symbols, VersionTable& versions, TraceSink* trace,
+    const AnalysisOptions& analysis) {
   for (MethodId m : program.derived_methods) {
     if (base.VidsWithMethod(m) != nullptr) {
       return Status::InvalidArgument(
@@ -48,8 +49,17 @@ Result<std::unique_ptr<MaterializedView>> MaterializedView::Create(
           "' already has stored facts in the object base");
     }
   }
+  // Analyze-on-CREATE: blocking diagnostics refuse the registration
+  // before the (expensive) initial materialization starts.
+  std::shared_ptr<const AnalysisReport> report;
+  if (analysis.enabled) {
+    report = std::make_shared<AnalysisReport>(
+        AnalyzeDerivedProgram(program, symbols, ContextFromBase(base)));
+    VERSO_RETURN_IF_ERROR(report->FirstBlocking(analysis));
+  }
   std::unique_ptr<MaterializedView> view(new MaterializedView(
       std::move(name), std::move(program), base, symbols, versions, trace));
+  view->analysis_ = std::move(report);
   VERSO_ASSIGN_OR_RETURN(
       view->stratification_,
       AnalyzeQueryProgram(view->program_, symbols));

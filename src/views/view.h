@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "core/delta.h"
 #include "core/object_base.h"
 #include "core/trace.h"
@@ -77,11 +78,17 @@ struct ViewStats {
 class MaterializedView {
  public:
   /// Fully evaluates `program` over `base` (which must not store facts of
-  /// any derived method) and returns the maintained view.
+  /// any derived method) and returns the maintained view. When `analysis`
+  /// is enabled (the default), the static analyzer runs over the program
+  /// against `base`'s schema first: blocking diagnostics fail the
+  /// creation with rule-level positions (errors always block; warnings
+  /// when analysis.warnings_block), and the report stays readable on the
+  /// registered view via analysis().
   static Result<std::unique_ptr<MaterializedView>> Create(
       std::string name, QueryProgram program, const ObjectBase& base,
       SymbolTable& symbols, VersionTable& versions,
-      TraceSink* trace = nullptr);
+      TraceSink* trace = nullptr,
+      const AnalysisOptions& analysis = AnalysisOptions());
 
   const std::string& name() const { return name_; }
   /// The maintained result: base plus all derived facts. Identical to a
@@ -115,6 +122,10 @@ class MaterializedView {
 
   /// Ok while the view is live; the first maintenance error otherwise.
   const Status& health() const { return health_; }
+
+  /// The creation-time static analysis report, or nullptr when analysis
+  /// was disabled at Create time.
+  const AnalysisReport* analysis() const { return analysis_.get(); }
 
  private:
   /// A maintenance trigger: a changed fact probed through either the
@@ -173,6 +184,7 @@ class MaterializedView {
   std::string name_;
   QueryProgram program_;
   QueryStratification stratification_;
+  std::shared_ptr<const AnalysisReport> analysis_;
   SymbolTable& symbols_;
   VersionTable& versions_;
   TraceSink* trace_;

@@ -1,0 +1,249 @@
+// The analyzer through the client API: QUERY ANALYZE and
+// Connection::AnalyzeProgram produce kAnalysis result sets against the
+// committed base's schema, prepare-time analysis blocks bad programs
+// with positioned diagnostics, and CREATE VIEW honors the severity
+// policy.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "api/api.h"
+
+namespace verso {
+namespace {
+
+std::unique_ptr<Connection> OpenConn(
+    ConnectionOptions options = ConnectionOptions()) {
+  Result<std::unique_ptr<Connection>> opened =
+      Connection::OpenInMemory(std::move(options));
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  return std::move(*opened);
+}
+
+constexpr const char* kBaseFacts =
+    "ann.isa -> empl. ann.sal -> 4000. ann.pos -> mgr. "
+    "bob.isa -> empl. bob.sal -> 3000. bob.boss -> ann. ";
+
+constexpr const char* kRaiseProgram =
+    "up: mod[E].sal -> (S, S2) <- E.isa -> empl / sal -> S, "
+    "S2 = S + 100.";
+
+TEST(AnalysisApiTest, QueryAnalyzeReturnsTheReport) {
+  std::unique_ptr<Connection> conn = OpenConn();
+  ASSERT_TRUE(conn->ImportText(kBaseFacts).ok());
+  std::unique_ptr<Session> session = conn->OpenSession();
+
+  Result<ResultSet> rs =
+      session->Execute(std::string("QUERY ANALYZE ") + kRaiseProgram);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->kind(), ResultSet::Kind::kAnalysis);
+  ASSERT_NE(rs->analysis(), nullptr);
+  const AnalysisReport& report = *rs->analysis();
+  EXPECT_EQ(report.rule_count, 1u);
+  EXPECT_TRUE(report.ok()) << report.ToText();
+  EXPECT_TRUE(report.stratifiable);
+  // A clean program has no diagnostics, hence no rows.
+  EXPECT_TRUE(rs->empty());
+  EXPECT_FALSE(rs->Next());
+}
+
+TEST(AnalysisApiTest, AnalyzeUsesTheCommittedSchema) {
+  std::unique_ptr<Connection> conn = OpenConn();
+  ASSERT_TRUE(conn->ImportText(kBaseFacts).ok());
+  std::unique_ptr<Session> session = conn->OpenSession();
+
+  // `wage` occurs in no committed fact and no ins head: against the live
+  // schema the rule is dead — a warning row with the rule position.
+  Result<ResultSet> rs = session->Execute(
+      "QUERY ANALYZE "
+      "up: mod[E].sal -> (S, S2) <- E.wage -> S, S2 = S + 100.");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->size(), 1u);
+  ASSERT_TRUE(rs->Next());
+  const Diagnostic& diag = rs->diagnostic();
+  EXPECT_EQ(diag.severity, Severity::kWarning);
+  EXPECT_EQ(diag.check, kCheckDeadRule);
+  EXPECT_EQ(diag.rule, 0);
+  EXPECT_EQ(diag.rule_label, "up");
+  EXPECT_NE(diag.message.find("wage"), std::string::npos) << diag.message;
+  // RowToString renders the diagnostic, like any row kind.
+  EXPECT_EQ(rs->RowToString(), diag.ToString());
+  EXPECT_FALSE(rs->Next());
+}
+
+TEST(AnalysisApiTest, QueryAnalyzeHandlesDerivedPrograms) {
+  std::unique_ptr<Connection> conn = OpenConn();
+  ASSERT_TRUE(conn->ImportText(kBaseFacts).ok());
+  std::unique_ptr<Session> session = conn->OpenSession();
+
+  Result<ResultSet> rs = session->Execute(
+      "QUERY ANALYZE derive X.chain -> Y <- X.boss -> Y.");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_NE(rs->analysis(), nullptr);
+  EXPECT_EQ(rs->analysis()->program_kind,
+            AnalysisReport::ProgramKind::kDerive);
+  EXPECT_TRUE(rs->analysis()->ok());
+}
+
+TEST(AnalysisApiTest, QueryAnalyzeWithoutAProgramIsAParseError) {
+  std::unique_ptr<Connection> conn = OpenConn();
+  std::unique_ptr<Session> session = conn->OpenSession();
+  Result<ResultSet> rs = session->Execute("QUERY ANALYZE");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kParseError);
+}
+
+TEST(AnalysisApiTest, ConnectionAnalyzeProgramIsTheDirectTwin) {
+  std::unique_ptr<Connection> conn = OpenConn();
+  ASSERT_TRUE(conn->ImportText(kBaseFacts).ok());
+
+  Result<ResultSet> direct = conn->AnalyzeProgram(kRaiseProgram);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  std::unique_ptr<Session> session = conn->OpenSession();
+  Result<ResultSet> stmt =
+      session->Execute(std::string("QUERY ANALYZE ") + kRaiseProgram);
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_NE(direct->analysis(), nullptr);
+  ASSERT_NE(stmt->analysis(), nullptr);
+  EXPECT_EQ(direct->analysis()->ToJson(), stmt->analysis()->ToJson());
+}
+
+TEST(AnalysisApiTest, AnalysisFindingsAreRowsNotFailures) {
+  std::unique_ptr<Connection> conn = OpenConn();
+  // Unsafe program: AnalyzeProgram reports, it does not fail.
+  Result<ResultSet> rs =
+      conn->AnalyzeProgram("bad: ins[X].p -> Y <- X.isa -> t.");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_TRUE(rs->Next());
+  EXPECT_EQ(rs->diagnostic().severity, Severity::kError);
+  EXPECT_EQ(rs->diagnostic().check, kCheckUnsafeRule);
+  // Gibberish still fails: there is no program to report on.
+  EXPECT_FALSE(conn->AnalyzeProgram("not a program").ok());
+}
+
+TEST(AnalysisApiTest, PrepareBlocksUnsafeProgramsWithPosition) {
+  std::unique_ptr<Connection> conn = OpenConn();
+  std::unique_ptr<Session> session = conn->OpenSession();
+  Result<Statement> stmt = session->Prepare(
+      "ok: ins[X].p -> yes <- X.isa -> t.\n"
+      "bad: ins[X].q -> Y <- X.isa -> t.");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_EQ(stmt.status().code(), StatusCode::kUnsafeRule);
+  // The analyzer's uniform diagnostic rendering: rule label and line.
+  EXPECT_NE(stmt.status().message().find("'bad'"), std::string::npos)
+      << stmt.status().message();
+  EXPECT_NE(stmt.status().message().find("line 2"), std::string::npos)
+      << stmt.status().message();
+}
+
+TEST(AnalysisApiTest, PrepareBlocksNegationCyclesWithThePath) {
+  std::unique_ptr<Connection> conn = OpenConn();
+  std::unique_ptr<Session> session = conn->OpenSession();
+  Result<Statement> stmt = session->Prepare(
+      "a: ins[alice].p -> yes <- not ins[bob].q -> yes.\n"
+      "b: ins[bob].q -> yes <- not ins[alice].p -> yes.");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_EQ(stmt.status().code(), StatusCode::kNotStratifiable);
+  EXPECT_NE(stmt.status().message().find(" -> "), std::string::npos)
+      << stmt.status().message();
+}
+
+TEST(AnalysisApiTest, PreparedStatementExposesItsReport) {
+  std::unique_ptr<Connection> conn = OpenConn();
+  ASSERT_TRUE(conn->ImportText(kBaseFacts).ok());
+  std::unique_ptr<Session> session = conn->OpenSession();
+  Result<Statement> stmt = session->Prepare(kRaiseProgram);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_NE(stmt->analysis(), nullptr);
+  EXPECT_TRUE(stmt->analysis()->ok());
+  EXPECT_EQ(stmt->analysis()->rule_count, 1u);
+  // The statement still runs normally after analysis.
+  Result<ResultSet> rs = stmt->Execute();
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->kind(), ResultSet::Kind::kWrite);
+}
+
+TEST(AnalysisApiTest, DisablingAnalysisRestoresExecuteTimeFailure) {
+  ConnectionOptions options;
+  options.analysis.enabled = false;
+  std::unique_ptr<Connection> conn = OpenConn(options);
+  std::unique_ptr<Session> session = conn->OpenSession();
+  const char* unsafe_text = "bad: ins[X].p -> Y <- X.isa -> t.";
+  // Prepare no longer runs the analyzer...
+  Result<Statement> stmt = session->Prepare(unsafe_text);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->analysis(), nullptr);
+  // ...so the same defect surfaces at Execute, with the same code the
+  // blocking Prepare would have used.
+  Result<ResultSet> rs = stmt->Execute();
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kUnsafeRule);
+}
+
+TEST(AnalysisApiTest, WarningsBlockPolicyGatesPrepare) {
+  // A same-stratum ins/del conflict is a warning: default policy runs
+  // it, warnings_block turns it into a prepare failure.
+  const char* conflicted =
+      "add: ins[X].flag -> on <- X.isa -> t.\n"
+      "rem: del[X].flag -> on <- X.isa -> t.";
+  {
+    std::unique_ptr<Connection> conn = OpenConn();
+    std::unique_ptr<Session> session = conn->OpenSession();
+    EXPECT_TRUE(session->Prepare(conflicted).ok());
+  }
+  {
+    ConnectionOptions options;
+    options.analysis.warnings_block = true;
+    std::unique_ptr<Connection> conn = OpenConn(options);
+    std::unique_ptr<Session> session = conn->OpenSession();
+    Result<Statement> stmt = session->Prepare(conflicted);
+    ASSERT_FALSE(stmt.ok());
+    EXPECT_EQ(stmt.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(stmt.status().message().find("update-conflict"),
+              std::string::npos)
+        << stmt.status().message();
+  }
+}
+
+TEST(AnalysisApiTest, CreateViewRunsTheAnalyzer) {
+  ConnectionOptions options;
+  options.analysis.warnings_block = true;
+  std::unique_ptr<Connection> conn = OpenConn(options);
+  ASSERT_TRUE(conn->ImportText(kBaseFacts).ok());
+  std::unique_ptr<Session> session = conn->OpenSession();
+  // `wormhole` is readable nowhere: a dead-rule warning, which the
+  // strict policy turns into a CREATE VIEW failure.
+  Result<ResultSet> rs = session->Execute(
+      "CREATE VIEW far AS derive X.far -> Y <- X.wormhole -> Y.");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_NE(rs.status().message().find("wormhole"), std::string::npos)
+      << rs.status().message();
+  // The same view registers fine under the default policy.
+  std::unique_ptr<Connection> lax = OpenConn();
+  ASSERT_TRUE(lax->ImportText(kBaseFacts).ok());
+  std::unique_ptr<Session> lax_session = lax->OpenSession();
+  Result<ResultSet> ok = lax_session->Execute(
+      "CREATE VIEW far AS derive X.far -> Y <- X.wormhole -> Y.");
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST(AnalysisApiTest, AnalyzeCountsIntoTheMetricsRegistry) {
+  std::unique_ptr<Connection> conn = OpenConn();
+  std::unique_ptr<Session> session = conn->OpenSession();
+  auto programs_analyzed = [&]() {
+    Result<ResultSet> rs = session->Execute("QUERY METRICS");
+    EXPECT_TRUE(rs.ok());
+    for (const MetricsRegistry::Entry& entry : rs->metrics()) {
+      if (entry.name == "analysis.programs") return entry.value;
+    }
+    return int64_t{0};
+  };
+  int64_t before = programs_analyzed();
+  ASSERT_TRUE(conn->AnalyzeProgram(kRaiseProgram).ok());
+  EXPECT_GT(programs_analyzed(), before);
+}
+
+}  // namespace
+}  // namespace verso
