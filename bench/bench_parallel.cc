@@ -1,0 +1,151 @@
+// Threads sweep for the parallel derivation path: the same workloads the
+// serial benchmarks price (the recursive ancestors fixpoint of
+// bench_tp_operator, the graph-closure recomputation of bench_views),
+// plus DRed maintenance, each at 1/2/4/8 evaluation lanes. threads=1
+// runs the serial code path (num_threads 0/1 are identical), so each
+// sweep's first point is its own baseline; the acceptance bar is >= 1.8x
+// at 4 threads on the 4096-person fixpoint. Update programs run under
+// the real analyzer-derived admission policy, exactly as Statement
+// prepare wires it.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "analysis/analyzer.h"
+#include "bench_common.h"
+#include "query/query.h"
+#include "views/view.h"
+
+namespace verso::bench {
+namespace {
+
+// Graph view: transitive closure (DRed), as in bench_views.
+constexpr const char* kGraphViews = R"(
+    q1: derive X.reaches -> Y <- X.edge -> Y.
+    q2: derive X.reaches -> Z <- X.reaches -> Y, Y.edge -> Z.
+)";
+
+ObjectBase MakeGraphBase(Engine& engine, size_t nodes) {
+  ObjectBase base = engine.MakeBase();
+  MakeGraph(nodes, nodes, /*seed=*/5, engine, base);
+  return base;
+}
+
+// The recursive ancestors closure of BM_TpFixpointSemiNaive, fanned out:
+// one round per generation, hundreds of delta facts per round.
+void BM_TpFixpointParallel(benchmark::State& state) {
+  const size_t persons = static_cast<size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  auto world = std::make_unique<World>();
+  world->base = world->engine->MakeBase();
+  GenealogyOptions options;
+  options.persons = persons;
+  options.max_parents = 2;
+  MakeGenealogy(options, *world->engine, world->base);
+  Result<Program> program =
+      ParseProgram(kAncestorsProgramText, *world->engine);
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  world->program = std::move(program).value();
+
+  EvalOptions eval;
+  eval.num_threads = threads;
+  eval.admit_parallel = MakeParallelAdmission(
+      std::make_shared<AnalysisReport>(AnalyzeUpdateProgram(
+          world->program, world->engine->symbols())));
+  EvalStats stats;
+  for (auto _ : state) {
+    RunOutcome outcome = MustRun(*world, state, eval);
+    stats = outcome.stats;
+    benchmark::DoNotOptimize(outcome.result);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["rounds"] = static_cast<double>(stats.total_rounds());
+  state.counters["t1_updates"] = static_cast<double>(stats.total_t1_updates());
+}
+BENCHMARK(BM_TpFixpointParallel)
+    ->ArgsProduct({{1024, 4096}, {1, 2, 4, 8}});
+
+// From-scratch derived-method evaluation (the BM_ViewRecomputeGraph
+// workload): the recursive stratum's frozen rounds fan the frontier out.
+void BM_QueryClosureParallel(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  Engine engine;
+  ObjectBase base = MakeGraphBase(engine, nodes);
+  Result<QueryProgram> program =
+      ParseQueryProgram(kGraphViews, engine.symbols());
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  QueryOptions options;
+  options.num_threads = threads;
+  for (auto _ : state) {
+    Result<ObjectBase> out = EvaluateQueries(*program, base, engine,
+                                             /*stats=*/nullptr, options);
+    if (!out.ok()) {
+      state.SkipWithError(out.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*out);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_QueryClosureParallel)
+    ->ArgsProduct({{1024, 4096}, {1, 2, 4, 8}});
+
+// DRed maintenance under fan-out: delete one hub edge (Phase A
+// overdeletion waves + Phase B rederivation probes run parallel), then
+// re-insert it (Phase C semi-naive propagation), alternating.
+void BM_DredMaintenanceParallel(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  Engine engine;
+  ObjectBase base = MakeGraphBase(engine, nodes);
+  Result<QueryProgram> program =
+      ParseQueryProgram(kGraphViews, engine.symbols());
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  Result<std::unique_ptr<MaterializedView>> view = MaterializedView::Create(
+      "closure", std::move(*program), base, engine.symbols(),
+      engine.versions(), /*trace=*/nullptr, AnalysisOptions(), threads);
+  if (!view.ok()) {
+    state.SkipWithError(view.status().ToString().c_str());
+    return;
+  }
+  Vid from = engine.versions().OfOid(engine.symbols().Symbol("n1"));
+  MethodId edge = engine.symbols().Method("edge");
+  GroundApp app;
+  app.result = engine.symbols().Symbol("n2");
+  DeltaLog ins{{from, edge, app, /*added=*/true}};
+  DeltaLog del{{from, edge, app, /*added=*/false}};
+  bool present = (*view)->result().Contains(from, edge, app);
+  for (auto _ : state) {
+    Status status = (*view)->ApplyBaseDelta(present ? del : ins);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    present = !present;
+    benchmark::DoNotOptimize((*view)->result());
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["overdeleted"] =
+      static_cast<double>((*view)->stats().overdeleted);
+  state.counters["rederived"] =
+      static_cast<double>((*view)->stats().rederived);
+}
+BENCHMARK(BM_DredMaintenanceParallel)
+    ->ArgsProduct({{1024, 4096}, {1, 2, 4, 8}});
+
+}  // namespace
+}  // namespace verso::bench
+
+BENCHMARK_MAIN();

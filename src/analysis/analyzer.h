@@ -1,7 +1,9 @@
 #ifndef VERSO_ANALYSIS_ANALYZER_H_
 #define VERSO_ANALYSIS_ANALYZER_H_
 
+#include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -146,6 +148,19 @@ AnalysisReport AnalyzeUpdateProgram(const Program& program,
 AnalysisReport AnalyzeDerivedProgram(const QueryProgram& program,
                                      const SymbolTable& symbols,
                                      const AnalysisContext& context = {});
+
+/// Builds the evaluator's parallel-admission policy
+/// (EvalOptions::admit_parallel) from an update-program's analysis
+/// report: a stratum may fan out across the worker pool iff the
+/// update-conflict check proved its rules free of conflicting write sets
+/// (stratum conflict_pairs empty). Confluent overlaps ARE admitted — the
+/// parallel path merges worker outputs in deterministic serial order, so
+/// confluence suffices for bit-identical results. Verdicts are computed
+/// once here, at Statement prepare time; the returned closure only looks
+/// them up by the stratum's rule set. A null or non-stratifiable report,
+/// and rule sets the report does not know, admit nothing.
+std::function<bool(const Program&, const std::vector<uint32_t>&)>
+MakeParallelAdmission(std::shared_ptr<const AnalysisReport> report);
 
 }  // namespace verso
 

@@ -2,21 +2,30 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 
 namespace verso {
 
 bool SharedApps::result_index_enabled_ = true;
 
 void IndexedApps::BuildIndex() const {
-  by_result_.clear();
-  by_result_.reserve(apps_.size());
+  // Nodes are immutable while shared across evaluation lanes, but the
+  // lazy build itself is a const-path mutation: serialize concurrent
+  // first probes of the same node. One process-wide mutex (not one per
+  // node) — builds are rare, nodes are many.
+  static std::mutex build_mu;
+  std::lock_guard<std::mutex> lock(build_mu);
+  if (index_built_.load(std::memory_order_relaxed)) return;
+  ResultIndex built;
+  built.reserve(apps_.size());
   for (uint32_t i = 0; i < apps_.size(); ++i) {
-    by_result_.emplace_back(apps_[i].result, i);
+    built.emplace_back(apps_[i].result, i);
   }
   // Lexicographic: results ascending, offsets ascending per result —
   // lookups are one binary search, enumeration stays in scan order.
-  std::sort(by_result_.begin(), by_result_.end());
-  index_built_ = true;
+  std::sort(built.begin(), built.end());
+  by_result_ = std::move(built);
+  index_built_.store(true, std::memory_order_release);
 }
 
 VersionState::MethodList::iterator VersionState::LowerBound(MethodId method) {

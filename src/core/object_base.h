@@ -2,6 +2,7 @@
 #define VERSO_CORE_OBJECT_BASE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -72,25 +73,32 @@ class IndexedApps {
     return apps_;
   }
 
-  /// The result index, built on first use.
+  /// The result index, built on first use. Safe to race from read-only
+  /// evaluation lanes: the build publishes under a mutex with an
+  /// acquire/release flag, so concurrent first probes of a shared node
+  /// see either "not built" (and take the build lock) or the fully built
+  /// index. Mutation paths (InvalidateIndex) remain single-threaded by
+  /// the COW detach discipline.
   const ResultIndex& result_index() const {
-    if (!index_built_) BuildIndex();
+    if (!index_built_.load(std::memory_order_acquire)) BuildIndex();
     return by_result_;
   }
 
   /// True iff the lazy index has been materialized (tests/benches).
-  bool index_built() const { return index_built_; }
+  bool index_built() const {
+    return index_built_.load(std::memory_order_acquire);
+  }
 
  private:
   void BuildIndex() const;
   void InvalidateIndex() {
-    index_built_ = false;
+    index_built_.store(false, std::memory_order_relaxed);
     by_result_.clear();
   }
 
   std::vector<GroundApp> apps_;
   mutable ResultIndex by_result_;
-  mutable bool index_built_ = false;
+  mutable std::atomic<bool> index_built_{false};
 };
 
 /// Refcounted copy-on-write handle to one method's IndexedApps node.
@@ -401,6 +409,11 @@ class ObjectBase {
 
   MethodId exists_method() const { return exists_method_; }
   const VersionTable* version_table() const { return versions_; }
+  /// Rebinds the referenced version table. Parallel evaluation lanes copy
+  /// the frozen base and point the copy at their own overlay VersionTable,
+  /// so v*/exists walks resolve overlay-fresh VIDs instead of indexing the
+  /// real table out of range.
+  void set_version_table(const VersionTable* versions) { versions_ = versions; }
 
   friend bool operator==(const ObjectBase& a, const ObjectBase& b) {
     if (a.states_.size() != b.states_.size()) return false;

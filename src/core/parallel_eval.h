@@ -1,0 +1,158 @@
+#ifndef VERSO_CORE_PARALLEL_EVAL_H_
+#define VERSO_CORE_PARALLEL_EVAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/delta.h"
+#include "core/object_base.h"
+#include "core/symbol_table.h"
+#include "core/update.h"
+#include "core/version_table.h"
+#include "util/thread_pool.h"
+
+namespace verso {
+
+/// One parallel evaluation lane's scratch universe: overlay symbol and
+/// version tables layered over the real (frozen) ones, plus a copy of the
+/// frozen object base rebound to the overlay version table (so v*/exists
+/// walks can resolve overlay-fresh VIDs). A lane matches and derives
+/// against this universe with zero writes to shared state; after the
+/// lanes join, the serial merge replays each lane's overlay intern log
+/// into the real tables in deterministic task order and remaps the ids in
+/// the lane's recorded outputs — reproducing exactly the interning order,
+/// dedup decisions, and trace stream of a serial run.
+class EvalLane {
+ public:
+  EvalLane(const SymbolTable& real_symbols, const VersionTable& real_versions,
+           const ObjectBase& frozen_base)
+      : symbols(SymbolTable::OverlayTag{}, real_symbols),
+        versions(VersionTable::OverlayTag{}, real_versions),
+        base(frozen_base) {
+    base.set_version_table(&versions);
+  }
+
+  /// Overlay log cursor. A task's segment is (previous mark, its end
+  /// mark]; a lane's tasks have increasing task indices, so replaying
+  /// lanes' segments in global task order replays each lane's log in
+  /// order.
+  struct Mark {
+    uint32_t oids = 0;
+    uint32_t methods = 0;
+    uint32_t vids = 0;
+  };
+  Mark mark() const {
+    return {symbols.fresh_oids(), symbols.fresh_methods(),
+            versions.fresh_vids()};
+  }
+
+  /// Replays the overlay log up to `upto` into the real tables, extending
+  /// the id maps. Value-keyed re-interning: entries another lane (or the
+  /// serial merge itself) already created are hits, genuinely fresh ones
+  /// extend the real tables in exactly serial order.
+  void ReplayTo(const Mark& upto, SymbolTable& real_symbols,
+                VersionTable& real_versions) {
+    for (uint32_t i = replayed_.oids; i < upto.oids; ++i) {
+      oid_map_.push_back(symbols.ReplayOid(i, real_symbols));
+    }
+    for (uint32_t i = replayed_.methods; i < upto.methods; ++i) {
+      method_map_.push_back(symbols.ReplayMethod(i, real_symbols));
+    }
+    for (uint32_t i = replayed_.vids; i < upto.vids; ++i) {
+      vid_map_.push_back(versions.ReplayVid(
+          i, real_versions, [&](Oid o) { return MapOid(o); },
+          [&](Vid v) { return MapVid(v); }));
+    }
+    replayed_ = upto;
+  }
+
+  /// Id translation overlay -> real; identity for ids below the overlay's
+  /// base counts (and for invalid ids).
+  Oid MapOid(Oid o) const {
+    if (!o.valid() || o.value < symbols.base_oids()) return o;
+    return oid_map_[o.value - symbols.base_oids()];
+  }
+  MethodId MapMethod(MethodId m) const {
+    if (!m.valid() || m.value < symbols.base_methods()) return m;
+    return method_map_[m.value - symbols.base_methods()];
+  }
+  Vid MapVid(Vid v) const {
+    if (!v.valid() || v.value < versions.base_vids()) return v;
+    return vid_map_[v.value - versions.base_vids()];
+  }
+  GroundUpdate MapUpdate(GroundUpdate u) const {
+    u.version = MapVid(u.version);
+    u.method = MapMethod(u.method);
+    for (Oid& arg : u.app.args) arg = MapOid(arg);
+    u.app.result = MapOid(u.app.result);
+    u.new_result = MapOid(u.new_result);
+    return u;
+  }
+  DeltaFact MapFact(DeltaFact f) const {
+    f.vid = MapVid(f.vid);
+    f.method = MapMethod(f.method);
+    for (Oid& arg : f.app.args) arg = MapOid(arg);
+    f.app.result = MapOid(f.app.result);
+    return f;
+  }
+
+  SymbolTable symbols;
+  VersionTable versions;
+  ObjectBase base;
+
+ private:
+  Mark replayed_;
+  std::vector<Oid> oid_map_;
+  std::vector<MethodId> method_map_;
+  std::vector<Vid> vid_map_;
+};
+
+/// Telemetry of parallel fan-outs, folded per stratum (or per maintenance
+/// run) and reported through TraceSink::OnParallelEval.
+struct ParallelTelemetry {
+  size_t parallel_rounds = 0;  // rounds that actually fanned out
+  size_t tasks = 0;            // work items dispatched across all rounds
+  size_t fallback_rounds = 0;  // rounds rerun serially after a lane threw
+  std::vector<uint64_t> queue_wait_us;  // per dispatched pool job
+
+  void Fold(const ParallelTelemetry& other) {
+    parallel_rounds += other.parallel_rounds;
+    tasks += other.tasks;
+    fallback_rounds += other.fallback_rounds;
+    queue_wait_us.insert(queue_wait_us.end(), other.queue_wait_us.begin(),
+                         other.queue_wait_us.end());
+  }
+  bool used() const { return parallel_rounds + fallback_rounds != 0; }
+};
+
+/// Runs `task_count` tasks across up to `lanes` lanes of the shared pool
+/// (lane 0 is the caller). Tasks are claimed from one atomic counter, so
+/// each lane executes a subsequence of tasks in increasing index order —
+/// the property EvalLane's segment replay relies on. `fn(lane, task)`
+/// must not throw (wrap and record instead). Queue-wait samples of the
+/// dispatched pool jobs and the task count are appended to `telemetry`;
+/// the caller records whether the round merged (parallel_rounds) or was
+/// rerun serially (fallback_rounds).
+inline void RunTasksOnLanes(int lanes, size_t task_count,
+                            const std::function<void(int, size_t)>& fn,
+                            ParallelTelemetry& telemetry) {
+  std::atomic<size_t> next{0};
+  ThreadPool::Shared().Run(
+      lanes,
+      [&](int lane) {
+        for (;;) {
+          size_t task = next.fetch_add(1, std::memory_order_relaxed);
+          if (task >= task_count) return;
+          fn(lane, task);
+        }
+      },
+      &telemetry.queue_wait_us);
+  telemetry.tasks += task_count;
+}
+
+}  // namespace verso
+
+#endif  // VERSO_CORE_PARALLEL_EVAL_H_

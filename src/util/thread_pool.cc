@@ -1,0 +1,127 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+namespace verso {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int DefaultWorkerCap() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw <= 1) return 1;
+  return static_cast<int>(hw - 1);
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool(int max_workers, size_t queue_capacity)
+    : max_workers_(max_workers > 0 ? max_workers : DefaultWorkerCap()),
+      queue_capacity_(queue_capacity) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  queue_nonempty_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+size_t ThreadPool::worker_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+void ThreadPool::EnsureWorkers(int wanted) {
+  // Caller holds mu_.
+  int target = std::min(wanted, max_workers_);
+  while (static_cast<int>(workers_.size()) < target) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_nonempty_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_nonfull_.notify_one();
+    job.fn();
+  }
+}
+
+void ThreadPool::Run(int lanes, const std::function<void(int)>& body,
+                     std::vector<uint64_t>* queue_wait_us) {
+  if (lanes <= 1) {
+    body(0);
+    return;
+  }
+  const int dispatched = std::min(lanes - 1, max_workers_);
+
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int pending = 0;
+    std::vector<uint64_t> waits_us;
+  };
+  Shared shared;
+  shared.pending = dispatched;
+  shared.waits_us.reserve(static_cast<size_t>(dispatched));
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    EnsureWorkers(dispatched);
+    for (int lane = 1; lane <= dispatched; ++lane) {
+      queue_nonfull_.wait(lock,
+                          [&] { return queue_.size() < queue_capacity_; });
+      Job job;
+      job.enqueued_ns = NowNs();
+      const uint64_t enqueued_ns = job.enqueued_ns;
+      job.fn = [&shared, &body, lane, enqueued_ns] {
+        const uint64_t wait_us = (NowNs() - enqueued_ns) / 1000;
+        body(lane);
+        std::lock_guard<std::mutex> done_lock(shared.mu);
+        shared.waits_us.push_back(wait_us);
+        if (--shared.pending == 0) shared.done_cv.notify_one();
+      };
+      queue_.push_back(std::move(job));
+      queue_nonempty_.notify_one();
+    }
+  }
+
+  // Extra lanes beyond the worker cap collapse onto the caller: lane ids
+  // [dispatched + 1, lanes) run here sequentially after lane 0, so every
+  // lane id is still executed exactly once.
+  body(0);
+  for (int lane = dispatched + 1; lane < lanes; ++lane) body(lane);
+
+  std::unique_lock<std::mutex> lock(shared.mu);
+  shared.done_cv.wait(lock, [&] { return shared.pending == 0; });
+  if (queue_wait_us != nullptr) {
+    queue_wait_us->insert(queue_wait_us->end(), shared.waits_us.begin(),
+                          shared.waits_us.end());
+  }
+}
+
+}  // namespace verso

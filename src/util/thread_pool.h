@@ -1,0 +1,74 @@
+#ifndef VERSO_UTIL_THREAD_POOL_H_
+#define VERSO_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace verso {
+
+/// A shared, lazily started worker pool with a bounded task queue.
+///
+/// The pool is process-wide (Shared()) so every subsystem that fans out —
+/// T_P derivation rounds, DRed probe waves, the query fixpoint — draws
+/// from one set of threads instead of oversubscribing the machine.
+/// Threads are spawned on first use, capped at hardware_concurrency - 1
+/// (the caller of Run participates as a lane of its own, so the cap keeps
+/// total runnable lanes at the core count).
+///
+/// Run(lanes, body) executes body(0) on the calling thread and
+/// body(1) .. body(lanes - 1) on pool workers, blocking until every lane
+/// returns. `body` must not throw (callers that need failure isolation
+/// wrap their work in try/catch and record the outcome per lane). The
+/// per-dispatch queue-wait times are reported for observability.
+class ThreadPool {
+ public:
+  /// The process-wide pool.
+  static ThreadPool& Shared();
+
+  explicit ThreadPool(int max_workers = 0, size_t queue_capacity = 256);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs body(lane) for lane in [0, lanes): lane 0 inline on the caller,
+  /// the rest on workers. Blocks until all lanes finish. When
+  /// `queue_wait_us` is given, the microseconds each dispatched job spent
+  /// queued before a worker picked it up are appended (one entry per
+  /// worker lane actually dispatched).
+  void Run(int lanes, const std::function<void(int)>& body,
+           std::vector<uint64_t>* queue_wait_us = nullptr);
+
+  /// Lanes Run can usefully drive: the worker cap plus the caller's lane.
+  int max_lanes() const { return max_workers_ + 1; }
+
+  /// Workers actually spawned so far (lazy start; tests).
+  size_t worker_count() const;
+
+ private:
+  struct Job {
+    std::function<void()> fn;
+    uint64_t enqueued_ns = 0;
+  };
+
+  void EnsureWorkers(int wanted);
+  void WorkerLoop();
+
+  const int max_workers_;
+  const size_t queue_capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_nonempty_;
+  std::condition_variable queue_nonfull_;
+  std::deque<Job> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+};
+
+}  // namespace verso
+
+#endif  // VERSO_UTIL_THREAD_POOL_H_

@@ -1,0 +1,332 @@
+// Differential tests for the parallel derivation path: evaluation with
+// num_threads > 1 must be bit-identical to serial evaluation — same
+// result(P), same committed base, identical EvalStats in every counter,
+// and an identical TraceSink event stream (derivation order included).
+// Most cases admit everything; the randomized admission property at the
+// bottom runs the real analyzer-derived policy and checks conflicting
+// strata never fan out.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "core/engine.h"
+#include "core/pretty.h"
+#include "parser/parser.h"
+#include "workloads/workloads.h"
+
+namespace verso {
+namespace {
+
+struct Outcome {
+  std::string result_text;
+  std::string new_base_text;
+  EvalStats stats;
+  std::vector<std::string> trace_lines;
+  size_t parallel_strata = 0;
+  size_t fallback_rounds = 0;
+  size_t worker_tasks = 0;
+};
+
+/// RecordingTrace plus the parallel telemetry hook (which RecordingTrace
+/// itself deliberately ignores so its lines stay thread-count-invariant).
+class ProbeTrace : public RecordingTrace {
+ public:
+  using RecordingTrace::RecordingTrace;
+
+  void OnParallelEval(uint32_t stratum, size_t parallel_rounds,
+                      size_t worker_tasks, size_t fallback_rounds,
+                      const std::vector<uint64_t>& queue_wait_us) override {
+    (void)stratum;
+    (void)queue_wait_us;
+    if (parallel_rounds > 0) ++parallel_strata;
+    tasks += worker_tasks;
+    fallbacks += fallback_rounds;
+  }
+
+  size_t parallel_strata = 0;
+  size_t tasks = 0;
+  size_t fallbacks = 0;
+};
+
+using BaseFiller = std::function<void(Engine&, ObjectBase&)>;
+
+Outcome RunWithThreads(const BaseFiller& fill, const std::string& program_text,
+                       int num_threads, bool semi_naive = true,
+                       bool analyzer_admission = false) {
+  Engine engine;
+  ObjectBase base = engine.MakeBase();
+  fill(engine, base);
+  Result<Program> program = ParseProgram(program_text, engine);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  EvalOptions options;
+  options.semi_naive = semi_naive;
+  options.num_threads = num_threads;
+  if (analyzer_admission) {
+    options.admit_parallel =
+        MakeParallelAdmission(std::make_shared<AnalysisReport>(
+            AnalyzeUpdateProgram(*program, engine.symbols())));
+  } else {
+    options.admit_parallel =
+        [](const Program&, const std::vector<uint32_t>&) { return true; };
+  }
+  ProbeTrace trace(engine.symbols(), engine.versions());
+  Result<RunOutcome> outcome = engine.Run(*program, base, options, &trace);
+  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+  Outcome out;
+  out.result_text =
+      ObjectBaseToString(outcome->result, engine.symbols(), engine.versions());
+  out.new_base_text = ObjectBaseToString(outcome->new_base, engine.symbols(),
+                                         engine.versions());
+  out.stats = std::move(outcome->stats);
+  out.trace_lines = trace.lines();
+  out.parallel_strata = trace.parallel_strata;
+  out.fallback_rounds = trace.fallbacks;
+  out.worker_tasks = trace.tasks;
+  return out;
+}
+
+void ExpectIdentical(const Outcome& serial, const Outcome& parallel) {
+  EXPECT_EQ(serial.result_text, parallel.result_text);
+  EXPECT_EQ(serial.new_base_text, parallel.new_base_text);
+  EXPECT_EQ(serial.trace_lines, parallel.trace_lines);
+  EXPECT_EQ(serial.stats.versions_materialized,
+            parallel.stats.versions_materialized);
+  ASSERT_EQ(serial.stats.strata.size(), parallel.stats.strata.size());
+  for (size_t i = 0; i < serial.stats.strata.size(); ++i) {
+    const StratumStats& s = serial.stats.strata[i];
+    const StratumStats& p = parallel.stats.strata[i];
+    EXPECT_EQ(s.rounds, p.rounds) << "stratum " << i;
+    EXPECT_EQ(s.t1_updates, p.t1_updates) << "stratum " << i;
+    EXPECT_EQ(s.states_replaced, p.states_replaced) << "stratum " << i;
+    EXPECT_EQ(s.copied_facts, p.copied_facts) << "stratum " << i;
+    EXPECT_EQ(s.body_matches, p.body_matches) << "stratum " << i;
+    EXPECT_EQ(s.delta_facts, p.delta_facts) << "stratum " << i;
+    EXPECT_EQ(s.seed_probes, p.seed_probes) << "stratum " << i;
+    EXPECT_EQ(s.seed_pairs_skipped, p.seed_pairs_skipped) << "stratum " << i;
+    EXPECT_EQ(s.residual_rule_runs, p.residual_rule_runs) << "stratum " << i;
+    EXPECT_EQ(s.index_probes, p.index_probes) << "stratum " << i;
+    EXPECT_EQ(s.index_hits, p.index_hits) << "stratum " << i;
+    EXPECT_EQ(s.indexed_scan_avoided_facts, p.indexed_scan_avoided_facts)
+        << "stratum " << i;
+  }
+}
+
+void Differential(const BaseFiller& fill, const std::string& program_text,
+                  bool semi_naive = true) {
+  Outcome serial = RunWithThreads(fill, program_text, 0, semi_naive);
+  for (int threads : {2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    Outcome parallel =
+        RunWithThreads(fill, program_text, threads, semi_naive);
+    ExpectIdentical(serial, parallel);
+    EXPECT_EQ(parallel.fallback_rounds, 0u);
+  }
+  EXPECT_EQ(serial.parallel_strata, 0u);  // serial runs emit no telemetry
+}
+
+BaseFiller Parsed(const char* base_text) {
+  return [base_text](Engine& engine, ObjectBase& base) {
+    Status s = ParseObjectBaseInto(base_text, engine.symbols(),
+                                   engine.versions(), base);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  };
+}
+
+TEST(ParallelEvalDifferential, RecursiveAncestors) {
+  Differential(Parsed("p1.isa -> person.  p1.parents -> p2.  "
+                      "p1.parents -> p3.  p2.isa -> person.  "
+                      "p2.parents -> p4.  p3.isa -> person.  "
+                      "p4.isa -> person.  p4.parents -> p5.  "
+                      "p5.isa -> person."),
+               kAncestorsProgramText);
+}
+
+TEST(ParallelEvalDifferential, EnterpriseProgram) {
+  Differential(Parsed("phil.isa -> empl.  phil.pos -> mgr.   "
+                      "phil.sal -> 4000.  bob.isa -> empl.   "
+                      "bob.boss -> phil.  bob.sal -> 4200."),
+               kEnterpriseProgramText);
+}
+
+TEST(ParallelEvalDifferential, HypotheticalRaise) {
+  Differential(Parsed("peter.isa -> empl.  peter.sal -> 100.  "
+                      "peter.factor -> 3.  anna.isa -> empl.   "
+                      "anna.sal -> 200.   anna.factor -> 1."),
+               HypotheticalProgramText("peter"));
+}
+
+TEST(ParallelEvalDifferential, ChainedModifies) {
+  Differential(Parsed("o.val -> 1."),
+               "r1: mod[o].val -> (V, V2) <- o.val -> V, V2 = V + 1."
+               "r2: mod[mod(o)].val -> (V, V2) <- mod(o).val -> V, "
+               "V2 = V * 10.");
+}
+
+// Wide fan-out drives rounds over the parallel-seeding threshold: every
+// round's delta carries hundreds of facts, so the seeded path genuinely
+// fans out, and the interning of fresh ins(...) versions mid-round
+// exercises the overlay replay ordering.
+TEST(ParallelEvalDifferential, WideReachabilityActuallyFansOut) {
+  constexpr int kNodes = 24;
+  BaseFiller fill = [](Engine& engine, ObjectBase& base) {
+    for (int i = 0; i < kNodes; ++i) {
+      std::string name = "n" + std::to_string(i);
+      engine.AddFact(base, name, "next",
+                     engine.symbols().Symbol(
+                         "n" + std::to_string((i + 1) % kNodes)));
+      engine.AddFact(base, name, "next",
+                     engine.symbols().Symbol(
+                         "n" + std::to_string((i * 7 + 3) % kNodes)));
+    }
+  };
+  const std::string program =
+      "r1: ins[X].reach -> Y <- X.next -> Y."
+      "r2: ins[X].reach -> Z <- ins(X).reach -> Y, Y.next -> Z.";
+  Differential(fill, program);
+  Outcome parallel = RunWithThreads(fill, program, 4);
+  EXPECT_GT(parallel.parallel_strata, 0u);
+  EXPECT_GT(parallel.worker_tasks, 0u);
+}
+
+// Naive mode re-matches every rule in full each round; the per-rule
+// parallel fan-out must reproduce its (different) stats stream too.
+TEST(ParallelEvalDifferential, NaiveModeFullMatchingFansOut) {
+  Differential(Parsed("p1.isa -> person.  p1.parents -> p2.  "
+                      "p1.parents -> p3.  p2.isa -> person.  "
+                      "p2.parents -> p4.  p3.isa -> person.  "
+                      "p4.isa -> person.  p4.parents -> p5.  "
+                      "p5.isa -> person."),
+               kAncestorsProgramText, /*semi_naive=*/false);
+}
+
+TEST(ParallelEvalDifferential, RandomGenealogies) {
+  for (uint64_t seed : {1u, 7u, 13u, 42u}) {
+    BaseFiller fill = [seed](Engine& engine, ObjectBase& base) {
+      GenealogyOptions options;
+      options.persons = 48;
+      options.max_parents = 2;
+      options.seed = seed;
+      MakeGenealogy(options, engine, base);
+    };
+    Differential(fill, kAncestorsProgramText);
+  }
+}
+
+TEST(ParallelEvalDifferential, RandomEnterprises) {
+  for (uint64_t seed : {3u, 11u, 42u}) {
+    BaseFiller fill = [seed](Engine& engine, ObjectBase& base) {
+      EnterpriseOptions options;
+      options.employees = 64;
+      options.manager_every = 8;
+      options.seed = seed;
+      MakeEnterprise(options, engine, base);
+    };
+    Differential(fill, kEnterpriseProgramText);
+  }
+}
+
+// Randomized mixed programs under the REAL analyzer-derived admission
+// policy: clean recursive closures on private methods (overlap pairs
+// only — confluent, admitted) interleaved in random order with
+// ins-vs-del conflict pairs. Rule dependencies are version-term level,
+// so every draw collapses into ONE evaluation stratum; the property is
+// that a single conflicting pair anywhere in the stratum serializes it
+// entirely — zero parallel telemetry — while conflict-free draws of the
+// same shape do fan out. Either way the run stays bit-identical to
+// serial.
+TEST(ParallelEvalDifferential, AdmissionSerializesConflictingStrata) {
+  BaseFiller fill = [](Engine& engine, ObjectBase& base) {
+    for (int i = 0; i < 24; ++i) {
+      std::string name = "n" + std::to_string(i);
+      engine.AddFact(base, name, "next",
+                     engine.symbols().Symbol(
+                         "n" + std::to_string((i + 1) % 24)));
+      engine.AddFact(base, name, "next",
+                     engine.symbols().Symbol(
+                         "n" + std::to_string((i * 5 + 2) % 24)));
+    }
+  };
+  for (uint64_t seed : {1u, 5u, 9u, 13u, 17u, 23u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+    const size_t clean_groups = 1 + rng.Below(2);  // 1..2
+    const size_t conflict_groups = rng.Below(3);   // 0..2
+    std::vector<std::string> groups;
+    for (size_t k = 0; k < clean_groups; ++k) {
+      std::string m = "m" + std::to_string(k);
+      std::string p = "c" + std::to_string(k);
+      groups.push_back(p + "a: ins[X]." + m + " -> Y <- X.next -> Y." +
+                       p + "b: ins[X]." + m + " -> Z <- ins(X)." + m +
+                       " -> Y, Y.next -> Z.");
+    }
+    for (size_t k = 0; k < conflict_groups; ++k) {
+      std::string m = "w" + std::to_string(k);
+      std::string p = "p" + std::to_string(k);
+      groups.push_back(p + "a: ins[X]." + m + " -> on <- X.next -> Y." +
+                       p + "b: del[X]." + m + " -> on <- X.next -> Y.");
+    }
+    for (size_t i = groups.size(); i > 1; --i) {
+      std::swap(groups[i - 1], groups[rng.Below(i)]);
+    }
+    std::string program_text;
+    for (const std::string& group : groups) program_text += group;
+
+    // Confirm the draw's stratum structure and conflict verdict on the
+    // analyzer's own report, so the telemetry expectations below test
+    // admission rather than guesses about stratification.
+    {
+      Engine probe;
+      Result<Program> parsed = ParseProgram(program_text, probe);
+      ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+      AnalysisReport report =
+          AnalyzeUpdateProgram(*parsed, probe.symbols());
+      ASSERT_TRUE(report.stratifiable);
+      ASSERT_EQ(report.strata.size(), 1u);
+      EXPECT_EQ(report.strata[0].conflict_pairs.empty(),
+                conflict_groups == 0);
+    }
+
+    Outcome serial = RunWithThreads(fill, program_text, 0);
+    Outcome parallel = RunWithThreads(fill, program_text, 4,
+                                      /*semi_naive=*/true,
+                                      /*analyzer_admission=*/true);
+    ExpectIdentical(serial, parallel);
+    if (conflict_groups > 0) {
+      EXPECT_EQ(parallel.parallel_strata, 0u);
+      EXPECT_EQ(parallel.worker_tasks, 0u);
+    } else {
+      // The wide graph pushes the clean closure over the fan-out
+      // thresholds, so admission, not size, is what gates here.
+      EXPECT_EQ(parallel.parallel_strata, 1u);
+      EXPECT_GT(parallel.worker_tasks, 0u);
+    }
+  }
+}
+
+// Without an admission policy, num_threads alone must not parallelize —
+// unadmitted programs run serially and emit no telemetry.
+TEST(ParallelEvalDifferential, NoAdmissionPolicyMeansSerial) {
+  Engine engine;
+  ObjectBase base = engine.MakeBase();
+  Status s = ParseObjectBaseInto("p1.isa -> person.  p1.parents -> p2.  "
+                                 "p2.isa -> person.",
+                                 engine.symbols(), engine.versions(), base);
+  ASSERT_TRUE(s.ok());
+  Result<Program> program = ParseProgram(kAncestorsProgramText, engine);
+  ASSERT_TRUE(program.ok());
+  EvalOptions options;
+  options.num_threads = 4;
+  ProbeTrace trace(engine.symbols(), engine.versions());
+  Result<RunOutcome> outcome = engine.Run(*program, base, options, &trace);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(trace.parallel_strata, 0u);
+  EXPECT_EQ(trace.tasks, 0u);
+}
+
+}  // namespace
+}  // namespace verso

@@ -1,0 +1,76 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace verso {
+namespace {
+
+TEST(ThreadPool, SingleLaneRunsInline) {
+  ThreadPool pool(4);
+  std::vector<int> seen;
+  pool.Run(1, [&](int lane) { seen.push_back(lane); });
+  EXPECT_EQ(seen, std::vector<int>{0});
+  EXPECT_EQ(pool.worker_count(), 0u);  // lazily started: none needed yet
+}
+
+TEST(ThreadPool, EveryLaneRunsExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr int kLanes = 8;  // more lanes than workers: overflow on caller
+  std::mutex mu;
+  std::multiset<int> seen;
+  pool.Run(kLanes, [&](int lane) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(lane);
+  });
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kLanes));
+  for (int i = 0; i < kLanes; ++i) {
+    EXPECT_EQ(seen.count(i), 1u) << "lane " << i;
+  }
+}
+
+TEST(ThreadPool, WorkersStartLazilyAndAreReused) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  pool.Run(3, [&](int) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 3);
+  EXPECT_LE(pool.worker_count(), 2u);
+  const size_t after_first = pool.worker_count();
+  pool.Run(3, [&](int) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 6);
+  EXPECT_EQ(pool.worker_count(), after_first);
+}
+
+TEST(ThreadPool, QueueWaitSamplesPerDispatchedJob) {
+  ThreadPool pool(2);
+  std::vector<uint64_t> waits;
+  pool.Run(4, [&](int) {}, &waits);
+  // 4 lanes = caller + up to 2 dispatched + overflow on caller; only the
+  // dispatched jobs produce queue-wait samples.
+  EXPECT_LE(waits.size(), 2u);
+  pool.Run(1, [&](int) {}, &waits);  // inline run adds no samples
+  EXPECT_LE(waits.size(), 2u);
+}
+
+TEST(ThreadPool, SharedPoolIsUsable) {
+  std::atomic<int> hits{0};
+  ThreadPool::Shared().Run(2, [&](int) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 2);
+  EXPECT_GE(ThreadPool::Shared().max_lanes(), 1);
+}
+
+TEST(ThreadPool, ManyRoundsStayConsistent) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> sum{0};
+    pool.Run(4, [&](int lane) { sum.fetch_add(lane + 1); });
+    ASSERT_EQ(sum.load(), 1 + 2 + 3 + 4);
+  }
+}
+
+}  // namespace
+}  // namespace verso
